@@ -1,0 +1,24 @@
+"""Benchmark: design-choice ablations (Sections IV-C and V)."""
+
+from repro.experiments import ablations
+from repro.experiments.settings import SMALL
+
+
+def test_ablation_drelu_pipeline(benchmark, record_result):
+    result = benchmark.pedantic(
+        lambda: ablations.drelu_pipeline_ablation("denoise", SMALL),
+        rounds=1,
+        iterations=1,
+    )
+    record_result("ablation_drelu_pipeline", ablations.format_drelu(result))
+    benchmark.extra_info["naive_penalty_db"] = result.naive_penalty_db
+    # The on-the-fly pipeline never does worse than the MAC-based one.
+    assert result.psnr_onthefly_db >= result.psnr_naive_db - 0.02
+
+
+def test_ablation_qformat(benchmark, record_result):
+    result = benchmark(ablations.qformat_ablation)
+    record_result("ablation_qformat", ablations.format_qformat(result))
+    benchmark.extra_info["improvement"] = result.improvement
+    # Component-wise Q-formats cut the quantization error substantially.
+    assert result.improvement > 1.5

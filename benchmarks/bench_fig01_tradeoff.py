@@ -1,0 +1,18 @@
+"""Benchmark: regenerate Fig. 1 (efficiency vs quality for SRResNet)."""
+
+from repro.experiments import fig01
+from repro.experiments.settings import SMALL
+
+
+def test_fig01(benchmark, record_result):
+    points = benchmark.pedantic(
+        lambda: fig01.run(scale=SMALL, blocks=2, width=8, compressions=(2.0, 4.0)),
+        rounds=1,
+        iterations=1,
+    )
+    record_result("fig01_tradeoff", fig01.format_result(points))
+    by = {p.method: p for p in points}
+    benchmark.extra_info["ring_n2_psnr"] = by["RingCNN n=2"].psnr_db
+    benchmark.extra_info["baseline_psnr"] = by["SRResNet (1x)"].psnr_db
+    # Shape check: ring models reach the expected efficiency band.
+    assert by["RingCNN n=4"].computation_efficiency > 3.0

@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Fig. 11 (RingCNN vs unstructured weight pruning)."""
+
+from repro.experiments import fig11
+from repro.experiments.settings import SMALL
+
+
+def test_fig11(benchmark, record_result):
+    points = benchmark.pedantic(
+        lambda: fig11.run("denoise", SMALL, compressions=(2.0, 4.0, 8.0)),
+        rounds=1,
+        iterations=1,
+    )
+    record_result("fig11_pruning", fig11.format_result(points))
+    by = {(p.method, p.compression): p.psnr_db for p in points}
+    benchmark.extra_info["ring_4x"] = by[("ring", 4.0)]
+    benchmark.extra_info["pruning_4x"] = by[("pruning", 4.0)]

@@ -1,0 +1,18 @@
+"""Benchmark: regenerate Fig. 12 (area efficiency vs 8-bit PSNR)."""
+
+from repro.experiments import fig12
+from repro.experiments.runner import make_task
+from repro.experiments.settings import TINY
+
+
+def test_fig12(benchmark, record_result):
+    data = make_task("sr4", TINY)
+    kinds = ["real", "ri4+fh", "rh4+fcw", "rh4i+fcw"]
+    points = benchmark.pedantic(
+        lambda: fig12.run("sr4", TINY, kinds=kinds, data=data), rounds=1, iterations=1
+    )
+    record_result("fig12_area_quality", fig12.format_result(points))
+    by = {p.kind: p for p in points}
+    # Paper: (R_I, f_H) provides the best area efficiency of the rings.
+    assert by["ri4+fh"].area_efficiency > by["rh4+fcw"].area_efficiency
+    benchmark.extra_info["ri4_area_eff"] = by["ri4+fh"].area_efficiency

@@ -1,0 +1,18 @@
+"""Benchmark: regenerate Fig. 13 (8-bit quantization degradation)."""
+
+from repro.experiments import fig13
+from repro.experiments.settings import SMALL
+
+
+def test_fig13(benchmark, record_result):
+    targets = [
+        fig13.Fig13Target("Dn-UHD30", "denoise", 1),
+        fig13.Fig13Target("SR-UHD30", "sr4", 1),
+    ]
+    rows = benchmark.pedantic(
+        lambda: fig13.run(SMALL, kinds=("real", "ri2+fh", "ri4+fh"), targets=targets),
+        rounds=1,
+        iterations=1,
+    )
+    record_result("fig13_quantization", fig13.format_result(rows))
+    benchmark.extra_info["mean_drop_db"] = sum(r.degradation_db for r in rows) / len(rows)

@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Fig. C-1 (recognition vs structured pruning)."""
+
+from repro.experiments import figc1
+
+
+def test_figc1(benchmark, record_result):
+    points = benchmark.pedantic(
+        lambda: figc1.run(epochs=8, train_count=120, test_count=40),
+        rounds=1,
+        iterations=1,
+    )
+    record_result("figc1_recognition", figc1.format_result(points))
+    by = {p.method: p.accuracy for p in points}
+    benchmark.extra_info["ring_n4_accuracy"] = by["RingCNN n=4"]
+    assert by["RingCNN n=4"] >= by["LeGR (2x)"]

@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Table II (isomorphic G and fast algorithms)."""
+
+from repro.experiments import table2
+
+
+def test_table2(benchmark, record_result):
+    rows = benchmark(table2.run)
+    record_result("table2_fast", table2.format_result(rows))
+    assert all(row.exact for row in rows)
+    benchmark.extra_info["rings_verified"] = len(rows)

@@ -1,0 +1,28 @@
+"""Shared benchmark helpers.
+
+Each benchmark regenerates one table/figure of the paper and, besides
+the timing pytest-benchmark records, writes the formatted rows to
+``benchmarks/results/<name>.txt`` so the reproduction output survives
+pytest's output capture.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture()
+def record_result():
+    """Write a formatted experiment table to benchmarks/results/."""
+
+    def _record(name: str, text: str) -> pathlib.Path:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        return path
+
+    return _record

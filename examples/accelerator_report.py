@@ -1,0 +1,33 @@
+"""Full eRingCNN hardware report (paper Tables V-VIII, Fig. 14).
+
+Prints the modeled layout figures, breakdowns, efficiency gains over
+eCNN, and the cross-accelerator comparisons::
+
+    python examples/accelerator_report.py
+"""
+
+from repro.experiments import fig14, table5, table6, table7, table8
+from repro.hardware.accelerator import HD30, UHD30, supported_3x3_layers
+
+
+def main() -> None:
+    print("=" * 72)
+    print("Table V — design configuration and layout performance")
+    print(table5.format_result())
+    print("\nTable VI — area and power breakdowns")
+    print(table6.format_result())
+    print("\nFig. 14 — efficiency over eCNN")
+    print(fig14.format_result())
+    print("\nTable VII — comparison with Diffy")
+    print(table7.format_result())
+    print("\nTable VIII — comparison across sparsity approaches")
+    print(table8.format_result())
+    print(
+        f"\nthroughput head-room at 250 MHz: "
+        f"{supported_3x3_layers(HD30)} 3x3 layers/pixel at HD30, "
+        f"{supported_3x3_layers(UHD30)} at UHD30"
+    )
+
+
+if __name__ == "__main__":
+    main()

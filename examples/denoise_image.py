@@ -1,0 +1,36 @@
+"""Denoising with a RingCNN DnERNet-PU (paper Fig. 9 top / Table IV).
+
+Trains a real-valued ERNet and its (R_I4, f_H) RingCNN counterpart on
+synthetic noisy images (sigma = 15/255) and compares PSNR and weight
+counts::
+
+    python examples/denoise_image.py
+"""
+
+from repro.experiments.runner import make_task, run_quality
+from repro.experiments.settings import SMALL
+from repro.imaging.metrics import average_psnr
+
+
+def main() -> None:
+    data = make_task("denoise", SMALL)
+    noisy = average_psnr(data.test_inputs, data.test_targets, shave=2)
+    print(f"noisy input PSNR: {noisy:.2f} dB  (sigma = 15/255)")
+    print(f"{'model':<22} {'PSNR dB':>8} {'weights':>8} {'compression':>12}")
+    real = run_quality("real", "denoise", SMALL, data=data)
+    print(f"{'eCNN ERNet (real)':<22} {real.psnr_db:>8.2f} {real.parameters:>8} {'1x':>12}")
+    for n in (2, 4):
+        res = run_quality(f"ri{n}+fh", "denoise", SMALL, data=data)
+        ratio = real.parameters / res.parameters
+        print(
+            f"{f'eRingCNN-n{n} (R_I,f_H)':<22} {res.psnr_db:>8.2f} "
+            f"{res.parameters:>8} {f'{ratio:.1f}x':>12}"
+        )
+    print(
+        "\nExpected shape (paper): n=2 matches or beats the real model; "
+        "n=4 trails by ~0.1 dB with 4x fewer weights."
+    )
+
+
+if __name__ == "__main__":
+    main()

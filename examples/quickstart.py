@@ -1,0 +1,46 @@
+"""Quickstart: ring algebra, ring convolution, and the paper's Table I.
+
+Runs in a few seconds::
+
+    python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.nn.layers import RingConv2d
+from repro.nn.tensor import Tensor
+from repro.rings.catalog import get_ring, proposed_pair
+from repro.rings.properties import format_table1
+
+
+def main() -> None:
+    # --- 1. ring arithmetic -------------------------------------------------
+    spec = get_ring("C")  # the complex field as a 2-tuple ring
+    g = np.array([3.0, 4.0])  # 3 + 4i
+    x = np.array([1.0, 2.0])  # 1 + 2i
+    print("complex product (3+4i)(1+2i):", spec.ring.multiply(g, x))
+    print("via the 3-mult fast algorithm:", spec.fast.apply(g, x))
+
+    # --- 2. the proposed ring (R_I, f_H) -------------------------------------
+    ri4, f_h = proposed_pair(4)
+    y = np.array([1.0, -2.0, 0.5, 3.0])
+    print("\n(R_I4) component-wise product:", ri4.ring.multiply(g=np.ones(4) * 2, x=y))
+    print("directional ReLU f_H(y):      ", np.round(f_h(y), 3))
+
+    # --- 3. a ring convolution layer -----------------------------------------
+    layer = RingConv2d(8, 8, 3, ri4.ring, seed=0)
+    out = layer(Tensor(np.random.default_rng(0).standard_normal((1, 8, 16, 16))))
+    real_weights = 8 * 8 * 9
+    print(
+        f"\nRingConv2d 8->8 3x3: output {out.shape}, "
+        f"{layer.g.size} ring weights vs {real_weights} real-valued "
+        f"({real_weights // layer.g.size}x reduction)"
+    )
+
+    # --- 4. Table I -----------------------------------------------------------
+    print("\nPaper Table I (ring properties):")
+    print(format_table1())
+
+
+if __name__ == "__main__":
+    main()

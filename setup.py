@@ -1,0 +1,8 @@
+"""Legacy shim: the offline environment lacks the `wheel` package, so
+PEP 660 editable installs fail; `python setup.py develop` works without it.
+`pip install -e . --no-build-isolation` is routed through this file too.
+"""
+
+from setuptools import setup
+
+setup()

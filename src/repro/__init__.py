@@ -1,0 +1,32 @@
+"""RingCNN reproduction (ISCA 2021).
+
+Algebraically-sparse ring tensors for energy-efficient CNN-based
+computational imaging: the ring-algebra framework (Section III), RingCNN
+modeling and training (Section IV), and the eRingCNN accelerator model
+(Section V), plus every substrate needed to reproduce the paper's
+evaluation on CPU.
+
+Quick start::
+
+    from repro import rings, models, experiments
+    spec, f_h = rings.catalog.proposed_pair(4)   # the paper's (R_I4, f_H)
+    print(experiments.table1.format_result())     # Table I
+
+See README.md and DESIGN.md.
+"""
+
+from . import experiments, hardware, imaging, models, nn, pruning, quant, rings
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "experiments",
+    "hardware",
+    "imaging",
+    "models",
+    "nn",
+    "pruning",
+    "quant",
+    "rings",
+    "__version__",
+]

@@ -1,0 +1,57 @@
+"""Experiment drivers — one module per table/figure of the paper.
+
+Each module exposes ``run(...)`` returning structured results and
+``format_result(...)`` rendering the paper's rows/series as text.
+See DESIGN.md section 4 for the experiment index.
+"""
+
+from . import (
+    ablations,
+    fig01,
+    fig09,
+    fig10,
+    fig11,
+    fig12,
+    fig13,
+    fig14,
+    fig15,
+    figc1,
+    table1,
+    table2,
+    table4,
+    table5,
+    table6,
+    table7,
+    table8,
+)
+from .runner import QualityResult, make_task, run_quality, train_restoration
+from .settings import MEDIUM, PAPER_TABLE3, SMALL, TINY, QualityScale
+
+__all__ = [
+    "ablations",
+    "fig01",
+    "fig09",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "fig15",
+    "figc1",
+    "table1",
+    "table2",
+    "table4",
+    "table5",
+    "table6",
+    "table7",
+    "table8",
+    "QualityResult",
+    "make_task",
+    "run_quality",
+    "train_restoration",
+    "MEDIUM",
+    "PAPER_TABLE3",
+    "SMALL",
+    "TINY",
+    "QualityScale",
+]

@@ -1,0 +1,153 @@
+"""Experiment: Fig. 1 — computation efficiency versus image quality.
+
+Applies the paper's complexity-reducing methods to SRResNet on the x4 SR
+task, all trained with the same strategy:
+
+* unstructured magnitude weight pruning at 2x / 4x / 8x,
+* depth-wise convolution (low-rank sparsity),
+* depth reduction and channel reduction (compact modeling),
+* RingCNN over (R_I, f_H) at n = 2 / 4 / 8.
+
+Computation efficiency is real multiplications of the baseline divided
+by real multiplications of the method (per low-res pixel).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..imaging.datasets import TaskData, make_sr_task
+from ..models.baselines import SRResNet
+from ..models.factory import make_factory
+from ..nn.data import ArrayDataset, DataLoader
+from ..nn.layers import Conv2d, RingConv2d
+from ..nn.module import Module
+from ..nn.trainer import TrainConfig, train_model
+from ..pruning.magnitude import finetune_pruned, prune_model
+from .runner import evaluate_psnr
+from .settings import SMALL, QualityScale
+
+__all__ = ["Fig1Point", "run", "format_result", "count_macs"]
+
+
+@dataclasses.dataclass(frozen=True)
+class Fig1Point:
+    """One (method, efficiency, PSNR) point of Fig. 1."""
+
+    method: str
+    computation_efficiency: float
+    psnr_db: float
+    parameters: int
+
+
+def count_macs(model: Module, sparsity_discount: float = 1.0) -> float:
+    """Real multiplications per pixel across all conv layers."""
+    total = 0.0
+    for module in model.modules():
+        if isinstance(module, RingConv2d):
+            total += module.macs_per_pixel()
+        elif isinstance(module, Conv2d):
+            total += module.macs_per_pixel()
+    return total / sparsity_discount
+
+
+def _train(model: Module, data: TaskData, scale: QualityScale) -> float:
+    loader = DataLoader(
+        ArrayDataset(data.train_inputs, data.train_targets),
+        batch_size=scale.batch_size,
+        seed=scale.seed,
+    )
+    train_model(model, loader, TrainConfig(epochs=scale.epochs, lr=scale.lr))
+    return evaluate_psnr(model, data)
+
+
+def run(
+    scale: QualityScale = SMALL,
+    blocks: int = 2,
+    width: int = 16,
+    compressions: tuple[float, ...] = (2.0, 4.0, 8.0),
+    data: TaskData | None = None,
+) -> list[Fig1Point]:
+    """All Fig. 1 method points."""
+    data = data if data is not None else make_sr_task(
+        train_count=scale.train_count,
+        test_count=scale.test_count,
+        size=scale.size,
+        seed=scale.seed,
+    )
+    points: list[Fig1Point] = []
+
+    # --- real-valued baseline (1x) ----------------------------------------
+    baseline = SRResNet(blocks=blocks, width=width, seed=0)
+    base_macs = count_macs(baseline)
+    psnr = _train(baseline, data, scale)
+    base_state = baseline.state_dict()
+    points.append(Fig1Point("SRResNet (1x)", 1.0, psnr, baseline.num_parameters()))
+
+    # --- unstructured weight pruning ---------------------------------------
+    for ratio in compressions:
+        model = SRResNet(blocks=blocks, width=width, seed=0)
+        model.load_state_dict(base_state)  # prune the pre-trained model
+        masks = prune_model(model, ratio)
+        loader = DataLoader(
+            ArrayDataset(data.train_inputs, data.train_targets),
+            batch_size=scale.batch_size,
+            seed=scale.seed,
+        )
+        finetune_pruned(
+            model, masks, loader, TrainConfig(epochs=max(2, scale.epochs // 2), lr=scale.lr / 3)
+        )
+        points.append(
+            Fig1Point(
+                f"weight pruning ({ratio:.0f}x)",
+                ratio,
+                evaluate_psnr(model, data),
+                model.num_parameters(),
+            )
+        )
+
+    # --- depth-wise convolution ---------------------------------------------
+    dwc = SRResNet(blocks=blocks, width=width, factory=make_factory("dwc"), seed=0)
+    psnr = _train(dwc, data, scale)
+    points.append(
+        Fig1Point("depth-wise conv", base_macs / count_macs(dwc), psnr, dwc.num_parameters())
+    )
+
+    # --- compact modeling: depth and channel reduction -----------------------
+    shallow = SRResNet(blocks=max(1, blocks // 2), width=width, seed=0)
+    psnr = _train(shallow, data, scale)
+    points.append(
+        Fig1Point(
+            "depth reduction", base_macs / count_macs(shallow), psnr, shallow.num_parameters()
+        )
+    )
+    narrow = SRResNet(blocks=blocks, width=width // 2, seed=0)
+    psnr = _train(narrow, data, scale)
+    points.append(
+        Fig1Point(
+            "channel reduction", base_macs / count_macs(narrow), psnr, narrow.num_parameters()
+        )
+    )
+
+    # --- RingCNN over (R_I, f_H) ---------------------------------------------
+    for n in (2, 4, 8):
+        if width % n:
+            continue
+        model = SRResNet(blocks=blocks, width=width, factory=make_factory(f"ri{n}+fh"), seed=0)
+        psnr = _train(model, data, scale)
+        points.append(
+            Fig1Point(
+                f"RingCNN n={n}", base_macs / count_macs(model), psnr, model.num_parameters()
+            )
+        )
+    return points
+
+
+def format_result(points: list[Fig1Point] | None = None, **kwargs) -> str:
+    points = points if points is not None else run(**kwargs)
+    lines = [f"{'method':<24} {'comp-eff':>9} {'PSNR dB':>8} {'params':>8}"]
+    for p in points:
+        lines.append(
+            f"{p.method:<24} {p.computation_efficiency:>8.2f}x {p.psnr_db:>8.2f} {p.parameters:>8}"
+        )
+    return "\n".join(lines)

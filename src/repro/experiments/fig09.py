@@ -1,0 +1,81 @@
+"""Experiment: Fig. 9 — PSNR comparison of different rings.
+
+Trains the same ERNet backbone (DnERNet-PU for denoising, SR4ERNet for
+x4 SR) under every ring algebra and reports test PSNR.  The paper's
+findings to reproduce: R_I with the component-wise ReLU is worst (no
+information mixing); the proposed (R_I, f_H) is best and constantly
+outperforms the others; (R_I4, f_O4) is inferior to (R_I4, f_H).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from ..imaging.datasets import TaskData
+from .runner import QualityResult, make_task, run_quality
+from .settings import SMALL, QualityScale
+
+__all__ = ["RING_SETS", "Fig9Result", "run", "format_result"]
+
+# Factory keys per tuple dimension; mirrors the bars of Fig. 9.
+RING_SETS: dict[int, list[str]] = {
+    2: ["real", "ri2+fcw", "rh2", "c", "ri2+fh"],
+    4: ["real", "ri4+fcw", "rh4", "ro4", "rh4i", "ro4i", "h", "ri4+fo4", "ri4+fh"],
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class Fig9Result:
+    """All bars of one task panel."""
+
+    task: str
+    n: int
+    results: list[QualityResult]
+
+    def psnr_of(self, kind: str) -> float:
+        for result in self.results:
+            if result.label == kind:
+                return result.psnr_db
+        raise KeyError(kind)
+
+
+def run(
+    task: str = "denoise",
+    n: int = 4,
+    scale: QualityScale = SMALL,
+    kinds: list[str] | None = None,
+    seeds: tuple[int, ...] = (0, 1),
+    data: TaskData | None = None,
+) -> Fig9Result:
+    """One panel of Fig. 9 (averaged over seeds for stability)."""
+    kinds = kinds if kinds is not None else RING_SETS[n]
+    data = data if data is not None else make_task(task, scale)
+    results = []
+    for kind in kinds:
+        psnrs, params, losses = [], 0, []
+        for seed in seeds:
+            res = run_quality(kind, task, scale, data=data, seed=seed)
+            psnrs.append(res.psnr_db)
+            params = res.parameters
+            losses.append(res.final_train_loss)
+        results.append(
+            QualityResult(
+                label=kind,
+                task=task,
+                psnr_db=float(np.mean(psnrs)),
+                parameters=params,
+                final_train_loss=float(np.mean(losses)),
+            )
+        )
+    return Fig9Result(task=task, n=n, results=results)
+
+
+def format_result(result: Fig9Result) -> str:
+    lines = [f"Fig.9 panel: task={result.task}, n={result.n}"]
+    best = max(r.psnr_db for r in result.results)
+    for r in sorted(result.results, key=lambda r: -r.psnr_db):
+        marker = " <= best" if r.psnr_db == best else ""
+        lines.append(f"  {r.label:<10} {r.psnr_db:6.2f} dB  ({r.parameters} params){marker}")
+    return "\n".join(lines)

@@ -1,0 +1,150 @@
+"""Experiment: Fig. 10 — ablation between (R_I, f_H) and R_H.
+
+The two structures differ in (1) whether weights multiply features
+directly or after the filter transform, and (2) whether the Hadamard
+transforms appear at every convolution (R_H) or only around the
+non-linearity (R_I, f_H).  R_H imitates (R_I, f_H) in two steps:
+
+* **train on transformed weights g~** — reparameterize each R_H
+  convolution by its diagonal-domain weights (same function class,
+  different training dynamics), and
+* **structure modification** — remove the redundant back-to-back
+  transforms, which *is* (R_I, f_H).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from ..imaging.datasets import TaskData
+from ..models.factory import LayerFactory, RingFactory, make_factory
+from ..nn.functional import conv2d, ring_expand
+from ..nn.init import ring_kaiming_normal
+from ..nn.layers import Conv2d, ReLU
+from ..nn.module import Module
+from ..nn.tensor import Parameter, Tensor
+from ..rings.catalog import RingSpec, get_ring
+from ..rings.nonlinearity import ComponentReLU
+from .runner import QualityResult, make_task, model_for_task, train_restoration
+from .settings import SMALL, QualityScale
+
+__all__ = ["TransformedRingConv2d", "TransformedRingFactory", "run", "format_result"]
+
+
+class TransformedRingConv2d(Module):
+    """Ring convolution parameterized by the transformed weights g~.
+
+    Stores the m diagonal-domain components per tuple pair; the real
+    filter bank is ``W = Tz diag(g~) Tx`` per pair, realized through the
+    generalized expansion tensor ``M'[i, p, j] = Tz[i, p] Tx[p, j]``.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        spec: RingSpec,
+        stride: int = 1,
+        padding: int | None = None,
+        bias: bool = True,
+        seed: int | None = None,
+    ) -> None:
+        super().__init__()
+        n = spec.n
+        if in_channels % n or out_channels % n:
+            raise ValueError("channels must be multiples of the tuple size")
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = kernel_size // 2 if padding is None else padding
+        self.spec = spec
+        m = spec.fast.num_products
+        self.expansion = np.einsum("ip,pj->ipj", spec.fast.tz, spec.fast.tx)
+        self.g_t = Parameter(
+            ring_kaiming_normal(
+                (out_channels // n, in_channels // n, m, kernel_size, kernel_size),
+                fan_in=in_channels * kernel_size**2,
+                seed=seed,
+            )
+        )
+        self.bias = Parameter(np.zeros(out_channels)) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        weight = ring_expand(self.g_t, self.expansion)
+        return conv2d(x, weight, self.bias, stride=self.stride, padding=self.padding)
+
+
+@dataclasses.dataclass
+class TransformedRingFactory(LayerFactory):
+    """R_H layers trained on g~ (Fig. 10's middle variant)."""
+
+    spec: RingSpec
+
+    @property
+    def name(self) -> str:  # type: ignore[override]
+        return f"{self.spec.paper_symbol}~g"
+
+    def conv(self, in_channels, out_channels, kernel_size, seed, **kwargs) -> Module:
+        n = self.spec.n
+        if in_channels % n or out_channels % n:
+            return Conv2d(in_channels, out_channels, kernel_size, seed=seed, **kwargs)
+        return TransformedRingConv2d(
+            in_channels, out_channels, kernel_size, self.spec, seed=seed, **kwargs
+        )
+
+    def act(self, channels: int) -> Module:
+        return ReLU()
+
+    def weight_compression(self) -> float:
+        return self.spec.n * self.spec.n / self.spec.fast.num_products
+
+
+@dataclasses.dataclass(frozen=True)
+class Fig10Result:
+    """PSNR of the three ablation variants."""
+
+    task: str
+    baseline: QualityResult  # R_H with component-wise ReLU
+    transformed: QualityResult  # trained on g~
+    modified: QualityResult  # structure modification = (R_I, f_H)
+
+
+def run(
+    task: str = "sr4",
+    scale: QualityScale = SMALL,
+    ring: str = "rh4",
+    data: TaskData | None = None,
+    seed: int = 0,
+) -> Fig10Result:
+    data = data if data is not None else make_task(task, scale)
+    spec = get_ring(ring)
+    n = spec.n
+
+    base_factory = RingFactory(spec=spec, nonlinearity=ComponentReLU(n=n))
+    base_model = model_for_task(task, base_factory, scale, seed=seed)
+    baseline = train_restoration(base_model, data, scale, label=f"{ring}+fcw")
+
+    t_factory = TransformedRingFactory(spec=spec)
+    t_model = model_for_task(task, t_factory, scale, seed=seed)
+    transformed = train_restoration(t_model, data, scale, label=f"{ring} on g~")
+
+    mod_factory = make_factory(f"ri{n}+fh")
+    mod_model = model_for_task(task, mod_factory, scale, seed=seed)
+    modified = train_restoration(mod_model, data, scale, label=f"(R_I{n}, f_H)")
+
+    return Fig10Result(task=task, baseline=baseline, transformed=transformed, modified=modified)
+
+
+def format_result(result: Fig10Result) -> str:
+    return "\n".join(
+        [
+            f"Fig.10 ablation on {result.task}:",
+            f"  {result.baseline.label:<14} {result.baseline.psnr_db:6.2f} dB",
+            f"  {result.transformed.label:<14} {result.transformed.psnr_db:6.2f} dB",
+            f"  {result.modified.label:<14} {result.modified.psnr_db:6.2f} dB",
+        ]
+    )

@@ -1,0 +1,77 @@
+"""Experiment: Fig. 11 — algebraic sparsity versus unstructured pruning.
+
+RingCNNs over (R_I, f_H) at n = 2/4/8 (2x/4x/8x compression) are trained
+directly; the real-valued CNN is pre-trained, magnitude-pruned to each
+ratio, and fine-tuned.  The paper's finding: RingCNN delivers better
+quality than pruning at every ratio, and n = 2 can beat the original 1x
+networks.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..imaging.datasets import TaskData
+from ..nn.data import ArrayDataset, DataLoader
+from ..nn.trainer import TrainConfig, train_model
+from ..pruning.magnitude import finetune_pruned, prune_model
+from .runner import evaluate_psnr, make_task, model_for_task, run_quality
+from .settings import SMALL, QualityScale
+
+__all__ = ["Fig11Point", "run", "format_result"]
+
+
+@dataclasses.dataclass(frozen=True)
+class Fig11Point:
+    """One curve point: method at a compression ratio."""
+
+    method: str  # "ring" or "pruning" or "original"
+    compression: float
+    psnr_db: float
+
+
+def run(
+    task: str = "sr4",
+    scale: QualityScale = SMALL,
+    compressions: tuple[float, ...] = (2.0, 4.0, 8.0),
+    data: TaskData | None = None,
+    seed: int = 0,
+) -> list[Fig11Point]:
+    data = data if data is not None else make_task(task, scale)
+    points: list[Fig11Point] = []
+
+    # Original (1x) real-valued network, trained with the same budget plus
+    # the fine-tuning epochs for fairness (paper Fig. 11 caption).
+    original = model_for_task(task, None, scale, seed=seed)
+    loader = DataLoader(
+        ArrayDataset(data.train_inputs, data.train_targets),
+        batch_size=scale.batch_size,
+        seed=scale.seed,
+    )
+    extra = max(2, scale.epochs // 2)
+    train_model(original, loader, TrainConfig(epochs=scale.epochs + extra, lr=scale.lr))
+    points.append(Fig11Point("original", 1.0, evaluate_psnr(original, data)))
+
+    # Weight pruning: pre-train, prune, fine-tune (paper: 200 more epochs).
+    for ratio in compressions:
+        model = model_for_task(task, None, scale, seed=seed)
+        train_model(model, loader, TrainConfig(epochs=scale.epochs, lr=scale.lr))
+        masks = prune_model(model, ratio)
+        finetune_pruned(model, masks, loader, TrainConfig(epochs=extra, lr=scale.lr / 3))
+        points.append(Fig11Point("pruning", ratio, evaluate_psnr(model, data)))
+
+    # RingCNN (R_I, f_H): trained directly with the same total budget.
+    ring_scale = dataclasses.replace(scale, epochs=scale.epochs + extra)
+    for n, ratio in ((2, 2.0), (4, 4.0), (8, 8.0)):
+        if ratio not in compressions:
+            continue
+        res = run_quality(f"ri{n}+fh", task, ring_scale, data=data, seed=seed)
+        points.append(Fig11Point("ring", ratio, res.psnr_db))
+    return points
+
+
+def format_result(points: list[Fig11Point]) -> str:
+    lines = [f"{'method':<10} {'compression':>11} {'PSNR dB':>8}"]
+    for p in sorted(points, key=lambda p: (p.compression, p.method)):
+        lines.append(f"{p.method:<10} {p.compression:>10.0f}x {p.psnr_db:>8.2f}")
+    return "\n".join(lines)

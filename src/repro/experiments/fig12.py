@@ -1,0 +1,97 @@
+"""Experiment: Fig. 12 — area efficiency versus PSNR for 8-bit engines.
+
+For each ring: the FRCONV/RCONV engine area efficiency from the hardware
+model (synthesis stand-in) and the test PSNR of the 8-bit quantized
+SR model trained with that algebra.  Paper finding: (R_I, f_H) gives the
+smallest area *and* the best quality; area efficiencies track the 8-bit
+complexity estimates of Table I.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..hardware.engine import engine_for_ring, real_engine
+from ..imaging.datasets import TaskData
+from ..models.factory import make_factory
+from ..quant.quantize import QuantizingFactory, calibrate, quantize_weights
+from .runner import evaluate_psnr, make_task, model_for_task, train_restoration
+from .settings import SMALL, QualityScale
+
+__all__ = ["Fig12Point", "run", "format_result", "quantized_psnr"]
+
+# Factory keys and the engine they map to.
+DEFAULT_RINGS = ["real", "ri4+fh", "rh4+fcw", "ro4+fcw", "rh4i+fcw", "h+fcw", "ri2+fh", "c"]
+
+
+@dataclasses.dataclass(frozen=True)
+class Fig12Point:
+    """One engine point: area efficiency and 8-bit PSNR."""
+
+    kind: str
+    area_efficiency: float
+    psnr_fixed_db: float
+    psnr_float_db: float
+
+
+def quantized_psnr(
+    kind: str,
+    task: str,
+    scale: QualityScale,
+    data: TaskData,
+    word_bits: int = 8,
+    seed: int = 0,
+) -> tuple[float, float]:
+    """(fixed-point PSNR, float PSNR) of one algebra variant.
+
+    Trains with quantization points present but disabled, then applies
+    dynamic weight quantization + activation calibration (the paper's
+    quantize-then-fine-tune flow at reduced scale).
+    """
+    base = make_factory(kind)
+    factory = QuantizingFactory(base, word_bits=word_bits)
+    model = model_for_task(task, factory, scale, seed=seed)
+    train_restoration(model, data, scale, label=kind)
+    psnr_float = evaluate_psnr(model, data)
+    quantize_weights(model, word_bits)
+    calibrate(model, data.train_inputs[: max(4, len(data.train_inputs) // 4)])
+    psnr_fixed = evaluate_psnr(model, data)
+    return psnr_fixed, psnr_float
+
+
+def run(
+    task: str = "sr4",
+    scale: QualityScale = SMALL,
+    kinds: list[str] | None = None,
+    data: TaskData | None = None,
+) -> list[Fig12Point]:
+    kinds = kinds if kinds is not None else DEFAULT_RINGS
+    data = data if data is not None else make_task(task, scale)
+    base_area = real_engine(3).total.area_um2
+    points = []
+    for kind in kinds:
+        ring_key = kind.split("+")[0]
+        area = (
+            base_area
+            if ring_key == "real"
+            else engine_for_ring(ring_key, 3).total.area_um2
+        )
+        fixed, flt = quantized_psnr(kind, task, scale, data)
+        points.append(
+            Fig12Point(
+                kind=kind,
+                area_efficiency=base_area / area,
+                psnr_fixed_db=fixed,
+                psnr_float_db=flt,
+            )
+        )
+    return points
+
+
+def format_result(points: list[Fig12Point]) -> str:
+    lines = [f"{'ring':<10} {'area-eff':>9} {'PSNR(8b)':>9} {'PSNR(fp)':>9}"]
+    for p in sorted(points, key=lambda p: -p.area_efficiency):
+        lines.append(
+            f"{p.kind:<10} {p.area_efficiency:>8.2f}x {p.psnr_fixed_db:>9.2f} {p.psnr_float_db:>9.2f}"
+        )
+    return "\n".join(lines)

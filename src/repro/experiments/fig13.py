@@ -1,0 +1,99 @@
+"""Experiment: Fig. 13 — quantization degradation and eCNN vs eRingCNN.
+
+Top panel: PSNR drop of 8-bit quantized models from their float versions
+(paper: ~0.11-0.12 dB for ring tensors, similar to real).  Bottom panel:
+PSNR difference of quantized eRingCNN models from quantized eCNN models
+(paper: +0.01 dB average for n2, -0.11 dB for n4).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from .fig12 import quantized_psnr
+from .runner import make_task
+from .settings import SMALL, QualityScale
+
+__all__ = ["Fig13Target", "Fig13Row", "run", "format_result", "DEFAULT_TARGETS"]
+
+
+@dataclasses.dataclass(frozen=True)
+class Fig13Target:
+    """One application target (task at a throughput tier)."""
+
+    name: str
+    task: str
+    blocks: int
+
+
+DEFAULT_TARGETS = [
+    Fig13Target("Dn-HD30", "denoise", 2),
+    Fig13Target("Dn-UHD30", "denoise", 1),
+    Fig13Target("SR-HD30", "sr4", 2),
+    Fig13Target("SR-UHD30", "sr4", 1),
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class Fig13Row:
+    """Per-target quantization results for one algebra."""
+
+    target: str
+    kind: str
+    psnr_float_db: float
+    psnr_fixed_db: float
+
+    @property
+    def degradation_db(self) -> float:
+        return self.psnr_float_db - self.psnr_fixed_db
+
+
+def run(
+    scale: QualityScale = SMALL,
+    kinds: tuple[str, ...] = ("real", "ri2+fh", "ri4+fh"),
+    targets: list[Fig13Target] | None = None,
+) -> list[Fig13Row]:
+    targets = targets if targets is not None else DEFAULT_TARGETS
+    rows = []
+    for target in targets:
+        target_scale = dataclasses.replace(scale, blocks=target.blocks)
+        data = make_task(target.task, target_scale)
+        for kind in kinds:
+            fixed, flt = quantized_psnr(kind, target.task, target_scale, data)
+            rows.append(
+                Fig13Row(
+                    target=target.name, kind=kind, psnr_float_db=flt, psnr_fixed_db=fixed
+                )
+            )
+    return rows
+
+
+def ring_vs_real_delta(rows: list[Fig13Row], ring_kind: str) -> float:
+    """Average quantized-PSNR delta of a ring variant vs real (bottom panel)."""
+    deltas = []
+    by_target: dict[str, dict[str, Fig13Row]] = {}
+    for row in rows:
+        by_target.setdefault(row.target, {})[row.kind] = row
+    for target_rows in by_target.values():
+        if "real" in target_rows and ring_kind in target_rows:
+            deltas.append(
+                target_rows[ring_kind].psnr_fixed_db - target_rows["real"].psnr_fixed_db
+            )
+    return float(np.mean(deltas)) if deltas else float("nan")
+
+
+def format_result(rows: list[Fig13Row]) -> str:
+    lines = [f"{'target':<10} {'ring':<8} {'float dB':>9} {'8-bit dB':>9} {'drop dB':>8}"]
+    for row in rows:
+        lines.append(
+            f"{row.target:<10} {row.kind:<8} {row.psnr_float_db:>9.2f} "
+            f"{row.psnr_fixed_db:>9.2f} {row.degradation_db:>8.3f}"
+        )
+    for kind in ("ri2+fh", "ri4+fh"):
+        if any(r.kind == kind for r in rows):
+            lines.append(
+                f"avg quantized delta {kind} vs real: {ring_vs_real_delta(rows, kind):+.3f} dB"
+            )
+    return "\n".join(lines)

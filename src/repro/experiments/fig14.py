@@ -1,0 +1,31 @@
+"""Experiment: Fig. 14 — area/power efficiency of eRingCNN over eCNN."""
+
+from __future__ import annotations
+
+from ..hardware.compare import EfficiencyGains, fig14_efficiencies
+
+__all__ = ["run", "format_result", "PAPER_GAINS"]
+
+PAPER_GAINS = {
+    "eRingCNN-n2": {"engine_area": 2.08, "engine_energy": 2.00, "chip_area": 1.64, "chip_energy": 1.85},
+    "eRingCNN-n4": {"engine_area": 3.77, "engine_energy": 3.84, "chip_area": 2.36, "chip_energy": 3.12},
+}
+
+
+def run() -> list[EfficiencyGains]:
+    return fig14_efficiencies()
+
+
+def format_result(gains: list[EfficiencyGains] | None = None) -> str:
+    gains = gains if gains is not None else run()
+    lines = [
+        f"{'design':<13} {'eng-area':>9} {'eng-energy':>10} {'chip-area':>9} {'chip-energy':>11}   (paper)"
+    ]
+    for g in gains:
+        p = PAPER_GAINS[g.name]
+        lines.append(
+            f"{g.name:<13} {g.engine_area_gain:>8.2f}x {g.engine_energy_gain:>9.2f}x "
+            f"{g.chip_area_gain:>8.2f}x {g.chip_energy_gain:>10.2f}x   "
+            f"({p['engine_area']:.2f}/{p['engine_energy']:.2f}/{p['chip_area']:.2f}/{p['chip_energy']:.2f})"
+        )
+    return "\n".join(lines)

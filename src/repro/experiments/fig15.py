@@ -1,0 +1,78 @@
+"""Experiment: Fig. 15 — quality versus energy-per-pixel curves.
+
+Each accelerator (eCNN, eRingCNN-n2, eRingCNN-n4) forms a curve over
+compact model configurations: deeper models cost proportionally more
+cycles (lower pixel throughput at fixed clock) and therefore more energy
+per pixel; quality rises with depth.  The paper's finding: eRingCNN
+curves sit left of eCNN's, and n4 wins at low energy budgets.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..hardware.accelerator import (
+    ECNN,
+    ERINGCNN_N2,
+    ERINGCNN_N4,
+    AcceleratorConfig,
+    model_accelerator,
+)
+from .runner import make_task, run_quality
+from .settings import SMALL, QualityScale
+
+__all__ = ["Fig15Point", "run", "format_result"]
+
+_TILE = 8  # output pixels per engine pass
+
+_KIND_FOR = {"eCNN": "real", "eRingCNN-n2": "ri2+fh", "eRingCNN-n4": "ri4+fh"}
+
+
+@dataclasses.dataclass(frozen=True)
+class Fig15Point:
+    """One point of one accelerator's curve."""
+
+    accelerator: str
+    blocks: int
+    psnr_db: float
+    energy_per_pixel_nj: float
+
+
+def _energy_per_pixel_nj(config: AcceleratorConfig, layers: int) -> float:
+    """Power / pixel-throughput: layers passes of the engine per pixel tile."""
+    report = model_accelerator(config)
+    pixels_per_second = _TILE * config.freq_hz / layers
+    return report.total_power_w / pixels_per_second * 1e9
+
+
+def run(
+    task: str = "denoise",
+    scale: QualityScale = SMALL,
+    block_sweep: tuple[int, ...] = (1, 2, 3),
+) -> list[Fig15Point]:
+    points = []
+    for config in (ECNN, ERINGCNN_N2, ERINGCNN_N4):
+        kind = _KIND_FOR[config.name]
+        for blocks in block_sweep:
+            cfg_scale = dataclasses.replace(scale, blocks=blocks)
+            data = make_task(task, cfg_scale)
+            res = run_quality(kind, task, cfg_scale, data=data)
+            layers = 2 * blocks + 2  # head + B modules (2 convs each) + tail
+            points.append(
+                Fig15Point(
+                    accelerator=config.name,
+                    blocks=blocks,
+                    psnr_db=res.psnr_db,
+                    energy_per_pixel_nj=_energy_per_pixel_nj(config, layers),
+                )
+            )
+    return points
+
+
+def format_result(points: list[Fig15Point]) -> str:
+    lines = [f"{'accelerator':<13} {'blocks':>6} {'PSNR dB':>8} {'nJ/pixel':>9}"]
+    for p in sorted(points, key=lambda p: (p.accelerator, p.blocks)):
+        lines.append(
+            f"{p.accelerator:<13} {p.blocks:>6} {p.psnr_db:>8.2f} {p.energy_per_pixel_nj:>9.2f}"
+        )
+    return "\n".join(lines)

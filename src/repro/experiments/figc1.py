@@ -1,0 +1,118 @@
+"""Experiment: Fig. C-1 — recognition: RingCNN versus structured pruning.
+
+A small ResNet on a synthetic 10-class grating dataset stands in for
+ResNet-56 on CIFAR-100 (offline substitution, see DESIGN.md).  RingCNN
+variants use (R_I, f_H) for convolutions with real-valued batch norm
+(the Appendix C setup); the baseline is LeGR-style structured filter
+pruning at matching compute budgets.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from ..models.factory import make_factory
+from ..models.resnet import resnet_small
+from ..nn.data import ArrayDataset, DataLoader
+from ..nn.loss import cross_entropy_loss
+from ..nn.module import Module
+from ..nn.optim import Adam
+from ..nn.tensor import Tensor, no_grad
+from ..pruning.structured import apply_channel_masks, channel_sparsity, structured_masks
+
+__all__ = ["make_classification_data", "FigC1Point", "run", "format_result"]
+
+
+def make_classification_data(
+    count: int = 120, size: int = 16, classes: int = 10, seed: int = 0
+) -> tuple[np.ndarray, np.ndarray]:
+    """Synthetic grating classes: orientation/frequency determined by label."""
+    rng = np.random.default_rng(seed)
+    xs, ys = [], []
+    for _ in range(count):
+        label = int(rng.integers(classes))
+        theta = np.pi * label / classes
+        freq = 0.12 + 0.018 * label
+        phase = rng.uniform(0, 2 * np.pi)
+        yy, xx = np.mgrid[0:size, 0:size]
+        img = np.sin(2 * np.pi * freq * (np.cos(theta) * xx + np.sin(theta) * yy) + phase)
+        img = 0.5 + 0.4 * img + 0.15 * rng.standard_normal((size, size))
+        xs.append(img[None])
+        ys.append(label)
+    return np.stack(xs), np.array(ys)
+
+
+def _train_classifier(
+    model: Module, x: np.ndarray, y: np.ndarray, epochs: int, lr: float, seed: int
+) -> None:
+    loader = DataLoader(ArrayDataset(x, y), batch_size=16, seed=seed)
+    optimizer = Adam(model.parameters(), lr=lr)
+    model.train()
+    for _ in range(epochs):
+        for inputs, labels in loader:
+            optimizer.zero_grad()
+            loss = cross_entropy_loss(model(Tensor(inputs)), labels)
+            loss.backward()
+            optimizer.step()
+    model.eval()
+
+
+def _accuracy(model: Module, x: np.ndarray, y: np.ndarray) -> float:
+    with no_grad():
+        logits = model(Tensor(x)).data
+    return float((logits.argmax(axis=1) == y).mean())
+
+
+@dataclasses.dataclass(frozen=True)
+class FigC1Point:
+    """One method point: accuracy at a compute-efficiency budget."""
+
+    method: str
+    computation_efficiency: float
+    accuracy: float
+
+
+def run(
+    epochs: int = 15,
+    lr: float = 3e-3,
+    train_count: int = 200,
+    test_count: int = 60,
+    seed: int = 0,
+) -> list[FigC1Point]:
+    x_train, y_train = make_classification_data(train_count, seed=seed)
+    x_test, y_test = make_classification_data(test_count, seed=seed + 999)
+    points = []
+
+    base = resnet_small(blocks_per_stage=1, base_width=8, seed=seed)
+    _train_classifier(base, x_train, y_train, epochs, lr, seed)
+    points.append(FigC1Point("ResNet (1x)", 1.0, _accuracy(base, x_test, y_test)))
+
+    # LeGR-style structured pruning at 2x, fine-tuned briefly.
+    pruned = resnet_small(blocks_per_stage=1, base_width=8, seed=seed)
+    pruned.load_state_dict(base.state_dict())
+    masks = structured_masks(pruned, compression=2.0)
+    apply_channel_masks(pruned, masks)
+    _train_classifier(pruned, x_train, y_train, max(2, epochs // 2), lr / 3, seed)
+    apply_channel_masks(pruned, masks)
+    eff = 1.0 / (1.0 - channel_sparsity(masks))
+    points.append(FigC1Point("LeGR (2x)", eff, _accuracy(pruned, x_test, y_test)))
+
+    # RingCNN (R_I, f_H) with real-valued batch norm (Appendix C).
+    for n in (2, 4):
+        ring = resnet_small(
+            blocks_per_stage=1, base_width=8, factory=make_factory(f"ri{n}+fh"), seed=seed
+        )
+        _train_classifier(ring, x_train, y_train, epochs, lr, seed)
+        points.append(
+            FigC1Point(f"RingCNN n={n}", float(n), _accuracy(ring, x_test, y_test))
+        )
+    return points
+
+
+def format_result(points: list[FigC1Point]) -> str:
+    lines = [f"{'method':<14} {'comp-eff':>9} {'accuracy':>9}"]
+    for p in points:
+        lines.append(f"{p.method:<14} {p.computation_efficiency:>8.2f}x {p.accuracy:>8.1%}")
+    return "\n".join(lines)

@@ -1,0 +1,115 @@
+"""Shared train-and-evaluate pipeline for the quality experiments.
+
+Every figure that reports PSNR uses this runner so all algebra variants
+see the identical data, loss, optimizer and schedule — the paper's
+"trained using the same training strategy" requirement (Fig. 1 caption).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from ..imaging.datasets import TaskData, make_denoising_task, make_sr_task
+from ..imaging.metrics import average_psnr
+from ..models.ernet import dn_ernet_pu, sr4_ernet
+from ..models.factory import LayerFactory, make_factory
+from ..nn.data import ArrayDataset, DataLoader
+from ..nn.module import Module
+from ..nn.tensor import Tensor, no_grad
+from ..nn.trainer import TrainConfig, train_model
+from .settings import QualityScale, SMALL
+
+__all__ = [
+    "QualityResult",
+    "make_task",
+    "model_for_task",
+    "evaluate_psnr",
+    "train_restoration",
+    "run_quality",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class QualityResult:
+    """Outcome of one train-and-evaluate run."""
+
+    label: str
+    task: str
+    psnr_db: float
+    parameters: int
+    final_train_loss: float
+
+
+def make_task(task: str, scale: QualityScale) -> TaskData:
+    """Build the synthetic dataset for ``"denoise"`` or ``"sr4"``."""
+    if task == "denoise":
+        return make_denoising_task(
+            train_count=scale.train_count,
+            test_count=scale.test_count,
+            size=scale.size,
+            seed=scale.seed,
+        )
+    if task == "sr4":
+        return make_sr_task(
+            train_count=scale.train_count,
+            test_count=scale.test_count,
+            size=scale.size,
+            factor=4,
+            seed=scale.seed,
+        )
+    raise ValueError(f"unknown task {task!r}")
+
+
+def model_for_task(
+    task: str, factory: LayerFactory | None, scale: QualityScale, seed: int = 0
+) -> Module:
+    """The ERNet backbone for a task at a given scale."""
+    if task == "denoise":
+        return dn_ernet_pu(
+            blocks=scale.blocks, ratio=scale.ratio, factory=factory, seed=seed
+        )
+    return sr4_ernet(blocks=scale.blocks, ratio=scale.ratio, factory=factory, seed=seed)
+
+
+def evaluate_psnr(model: Module, data: TaskData, shave: int = 2) -> float:
+    """Average test-set PSNR of a trained model."""
+    model.eval()
+    with no_grad():
+        pred = model(Tensor(data.test_inputs)).data
+    return average_psnr(pred, data.test_targets, shave=shave)
+
+
+def train_restoration(
+    model: Module, data: TaskData, scale: QualityScale, label: str = "model"
+) -> QualityResult:
+    """Train on the task's train split and report test PSNR."""
+    loader = DataLoader(
+        ArrayDataset(data.train_inputs, data.train_targets),
+        batch_size=scale.batch_size,
+        seed=scale.seed,
+    )
+    config = TrainConfig(epochs=scale.epochs, lr=scale.lr, seed=scale.seed)
+    result = train_model(model, loader, config)
+    return QualityResult(
+        label=label,
+        task=data.task,
+        psnr_db=evaluate_psnr(model, data),
+        parameters=model.num_parameters(),
+        final_train_loss=result.final_loss,
+    )
+
+
+def run_quality(
+    kind: str,
+    task: str = "denoise",
+    scale: QualityScale = SMALL,
+    data: TaskData | None = None,
+    seed: int = 0,
+) -> QualityResult:
+    """Train one algebra variant (factory key) on one task and score it."""
+    data = data if data is not None else make_task(task, scale)
+    factory = make_factory(kind) if kind != "real" else None
+    model = model_for_task(task, factory, scale, seed=seed)
+    return train_restoration(model, data, scale, label=kind)

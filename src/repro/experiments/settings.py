@@ -1,0 +1,86 @@
+"""Training settings (paper Table III) and experiment scale presets.
+
+The paper's Table III distinguishes a *lightweight* setting (algebra
+comparisons, Figs. 9-12) from a *polishment* setting (final models,
+Table IV) — larger datasets, more epochs, lower final learning rate.
+We mirror both recipes at CPU scale; the ``PAPER_TABLE3`` record keeps
+the original numbers for documentation and tests.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+__all__ = ["PaperSetting", "PAPER_TABLE3", "QualityScale", "TINY", "SMALL", "MEDIUM"]
+
+
+@dataclasses.dataclass(frozen=True)
+class PaperSetting:
+    """One row of the paper's Table III (as described in the text)."""
+
+    name: str
+    datasets: tuple[str, ...]
+    optimizer: str
+    loss: str
+    note: str
+
+
+PAPER_TABLE3 = {
+    "lightweight": PaperSetting(
+        name="lightweight",
+        datasets=("DIV2K",),
+        optimizer="Adam",
+        loss="MSE",
+        note="used for the ring-algebra comparisons (Section VI-A)",
+    ),
+    "polishment": PaperSetting(
+        name="polishment",
+        datasets=("DIV2K", "Waterloo Exploration"),
+        optimizer="Adam",
+        loss="MSE",
+        note="used for the final eRingCNN models (Section VI-B)",
+    ),
+    "finetune-8bit": PaperSetting(
+        name="finetune-8bit",
+        datasets=("DIV2K",),
+        optimizer="Adam",
+        loss="MSE",
+        note="quantize to 8-bit then fine-tune (bottom of Table III)",
+    ),
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class QualityScale:
+    """CPU-scale stand-in for a Table III recipe.
+
+    Attributes:
+        train_count / test_count / size: Synthetic corpus dimensions.
+        epochs / lr / batch_size: Training loop parameters.
+        blocks / ratio: Default ERNet configuration at this scale.
+    """
+
+    name: str
+    train_count: int
+    test_count: int
+    size: int
+    epochs: int
+    lr: float
+    batch_size: int
+    blocks: int
+    ratio: int
+    seed: int = 0
+
+
+TINY = QualityScale(
+    name="tiny", train_count=12, test_count=4, size=16, epochs=12, lr=3e-3,
+    batch_size=6, blocks=1, ratio=1,
+)
+SMALL = QualityScale(
+    name="small", train_count=24, test_count=6, size=24, epochs=40, lr=3e-3,
+    batch_size=8, blocks=1, ratio=1,
+)
+MEDIUM = QualityScale(
+    name="medium", train_count=48, test_count=8, size=24, epochs=80, lr=3e-3,
+    batch_size=8, blocks=2, ratio=2,
+)

@@ -1,0 +1,17 @@
+"""Experiment: Table I — properties of ring algebras."""
+
+from __future__ import annotations
+
+from ..rings.properties import RingProperties, format_table1, table1
+
+__all__ = ["run", "format_result"]
+
+
+def run(feature_bits: int = 8, weight_bits: int = 8) -> list[RingProperties]:
+    """All Table I rows (n = 2 and n = 4)."""
+    return table1(feature_bits=feature_bits, weight_bits=weight_bits)
+
+
+def format_result(rows: list[RingProperties] | None = None) -> str:
+    """Printable reproduction of Table I."""
+    return format_table1(rows)

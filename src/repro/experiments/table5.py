@@ -1,0 +1,80 @@
+"""Experiment: Table V — design configuration & layout performance."""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..hardware.accelerator import (
+    ERINGCNN_N2,
+    ERINGCNN_N4,
+    UHD30,
+    AcceleratorReport,
+    dram_bandwidth_gbps,
+    model_accelerator,
+)
+
+__all__ = ["Table5Row", "run", "format_result", "PAPER_VALUES"]
+
+# Published anchors (paper Table V) for side-by-side reporting.
+PAPER_VALUES = {
+    "eRingCNN-n2": {"area_mm2": 33.73, "power_w": 3.76, "weight_kb": 960},
+    "eRingCNN-n4": {"area_mm2": 23.36, "power_w": 2.22, "weight_kb": 480},
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class Table5Row:
+    """One accelerator's configuration and modeled layout figures."""
+
+    name: str
+    ring_dimension: int
+    sparsity: str
+    weight_memory_kb: float
+    macs_per_cycle: int
+    frequency_mhz: float
+    equivalent_tops: float
+    area_mm2: float
+    power_w: float
+    dram_gbps: float
+    report: AcceleratorReport
+
+
+def run() -> list[Table5Row]:
+    rows = []
+    for config, n in ((ERINGCNN_N2, 2), (ERINGCNN_N4, 4)):
+        report = model_accelerator(config)
+        rows.append(
+            Table5Row(
+                name=config.name,
+                ring_dimension=n,
+                sparsity=f"{100 * (1 - 1 / n):.0f}%",
+                weight_memory_kb=config.weight_memory_kb,
+                macs_per_cycle=report.real_macs_per_cycle(),
+                frequency_mhz=config.freq_hz / 1e6,
+                equivalent_tops=report.equivalent_tops(),
+                area_mm2=report.total_area_mm2,
+                power_w=report.total_power_w,
+                dram_gbps=dram_bandwidth_gbps(UHD30),
+                report=report,
+            )
+        )
+    return rows
+
+
+def format_result(rows: list[Table5Row] | None = None) -> str:
+    rows = rows if rows is not None else run()
+    lines = [
+        f"{'design':<13} {'n':>2} {'sparsity':>8} {'weights':>8} {'MACs/cyc':>9} "
+        f"{'MHz':>5} {'eq.TOPS':>7} {'area mm2':>9} {'power W':>8} {'paper':>15}"
+    ]
+    for row in rows:
+        anchor = PAPER_VALUES[row.name]
+        lines.append(
+            f"{row.name:<13} {row.ring_dimension:>2} {row.sparsity:>8} "
+            f"{row.weight_memory_kb:>6.0f}KB {row.macs_per_cycle:>9} "
+            f"{row.frequency_mhz:>5.0f} {row.equivalent_tops:>7.1f} "
+            f"{row.area_mm2:>9.2f} {row.power_w:>8.2f} "
+            f"{anchor['area_mm2']:>6.2f}/{anchor['power_w']:.2f}W"
+        )
+    lines.append(f"DRAM bandwidth at UHD30: {rows[0].dram_gbps:.2f} GB/s (paper: 1.93)")
+    return "\n".join(lines)

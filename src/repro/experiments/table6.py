@@ -1,0 +1,66 @@
+"""Experiment: Table VI — area and power breakdowns of eRingCNN."""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..hardware.accelerator import ERINGCNN_N2, ERINGCNN_N4, model_accelerator
+
+__all__ = ["Table6Row", "run", "format_result", "PAPER_FRACTIONS"]
+
+# Paper Table VI: conv-engine shares of total area / power.
+PAPER_FRACTIONS = {
+    "eRingCNN-n2": {"area": 0.5742, "power": 0.8651},
+    "eRingCNN-n4": {"area": 0.4563, "power": 0.7656},
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class Table6Row:
+    """Breakdown of one accelerator."""
+
+    name: str
+    areas_mm2: dict[str, float]
+    powers_w: dict[str, float]
+    conv_area_fraction: float
+    conv_power_fraction: float
+    drelu_share_3x3: float
+
+
+def run() -> list[Table6Row]:
+    rows = []
+    for config in (ERINGCNN_N2, ERINGCNN_N4):
+        report = model_accelerator(config)
+        engine = report.conv3x3
+        rows.append(
+            Table6Row(
+                name=config.name,
+                areas_mm2=dict(report.areas_mm2),
+                powers_w=dict(report.powers_w),
+                conv_area_fraction=report.conv_area_fraction,
+                conv_power_fraction=report.conv_power_fraction,
+                drelu_share_3x3=engine.nonlinearity.area_um2 / engine.total.area_um2,
+            )
+        )
+    return rows
+
+
+def format_result(rows: list[Table6Row] | None = None) -> str:
+    rows = rows if rows is not None else run()
+    lines = []
+    for row in rows:
+        anchors = PAPER_FRACTIONS[row.name]
+        lines.append(f"== {row.name}")
+        total_area = sum(row.areas_mm2.values())
+        total_power = sum(row.powers_w.values())
+        for key in row.areas_mm2:
+            lines.append(
+                f"   {key:<14} {row.areas_mm2[key]:7.2f} mm2 ({row.areas_mm2[key]/total_area:5.1%})"
+                f"   {row.powers_w[key]:6.3f} W ({row.powers_w[key]/total_power:5.1%})"
+            )
+        lines.append(
+            f"   conv share: area {row.conv_area_fraction:.1%} (paper {anchors['area']:.1%}), "
+            f"power {row.conv_power_fraction:.1%} (paper {anchors['power']:.1%}); "
+            f"f_H block = {row.drelu_share_3x3:.1%} of the 3x3 engine"
+        )
+    return "\n".join(lines)

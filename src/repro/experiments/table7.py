@@ -1,0 +1,27 @@
+"""Experiment: Table VII — comparison with eCNN and Diffy."""
+
+from __future__ import annotations
+
+from ..hardware.compare import ComparisonRow, diffy_comparison
+
+__all__ = ["run", "format_result", "PAPER_GAINS"]
+
+# Paper: energy-efficiency gains over Diffy at FFDNet-level Full-HD 20 fps.
+PAPER_GAINS = {"eRingCNN-n2": 2.71, "eRingCNN-n4": 4.59}
+
+
+def run() -> list[ComparisonRow]:
+    return diffy_comparison()
+
+
+def format_result(rows: list[ComparisonRow] | None = None) -> str:
+    rows = rows if rows is not None else run()
+    lines = [f"{'design':<20} {'eq.TOPS/W':>10} {'gain vs Diffy':>14}   (paper)"]
+    for row in rows:
+        paper = PAPER_GAINS.get(row.name)
+        paper_txt = f"({paper:.2f}x)" if paper else ""
+        gain = f"{row.gain_vs_reference:.2f}x" if row.gain_vs_reference else "-"
+        lines.append(
+            f"{row.name:<20} {row.equivalent_tops_per_watt:>10.1f} {gain:>14}   {paper_txt}"
+        )
+    return "\n".join(lines)

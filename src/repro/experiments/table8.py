@@ -1,0 +1,26 @@
+"""Experiment: Table VIII — comparison across sparsity approaches."""
+
+from __future__ import annotations
+
+from ..hardware.compare import ComparisonRow, table8_comparison
+
+__all__ = ["run", "format_result", "PAPER_BAND"]
+
+# Paper: eRingCNN provides "equivalent 19.1-28.4 TOPS/W" at synthesis level.
+PAPER_BAND = (19.1, 28.4)
+
+
+def run() -> list[ComparisonRow]:
+    return table8_comparison()
+
+
+def format_result(rows: list[ComparisonRow] | None = None) -> str:
+    rows = rows if rows is not None else run()
+    lines = [f"{'design':<20} {'sparsity':<28} {'compress':>8} {'eq.TOPS/W':>10}"]
+    for row in rows:
+        lines.append(
+            f"{row.name:<20} {row.sparsity_kind:<28} {row.compression:>7.1f}x "
+            f"{row.equivalent_tops_per_watt:>10.1f}"
+        )
+    lines.append(f"(paper band for eRingCNN: {PAPER_BAND[0]}-{PAPER_BAND[1]} eq.TOPS/W)")
+    return "\n".join(lines)

@@ -1,0 +1,76 @@
+"""Analytical 40 nm hardware model of eRingCNN (paper Section V)."""
+
+from .accelerator import (
+    ECNN,
+    ERINGCNN_N2,
+    ERINGCNN_N4,
+    HD30,
+    UHD30,
+    AcceleratorConfig,
+    AcceleratorReport,
+    ThroughputTarget,
+    dram_bandwidth_gbps,
+    model_accelerator,
+    supported_3x3_layers,
+)
+from .calibration import CALIBRATED_COST, SYNTHESIS_POWER_FACTOR, TECHNOLOGY
+from .compare import (
+    CIRCNN,
+    DIFFY_40NM,
+    SPARTEN,
+    TIE_CONV,
+    diffy_comparison,
+    fig14_efficiencies,
+    table8_comparison,
+)
+from .cost import CostModel, Resource
+from .engine import (
+    EngineConfig,
+    EngineReport,
+    engine_for_ring,
+    model_engine,
+    real_engine,
+)
+from .throughput import (
+    LayerShape,
+    achievable_fps,
+    cycles_per_pixel,
+    layers_of_model,
+    max_blocks_for_target,
+)
+
+__all__ = [
+    "ECNN",
+    "ERINGCNN_N2",
+    "ERINGCNN_N4",
+    "HD30",
+    "UHD30",
+    "AcceleratorConfig",
+    "AcceleratorReport",
+    "ThroughputTarget",
+    "dram_bandwidth_gbps",
+    "model_accelerator",
+    "supported_3x3_layers",
+    "CALIBRATED_COST",
+    "SYNTHESIS_POWER_FACTOR",
+    "TECHNOLOGY",
+    "CIRCNN",
+    "DIFFY_40NM",
+    "SPARTEN",
+    "TIE_CONV",
+    "diffy_comparison",
+    "fig14_efficiencies",
+    "table8_comparison",
+    "CostModel",
+    "Resource",
+    "EngineConfig",
+    "EngineReport",
+    "engine_for_ring",
+    "model_engine",
+    "real_engine",
+    "LayerShape",
+    "achievable_fps",
+    "cycles_per_pixel",
+    "layers_of_model",
+    "max_blocks_for_target",
+]

@@ -1,0 +1,202 @@
+"""Whole-accelerator model of eRingCNN / eCNN (paper Section V, Tables V-VI).
+
+The chip is the eCNN organization with ring convolution engines: one
+3x3 and one 1x1 RCONV engine (32 real channels, 4x2 tile per cycle),
+weight memory, image block buffers, and the inference datapath (which
+carries the extra directional-ReLU blocks after skip connections).
+
+Block-based inference with recomputation (eCNN's flow) sets the DRAM
+bandwidth: only the input image (with block halos) and the output image
+cross the chip boundary.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+from ..rings.catalog import get_ring
+from .calibration import CALIBRATED_COST, SYNTHESIS_POWER_FACTOR
+from .cost import CostModel, Resource
+from .engine import EngineConfig, EngineReport, model_engine
+
+__all__ = [
+    "AcceleratorConfig", "AcceleratorReport", "ThroughputTarget",
+    "model_accelerator", "ECNN", "ERINGCNN_N2", "ERINGCNN_N4",
+    "dram_bandwidth_gbps", "HD30", "UHD30", "supported_3x3_layers",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class ThroughputTarget:
+    """A video throughput target (paper: HD30 and UHD30)."""
+
+    name: str
+    width: int
+    height: int
+    fps: int
+
+    @property
+    def pixels_per_second(self) -> float:
+        return float(self.width * self.height * self.fps)
+
+
+HD30 = ThroughputTarget("HD30", 1920, 1080, 30)
+UHD30 = ThroughputTarget("UHD30", 3840, 2160, 30)
+
+
+@dataclasses.dataclass(frozen=True)
+class AcceleratorConfig:
+    """One accelerator instance.
+
+    Attributes:
+        name: Display name.
+        ring: Catalog key of the convolution algebra ("real" = eCNN).
+        weight_memory_kb: On-chip weight SRAM (paper Table V: 960 for n2,
+            480 for n4, 1280 for eCNN).
+        block_buffer_kb: Image block buffers (BB in Fig. 6).
+        freq_hz: Clock (paper: 250 MHz for the 41-TOPS operating point).
+        skip_relu_units: Directional-ReLU blocks in the inference datapath
+            (non-linearity after skip/residual connections, Section V).
+    """
+
+    name: str
+    ring: str = "real"
+    weight_memory_kb: float = 1280.0
+    block_buffer_kb: float = 384.0
+    freq_hz: float = 250e6
+    skip_relu_units: int = 64
+    feature_bits: int = 8
+
+
+ECNN = AcceleratorConfig(name="eCNN", ring="real", weight_memory_kb=1280.0)
+ERINGCNN_N2 = AcceleratorConfig(name="eRingCNN-n2", ring="ri2", weight_memory_kb=960.0)
+ERINGCNN_N4 = AcceleratorConfig(name="eRingCNN-n4", ring="ri4", weight_memory_kb=480.0)
+
+
+@dataclasses.dataclass(frozen=True)
+class AcceleratorReport:
+    """Area/power breakdown mirroring the paper's Table VI."""
+
+    config: AcceleratorConfig
+    conv3x3: EngineReport
+    conv1x1: EngineReport
+    areas_mm2: dict[str, float]
+    powers_w: dict[str, float]
+
+    @property
+    def total_area_mm2(self) -> float:
+        return sum(self.areas_mm2.values())
+
+    @property
+    def total_power_w(self) -> float:
+        return sum(self.powers_w.values())
+
+    @property
+    def conv_area_fraction(self) -> float:
+        return self.areas_mm2["conv_engines"] / self.total_area_mm2
+
+    @property
+    def conv_power_fraction(self) -> float:
+        return self.powers_w["conv_engines"] / self.total_power_w
+
+    def equivalent_tops(self) -> float:
+        """TOPS of the uncompressed real-valued computation (paper metric)."""
+        ops = (
+            self.conv3x3.equivalent_ops_per_cycle()
+            + self.conv1x1.equivalent_ops_per_cycle()
+        )
+        return ops * self.config.freq_hz / 1e12
+
+    def equivalent_tops_per_watt(self, synthesis: bool = False) -> float:
+        """Equivalent TOPS/W; ``synthesis=True`` approximates pre-layout
+        power (paper Table VIII compares synthesis results)."""
+        power = self.total_power_w * (SYNTHESIS_POWER_FACTOR if synthesis else 1.0)
+        return self.equivalent_tops() / power
+
+    def real_macs_per_cycle(self) -> int:
+        return self.conv3x3.macs_per_cycle() + self.conv1x1.macs_per_cycle()
+
+
+def model_accelerator(
+    config: AcceleratorConfig, cost: CostModel | None = None
+) -> AcceleratorReport:
+    """Build the full-chip resource report."""
+    cost = cost if cost is not None else CALIBRATED_COST
+    spec = get_ring(config.ring)
+    directional = spec.family == "identity" and spec.n > 1
+    conv3 = model_engine(
+        EngineConfig(spec=spec, kernel_size=3, directional_relu=directional), cost
+    )
+    conv1 = model_engine(
+        EngineConfig(spec=spec, kernel_size=1, directional_relu=directional), cost
+    )
+    engines = conv3.total + conv1.total
+
+    weight_mem = cost.sram(config.weight_memory_kb, read_fraction=0.08)
+    block_buffer = cost.sram(config.block_buffer_kb, read_fraction=0.20)
+
+    # Inference datapath: feature routing plus the directional-ReLU blocks
+    # serving skip/residual connections (the n4 unit is wider: Fig. 8).
+    n = spec.n
+    route = config.skip_relu_units * 8 * cost.register(config.feature_bits * 32)
+    if directional:
+        from .engine import _accumulator_width, _directional_relu_unit
+
+        widths = [(config.feature_bits, config.feature_bits)]
+        acc_width = config.feature_bits * 2 + 6
+        datapath = route + config.skip_relu_units * _directional_relu_unit(
+            n, acc_width, cost
+        ) * (32 // n)
+    else:
+        datapath = route + config.skip_relu_units * 32 * cost.adder(config.feature_bits * 2)
+
+    misc_area = 0.06 * (engines.area_um2 + weight_mem.area_um2 + block_buffer.area_um2)
+    misc_power = 0.05 * (engines + weight_mem + block_buffer).power_w(config.freq_hz)
+
+    areas = {
+        "conv_engines": engines.area_mm2,
+        "weight_memory": weight_mem.area_mm2,
+        "block_buffer": block_buffer.area_mm2,
+        "datapath": datapath.area_mm2,
+        "misc": misc_area / 1e6,
+    }
+    powers = {
+        "conv_engines": engines.power_w(config.freq_hz),
+        "weight_memory": weight_mem.power_w(config.freq_hz),
+        "block_buffer": block_buffer.power_w(config.freq_hz),
+        "datapath": datapath.power_w(config.freq_hz),
+        "misc": misc_power,
+    }
+    return AcceleratorReport(
+        config=config, conv3x3=conv3, conv1x1=conv1, areas_mm2=areas, powers_w=powers
+    )
+
+
+def dram_bandwidth_gbps(
+    target: ThroughputTarget,
+    bytes_per_pixel_in: float = 3.0,
+    bytes_per_pixel_out: float = 3.0,
+    block: int = 96,
+    halo: int = 12,
+) -> float:
+    """DRAM bandwidth of block-based inference with recomputation.
+
+    Each output block of ``block x block`` pixels reads an input block
+    grown by ``halo`` on every side (the receptive field recomputed
+    across block borders, eCNN's flow) — paper: 1.93 GB/s at UHD30.
+    """
+    overhead = ((block + 2 * halo) ** 2) / block**2
+    bytes_per_pixel = bytes_per_pixel_in * overhead + bytes_per_pixel_out
+    return target.pixels_per_second * bytes_per_pixel / 1e9
+
+
+def supported_3x3_layers(
+    target: ThroughputTarget, freq_hz: float = 250e6, channels: int = 32, tile: int = 8
+) -> int:
+    """How many 32-channel 3x3 layers fit per pixel at a throughput target.
+
+    The engine finishes one layer for ``tile`` pixels per cycle, so depth
+    budget = tile * freq / pixel_rate (ignoring fold overheads).
+    """
+    return max(1, math.floor(tile * freq_hz / target.pixels_per_second))

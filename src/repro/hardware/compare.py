@@ -1,0 +1,205 @@
+"""Cross-accelerator comparisons (paper Tables VII and VIII, Fig. 14).
+
+Reference accelerators are encoded from the numbers the paper itself
+cites (SparTen [16], TIE [12], CirCNN [13], Diffy [34]); eRingCNN/eCNN
+numbers come from this repo's analytical model.  Technology scaling uses
+the paper's footnote-1 factors (65 nm -> 40 nm: 2.35x gate density,
+0.5x power at the same speed).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from .accelerator import (
+    ECNN,
+    ERINGCNN_N2,
+    ERINGCNN_N4,
+    AcceleratorConfig,
+    AcceleratorReport,
+    HD30,
+    ThroughputTarget,
+    model_accelerator,
+)
+
+__all__ = [
+    "ReferenceAccelerator",
+    "SPARTEN",
+    "TIE_CONV",
+    "CIRCNN",
+    "DIFFY_40NM",
+    "table8_comparison",
+    "diffy_comparison",
+    "fig14_efficiencies",
+]
+
+# 65 nm -> 40 nm projection factors (paper footnote 1, from [45]).
+_DENSITY_65_TO_40 = 2.35
+_POWER_65_TO_40 = 0.5
+
+
+@dataclasses.dataclass(frozen=True)
+class ReferenceAccelerator:
+    """Published accelerator numbers as cited by the paper.
+
+    Attributes:
+        sparsity_kind: The paper's taxonomy (natural / low-rank / full-rank /
+            algebraic).
+        compression: Weight-compression ratio the design point uses.
+        equivalent_tops_per_watt: Throughput of the *uncompressed*
+            computation divided by power — the paper's Table VIII metric.
+    """
+
+    name: str
+    sparsity_kind: str
+    technology_nm: int
+    compression: float
+    equivalent_tops_per_watt: float
+    note: str = ""
+
+
+SPARTEN = ReferenceAccelerator(
+    name="SparTen",
+    sparsity_kind="natural (unstructured)",
+    technology_nm=45,
+    compression=3.1,
+    equivalent_tops_per_watt=2.7,
+    note="irregularity overheads: only 11.7% of power / 5.6% of area on MACs",
+)
+TIE_CONV = ReferenceAccelerator(
+    name="TIE (CONV)",
+    sparsity_kind="low-rank (tensor-train)",
+    technology_nm=28,
+    compression=4.8,
+    equivalent_tops_per_watt=6.9,
+    note="efficient for highly-compressed FC layers, weaker on CONV",
+)
+CIRCNN = ReferenceAccelerator(
+    name="CirCNN",
+    sparsity_kind="full-rank (block-circulant)",
+    technology_nm=45,
+    compression=66.0,
+    equivalent_tops_per_watt=10.0,
+    note="needs very high compression ratios",
+)
+# Diffy at 40 nm via the paper's scaling: FFDNet-level Full-HD 20 fps.
+DIFFY_40NM = ReferenceAccelerator(
+    name="Diffy (40nm proj.)",
+    sparsity_kind="natural (bit-level differential)",
+    technology_nm=40,
+    compression=1.0,
+    equivalent_tops_per_watt=4.2,
+    note="projected with 2.35x density / 0.5x power from 65 nm [45]",
+)
+
+# Diffy reference workload: FFDNet-level inference at Full-HD 20 fps
+# requires ~35.2 equivalent TOPS (paper Section I: 4K30 FFDNet = 106 TOPS,
+# scaled by pixel rate 1920*1080*20 / (3840*2160*30)).
+_DIFFY_WORKLOAD_TOPS = 106.0 * (1920 * 1080 * 20) / (3840 * 2160 * 30)
+_DIFFY_POWER_W_40NM = _DIFFY_WORKLOAD_TOPS / DIFFY_40NM.equivalent_tops_per_watt
+
+
+@dataclasses.dataclass(frozen=True)
+class ComparisonRow:
+    """One comparison line: name, compression, equivalent TOPS/W, ratio."""
+
+    name: str
+    sparsity_kind: str
+    compression: float
+    equivalent_tops_per_watt: float
+    gain_vs_reference: float | None = None
+
+
+def _our_rows(synthesis: bool) -> list[ComparisonRow]:
+    rows = []
+    for config in (ERINGCNN_N2, ERINGCNN_N4):
+        report = model_accelerator(config)
+        n = 2 if config is ERINGCNN_N2 else 4
+        rows.append(
+            ComparisonRow(
+                name=config.name,
+                sparsity_kind="algebraic (ring)",
+                compression=float(n),
+                equivalent_tops_per_watt=report.equivalent_tops_per_watt(synthesis=synthesis),
+            )
+        )
+    return rows
+
+
+def table8_comparison() -> list[ComparisonRow]:
+    """Table VIII: sparsity approaches at synthesis level."""
+    rows = [
+        ComparisonRow(r.name, r.sparsity_kind, r.compression, r.equivalent_tops_per_watt)
+        for r in (SPARTEN, TIE_CONV, CIRCNN)
+    ]
+    rows.extend(_our_rows(synthesis=True))
+    return rows
+
+
+def diffy_comparison(
+    target: ThroughputTarget = HD30, fps: int = 20, freq_hz: float = 167e6
+) -> list[ComparisonRow]:
+    """Table VII: energy-efficiency ratios vs Diffy at FFDNet-level HD 20 fps.
+
+    eRingCNN runs the same workload at a reduced clock (the paper uses
+    167 MHz); dynamic power scales with frequency.
+    """
+    rows = [
+        ComparisonRow(
+            name=DIFFY_40NM.name,
+            sparsity_kind=DIFFY_40NM.sparsity_kind,
+            compression=1.0,
+            equivalent_tops_per_watt=DIFFY_40NM.equivalent_tops_per_watt,
+            gain_vs_reference=1.0,
+        )
+    ]
+    for base_config in (ERINGCNN_N2, ERINGCNN_N4):
+        config = dataclasses.replace(base_config, freq_hz=freq_hz)
+        report = model_accelerator(config)
+        eff = report.equivalent_tops_per_watt()
+        rows.append(
+            ComparisonRow(
+                name=config.name,
+                sparsity_kind="algebraic (ring)",
+                compression=float(get_n(config)),
+                equivalent_tops_per_watt=eff,
+                gain_vs_reference=eff / DIFFY_40NM.equivalent_tops_per_watt,
+            )
+        )
+    return rows
+
+
+def get_n(config: AcceleratorConfig) -> int:
+    """Tuple dimension of an accelerator config."""
+    return {"real": 1, "ri2": 2, "ri4": 4}[config.ring]
+
+
+@dataclasses.dataclass(frozen=True)
+class EfficiencyGains:
+    """Fig. 14: area and energy efficiency of eRingCNN over eCNN."""
+
+    name: str
+    engine_area_gain: float
+    engine_energy_gain: float
+    chip_area_gain: float
+    chip_energy_gain: float
+
+
+def fig14_efficiencies() -> list[EfficiencyGains]:
+    """Engine-level and whole-chip gains vs the real-valued eCNN."""
+    ecnn = model_accelerator(ECNN)
+    gains = []
+    for config in (ERINGCNN_N2, ERINGCNN_N4):
+        report = model_accelerator(config)
+        gains.append(
+            EfficiencyGains(
+                name=config.name,
+                engine_area_gain=ecnn.areas_mm2["conv_engines"]
+                / report.areas_mm2["conv_engines"],
+                engine_energy_gain=ecnn.powers_w["conv_engines"]
+                / report.powers_w["conv_engines"],
+                chip_area_gain=ecnn.total_area_mm2 / report.total_area_mm2,
+                chip_energy_gain=ecnn.total_power_w / report.total_power_w,
+            )
+        )
+    return gains

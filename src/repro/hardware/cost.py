@@ -1,0 +1,104 @@
+"""Arithmetic-resource cost primitives for the 40 nm analytical model.
+
+Substitutes for the paper's Design Compiler / IC Compiler flow (see
+DESIGN.md): circuit complexity of a multiplier is approximated by the
+product of its input bitwidths (the paper's own Section III-D metric),
+adders and registers scale linearly with width, and SRAM scales with
+capacity.  Absolute unit constants live in
+:mod:`repro.hardware.calibration` and are fitted to the paper's published
+component numbers; all *ratios* derive from structure, not fitting.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+__all__ = ["CostModel", "Resource"]
+
+
+@dataclasses.dataclass(frozen=True)
+class Resource:
+    """An (area, energy-per-cycle) pair; adds component-wise."""
+
+    area_um2: float = 0.0
+    energy_pj: float = 0.0
+
+    def __add__(self, other: "Resource") -> "Resource":
+        return Resource(self.area_um2 + other.area_um2, self.energy_pj + other.energy_pj)
+
+    def __mul__(self, k: float) -> "Resource":
+        return Resource(self.area_um2 * k, self.energy_pj * k)
+
+    __rmul__ = __mul__
+
+    @property
+    def area_mm2(self) -> float:
+        return self.area_um2 / 1e6
+
+    def power_w(self, freq_hz: float) -> float:
+        """Dynamic power at a clock frequency (energy is per cycle)."""
+        return self.energy_pj * 1e-12 * freq_hz
+
+
+@dataclasses.dataclass(frozen=True)
+class CostModel:
+    """Unit costs of datapath primitives at 40 nm.
+
+    Attributes:
+        mult_area / mult_energy: Per bit-squared (wx * wg) of a multiplier.
+        adder_area / adder_energy: Per bit of a ripple/carry-save adder.
+        reg_area / reg_energy: Per flip-flop bit.
+        shifter_area / shifter_energy: Per bit of a barrel shifter stage.
+        sram_area / sram_energy: Per KB of on-chip SRAM (area) and per KB
+            touched per cycle (energy).
+        activity: Average switching-activity derating on dynamic energy.
+    """
+
+    mult_area: float = 6.0
+    mult_energy: float = 0.0125
+    adder_area: float = 6.0
+    adder_energy: float = 0.012
+    reg_area: float = 4.0
+    reg_energy: float = 0.004
+    shifter_area: float = 3.0
+    shifter_energy: float = 0.003
+    sram_area_per_kb: float = 9000.0
+    sram_energy_per_kb: float = 18.0
+    activity: float = 1.0
+
+    # ------------------------------------------------------------------
+    def multiplier(self, wx: int, wg: int) -> Resource:
+        """A wx x wg multiplier (area and energy scale with wx*wg)."""
+        bits2 = wx * wg
+        return Resource(self.mult_area * bits2, self.mult_energy * bits2 * self.activity)
+
+    def adder(self, width: int) -> Resource:
+        return Resource(self.adder_area * width, self.adder_energy * width * self.activity)
+
+    def register(self, width: int) -> Resource:
+        return Resource(self.reg_area * width, self.reg_energy * width * self.activity)
+
+    def shifter(self, width: int, stages: int = 1) -> Resource:
+        bits = width * stages
+        return Resource(self.shifter_area * bits, self.shifter_energy * bits * self.activity)
+
+    def sram(self, kilobytes: float, read_fraction: float = 1.0) -> Resource:
+        """SRAM macro of a given capacity; energy models per-cycle access."""
+        return Resource(
+            self.sram_area_per_kb * kilobytes,
+            self.sram_energy_per_kb * kilobytes * read_fraction * self.activity,
+        )
+
+    def adder_tree(self, terms: int, width: int) -> Resource:
+        """Balanced adder tree summing ``terms`` values of ``width`` bits.
+
+        The tree has terms-1 adders; widths grow one bit per level, which
+        we approximate with width + log2(terms)/2 average.
+        """
+        import math
+
+        if terms <= 1:
+            return Resource()
+        levels = math.ceil(math.log2(terms))
+        avg_width = width + levels / 2.0
+        return (terms - 1) * self.adder(int(round(avg_width)))

@@ -1,0 +1,201 @@
+"""RCONV / FRCONV convolution-engine model (paper Figs. 7, 8, 12).
+
+One engine computes a K x K convolution layer for 32 real-valued input
+and output channels over a 4 x 2 spatial tile per cycle (the eCNN
+organization the paper adopts).  With an n-tuple ring, the engine holds
+(32/n)^2 computing units, each performing one ring convolution; the fast
+algorithm's m component-wise products replace the n^2 real MACs.
+
+The model counts, per cycle: multipliers (bitwidth-aware), data/filter
+transform adders, accumulation adder trees, weight registers, and the
+non-linearity block — the on-the-fly directional ReLU of Fig. 8 for
+(R_I, f_H), or plain ReLU+quantization otherwise.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+from ..rings.catalog import RingSpec, get_ring
+from ..rings.properties import product_bitwidths, row_bit_growth
+from .cost import CostModel, Resource
+
+__all__ = ["EngineConfig", "EngineReport", "model_engine", "real_engine", "engine_for_ring"]
+
+_TILE = 8  # 4 x 2 spatial positions per cycle
+_CHANNELS = 32  # real-valued input/output channels per cycle
+
+
+@dataclasses.dataclass(frozen=True)
+class EngineConfig:
+    """Configuration of one convolution engine.
+
+    Attributes:
+        spec: Ring catalog entry (``get_ring("real")`` for the baseline).
+        kernel_size: 3 or 1 (the two eCNN engines).
+        directional_relu: Whether the non-linearity is the paper's f_H
+            block (Fig. 8) instead of plain ReLU + quantization.
+        channels / tile: Engine-level parallelism (eCNN defaults).
+        feature_bits / weight_bits: Fixed-point word lengths.
+    """
+
+    spec: RingSpec
+    kernel_size: int = 3
+    directional_relu: bool = False
+    channels: int = _CHANNELS
+    tile: int = _TILE
+    feature_bits: int = 8
+    weight_bits: int = 8
+
+
+@dataclasses.dataclass(frozen=True)
+class EngineReport:
+    """Resource breakdown of one engine."""
+
+    config: EngineConfig
+    multipliers: Resource
+    transforms: Resource
+    accumulators: Resource
+    weight_regs: Resource
+    nonlinearity: Resource
+
+    @property
+    def total(self) -> Resource:
+        return (
+            self.multipliers
+            + self.transforms
+            + self.accumulators
+            + self.weight_regs
+            + self.nonlinearity
+        )
+
+    @property
+    def area_mm2(self) -> float:
+        return self.total.area_mm2
+
+    def macs_per_cycle(self) -> int:
+        """Real multiplications this engine performs each cycle."""
+        n = self.config.spec.n
+        tuples = self.config.channels // n
+        m = self.config.spec.fast.num_products
+        return tuples * tuples * m * self.config.kernel_size**2 * self.config.tile
+
+    def equivalent_ops_per_cycle(self) -> int:
+        """Ops of the uncompressed real-valued layer (2 ops per MAC)."""
+        c = self.config.channels
+        return 2 * c * c * self.config.kernel_size**2 * self.config.tile
+
+
+def model_engine(config: EngineConfig, cost: CostModel | None = None) -> EngineReport:
+    """Count the resources of one engine configuration."""
+    cost = cost if cost is not None else CostModel()
+    spec = config.spec
+    n = spec.n
+    tuples = config.channels // n
+    taps = config.kernel_size**2
+    widths = product_bitwidths(spec, config.feature_bits, config.weight_bits)
+    m = len(widths)
+
+    # --- component-wise product multipliers -------------------------------
+    mult_unit = Resource()
+    for wg, wx in widths:
+        mult_unit = mult_unit + cost.multiplier(wx, wg)
+    multipliers = (tuples * tuples * taps * config.tile) * mult_unit
+
+    # --- data / reconstruction transform adders (FRCONV only) -------------
+    transforms = Resource()
+    tx = spec.hw_fast.tx
+    tz = spec.hw_fast.tz
+    tx_adds = int(sum(max(0, (abs(row) > 1e-9).sum() - 1) for row in tx))
+    tz_adds = int(sum(max(0, (abs(row) > 1e-9).sum() - 1) for row in tz))
+    if tx_adds:
+        # Tx once per input tuple element per tile position.
+        transforms = transforms + (tuples * config.tile * tx_adds) * cost.adder(
+            config.feature_bits + 1
+        )
+    if tz_adds:
+        acc_width = _accumulator_width(config, widths, tuples, taps)
+        transforms = transforms + (tuples * config.tile * tz_adds) * cost.adder(acc_width)
+
+    # --- accumulation ------------------------------------------------------
+    # Each output tuple sums `tuples` unit outputs; inside a unit, taps
+    # products accumulate per component.  Total terms per output component:
+    terms = tuples * taps
+    prod_width = max(wx + wg for wg, wx in widths)
+    acc_trees = (tuples * m * config.tile) * cost.adder_tree(terms, prod_width)
+    accumulators = acc_trees
+
+    # --- weight registers ---------------------------------------------------
+    # One m-product transformed weight set per tuple pair per tap.
+    weight_bits_total = tuples * tuples * taps * sum(wg for wg, _ in widths)
+    weight_regs = cost.register(1) * weight_bits_total
+
+    # --- non-linearity block -------------------------------------------------
+    acc_width = _accumulator_width(config, widths, tuples, taps)
+    if config.directional_relu and n > 1:
+        nonlinearity = (tuples * config.tile) * _directional_relu_unit(n, acc_width, cost)
+    else:
+        # ReLU comparator + dynamic quantization shifter per output channel.
+        per_channel = cost.adder(acc_width) + cost.shifter(config.feature_bits, stages=2)
+        nonlinearity = (config.channels * config.tile) * per_channel
+    return EngineReport(
+        config=config,
+        multipliers=multipliers,
+        transforms=transforms,
+        accumulators=accumulators,
+        weight_regs=weight_regs,
+        nonlinearity=nonlinearity,
+    )
+
+
+def _accumulator_width(config, widths, tuples: int, taps: int) -> int:
+    """Bit width of the accumulated pre-activation (e.g. 24 bits for n=4)."""
+    prod_width = max(wx + wg for wg, wx in widths)
+    return prod_width + math.ceil(math.log2(tuples * taps))
+
+
+def _directional_relu_unit(n: int, acc_width: int, cost: CostModel) -> Resource:
+    """The on-the-fly f_H block of Fig. 8 for one n-tuple.
+
+    Two Hadamard butterflies (n log2 n adds each) at full internal
+    precision (up to 33 bits for n = 4), component-alignment
+    left-shifters for the component-wise Q-formats, ReLU muxes, final
+    quantization shifters, and the pipeline registers of the
+    "well-pipelined" realization the paper lays out.
+    """
+    stages = max(1, int(math.log2(n)))
+    butterfly_adds = n * stages
+    # Internal widths grow through both transforms plus 5 alignment bits.
+    width_t1 = acc_width + stages
+    width_t2 = acc_width + 2 * stages + 5
+    unit = Resource()
+    unit = unit + butterfly_adds * cost.adder(width_t1)
+    unit = unit + butterfly_adds * cost.adder(width_t2)
+    # Q-format alignment left-shifters (up to 5 shift bits, Fig. 8).
+    unit = unit + n * cost.shifter(width_t1, stages=3)
+    # ReLU muxes.
+    unit = unit + n * cost.adder(width_t1 // 2)
+    # Output quantization shifters (component-wise Q-formats).
+    unit = unit + n * cost.shifter(width_t2, stages=3)
+    # Pipeline registers: one cut per butterfly stage on each transform
+    # plus input/output cuts, each latching all n components.
+    pipeline_cuts = 2 * stages + 2
+    unit = unit + pipeline_cuts * n * cost.register(width_t2)
+    return unit
+
+
+def real_engine(kernel_size: int = 3, cost: CostModel | None = None) -> EngineReport:
+    """The real-valued eCNN engine baseline."""
+    return model_engine(EngineConfig(spec=get_ring("real"), kernel_size=kernel_size), cost)
+
+
+def engine_for_ring(
+    name: str, kernel_size: int = 3, cost: CostModel | None = None
+) -> EngineReport:
+    """Engine for a catalog ring; (R_I, f_H) engines enable the f_H block."""
+    spec = get_ring(name)
+    directional = spec.family == "identity" and spec.n > 1
+    return model_engine(
+        EngineConfig(spec=spec, kernel_size=kernel_size, directional_relu=directional), cost
+    )

@@ -1,0 +1,114 @@
+"""Throughput scheduling: mapping CNN layers onto the eRingCNN engines.
+
+The engines process 32 real input and 32 real output channels for a
+4 x 2 pixel tile per cycle; wider layers fold over multiple passes
+(ceil(Ci/32) * ceil(Co/32)).  This model turns a model description into
+cycles per pixel, the attainable frame rate at a clock frequency, and
+the compact-configuration selection the paper performs per throughput
+target (Section VI-B: deeper models at HD30, shallower at UHD30).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+from ..nn.layers import Conv2d, RingConv2d
+from ..nn.module import Module
+from .accelerator import ThroughputTarget
+
+__all__ = [
+    "LayerShape",
+    "layers_of_model",
+    "cycles_per_pixel",
+    "achievable_fps",
+    "max_blocks_for_target",
+]
+
+_TILE = 8
+_CHANNELS = 32
+
+
+@dataclasses.dataclass(frozen=True)
+class LayerShape:
+    """One convolution layer as the scheduler sees it.
+
+    Attributes:
+        in_channels / out_channels: Real-valued channel counts.
+        kernel_size: 1 or 3 (the two engines).
+        scale: Spatial work relative to one output pixel of the network
+            (e.g. 1/16 for layers operating in the x4-SR low-res domain).
+    """
+
+    in_channels: int
+    out_channels: int
+    kernel_size: int
+    scale: float = 1.0
+
+    def folds(self, channels: int = _CHANNELS) -> int:
+        """Engine passes needed to cover the channel extent."""
+        return math.ceil(self.in_channels / channels) * math.ceil(
+            self.out_channels / channels
+        )
+
+
+def layers_of_model(model: Module, scale: float = 1.0) -> list[LayerShape]:
+    """Extract scheduler layer shapes from a built model."""
+    shapes = []
+    for module in model.modules():
+        if isinstance(module, (Conv2d, RingConv2d)):
+            shapes.append(
+                LayerShape(
+                    in_channels=module.in_channels,
+                    out_channels=module.out_channels,
+                    kernel_size=module.kernel_size,
+                    scale=scale,
+                )
+            )
+    return shapes
+
+
+def cycles_per_pixel(layers: list[LayerShape], tile: int = _TILE) -> float:
+    """Engine cycles needed per output pixel of the network.
+
+    Each pass produces ``tile`` pixels of one 32x32-channel layer; a
+    layer needs ``folds`` passes, discounted by its spatial ``scale``.
+    """
+    return sum(layer.folds() * layer.scale / tile for layer in layers)
+
+
+def achievable_fps(
+    layers: list[LayerShape],
+    target: ThroughputTarget,
+    freq_hz: float = 250e6,
+) -> float:
+    """Frames per second the engine sustains for a model at a resolution."""
+    cpp = cycles_per_pixel(layers)
+    if cpp == 0:
+        return math.inf
+    pixels_per_frame = target.width * target.height
+    return freq_hz / (cpp * pixels_per_frame)
+
+
+def max_blocks_for_target(
+    target: ThroughputTarget,
+    width: int = _CHANNELS,
+    freq_hz: float = 250e6,
+    kernel_size: int = 3,
+) -> int:
+    """Largest ERNet block count sustaining the target at 32-channel width.
+
+    An ERNet body block is two 3x3 convolutions; head and tail add two
+    more layers.  This is the paper's compact-configuration step: the
+    same accelerator runs deeper models at HD30 than at UHD30.
+    """
+    best = 0
+    for blocks in range(1, 65):
+        layers = [
+            LayerShape(width, width, kernel_size) for _ in range(2 * blocks + 2)
+        ]
+        if achievable_fps(layers, target, freq_hz) >= target.fps:
+            best = blocks
+        else:
+            break
+    return best

@@ -1,0 +1,38 @@
+"""Imaging substrate: synthetic corpus, degradations, metrics, datasets."""
+
+from .datasets import (
+    TEST_SET_SPECS,
+    TaskData,
+    denoising_pairs,
+    make_denoising_task,
+    make_sr_task,
+    named_test_set,
+    super_resolution_pairs,
+)
+from .degrade import (
+    add_gaussian_noise,
+    bicubic_downsample,
+    bicubic_kernel,
+    bicubic_upsample,
+)
+from .metrics import average_psnr, psnr, ssim
+from .synthetic import make_corpus, random_image
+
+__all__ = [
+    "TEST_SET_SPECS",
+    "TaskData",
+    "denoising_pairs",
+    "make_denoising_task",
+    "make_sr_task",
+    "named_test_set",
+    "super_resolution_pairs",
+    "add_gaussian_noise",
+    "bicubic_downsample",
+    "bicubic_kernel",
+    "bicubic_upsample",
+    "average_psnr",
+    "psnr",
+    "ssim",
+    "make_corpus",
+    "random_image",
+]

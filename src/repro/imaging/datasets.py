@@ -1,0 +1,107 @@
+"""Task datasets: denoising and super-resolution pairs over the corpus.
+
+The named test sets (``synthetic-set5`` etc.) are deterministic stand-ins
+for the paper's Set5 / Set14 / BSD100 / Urban100 / CBSD68 — same role
+(fixed held-out evaluation images), different pixels (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from .degrade import add_gaussian_noise, bicubic_downsample
+from .synthetic import make_corpus
+
+__all__ = [
+    "TaskData",
+    "denoising_pairs",
+    "super_resolution_pairs",
+    "make_denoising_task",
+    "make_sr_task",
+    "TEST_SET_SPECS",
+    "named_test_set",
+]
+
+# name -> (image count, image size, seed): small fixed held-out sets.
+TEST_SET_SPECS: dict[str, tuple[int, int, int]] = {
+    "synthetic-set5": (5, 32, 101),
+    "synthetic-set14": (14, 32, 102),
+    "synthetic-bsd100": (20, 32, 103),
+    "synthetic-urban100": (20, 32, 104),
+    "synthetic-cbsd68": (17, 32, 105),
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class TaskData:
+    """Train/test arrays for one restoration task.
+
+    inputs/targets have shape (N, C, H, W); targets are clean images.
+    """
+
+    task: str
+    train_inputs: np.ndarray
+    train_targets: np.ndarray
+    test_inputs: np.ndarray
+    test_targets: np.ndarray
+
+
+def denoising_pairs(
+    images: np.ndarray, sigma: float, seed: int = 0
+) -> tuple[np.ndarray, np.ndarray]:
+    """(noisy, clean) pairs with channel axis added, shapes (N, 1, H, W)."""
+    rng = np.random.default_rng(seed)
+    clean = images[:, None]
+    noisy = add_gaussian_noise(clean, sigma, rng=rng)
+    return noisy, clean
+
+
+def super_resolution_pairs(
+    images: np.ndarray, factor: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """(low-res, high-res) pairs; low-res is bicubic-downsampled by ``factor``."""
+    clean = images[:, None]
+    low = bicubic_downsample(clean, factor)
+    return low, clean
+
+
+def make_denoising_task(
+    train_count: int = 24,
+    test_count: int = 6,
+    size: int = 24,
+    sigma: float = 15.0 / 255.0,
+    seed: int = 0,
+) -> TaskData:
+    """A complete denoising task at the paper's sigma = 15 (on 0-255 scale)."""
+    train = make_corpus(train_count, size, seed=seed)
+    test = make_corpus(test_count, size, seed=seed + 5000)
+    train_in, train_tg = denoising_pairs(train, sigma, seed=seed + 1)
+    test_in, test_tg = denoising_pairs(test, sigma, seed=seed + 2)
+    return TaskData("denoise", train_in, train_tg, test_in, test_tg)
+
+
+def make_sr_task(
+    train_count: int = 24,
+    test_count: int = 6,
+    size: int = 24,
+    factor: int = 4,
+    seed: int = 0,
+) -> TaskData:
+    """A complete SRx``factor`` task (paper: four-times SR)."""
+    if size % factor:
+        raise ValueError("image size must be divisible by the SR factor")
+    train = make_corpus(train_count, size, seed=seed + 100)
+    test = make_corpus(test_count, size, seed=seed + 5100)
+    train_in, train_tg = super_resolution_pairs(train, factor)
+    test_in, test_tg = super_resolution_pairs(test, factor)
+    return TaskData(f"sr{factor}", train_in, train_tg, test_in, test_tg)
+
+
+def named_test_set(name: str) -> np.ndarray:
+    """Fetch a fixed synthetic stand-in test set by name, shape (N, H, W)."""
+    if name not in TEST_SET_SPECS:
+        raise KeyError(f"unknown test set {name!r}; known: {sorted(TEST_SET_SPECS)}")
+    count, size, seed = TEST_SET_SPECS[name]
+    return make_corpus(count, size, seed=seed)

@@ -1,0 +1,69 @@
+"""Image degradations: AWGN for denoising, bicubic resampling for SR.
+
+Bicubic uses the Keys kernel (a = -0.5), the convention of the SR
+literature the paper evaluates against (VDSR, SRResNet).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "add_gaussian_noise",
+    "bicubic_kernel",
+    "bicubic_downsample",
+    "bicubic_upsample",
+]
+
+
+def add_gaussian_noise(
+    img: np.ndarray, sigma: float, rng: np.random.Generator | None = None, seed: int = 0
+) -> np.ndarray:
+    """AWGN with std ``sigma`` on the [0, 1] scale (paper: sigma = 15/255)."""
+    rng = rng if rng is not None else np.random.default_rng(seed)
+    return img + sigma * rng.standard_normal(img.shape)
+
+
+def bicubic_kernel(x: np.ndarray, a: float = -0.5) -> np.ndarray:
+    """Keys cubic interpolation kernel."""
+    x = np.abs(x)
+    out = np.zeros_like(x)
+    near = x <= 1
+    far = (x > 1) & (x < 2)
+    out[near] = (a + 2) * x[near] ** 3 - (a + 3) * x[near] ** 2 + 1
+    out[far] = a * x[far] ** 3 - 5 * a * x[far] ** 2 + 8 * a * x[far] - 4 * a
+    return out
+
+
+def _resample_axis(img: np.ndarray, scale: float, axis: int) -> np.ndarray:
+    """Bicubic resample along one axis by a rational scale factor."""
+    size_in = img.shape[axis]
+    size_out = int(round(size_in * scale))
+    # Output sample i maps to input coordinate (i + 0.5)/scale - 0.5.
+    coords = (np.arange(size_out) + 0.5) / scale - 0.5
+    width = max(1.0, 1.0 / scale)  # widen the kernel when minifying
+    support = int(np.ceil(2 * width))
+    weights = np.zeros((size_out, size_in))
+    for i, center in enumerate(coords):
+        left = int(np.floor(center)) - support + 1
+        taps = np.arange(left, left + 2 * support)
+        w = bicubic_kernel((taps - center) / width)
+        taps = np.clip(taps, 0, size_in - 1)  # replicate borders
+        for t, wt in zip(taps, w):
+            weights[i, t] += wt
+    weights /= weights.sum(axis=1, keepdims=True)
+    moved = np.moveaxis(img, axis, -1)
+    out = moved @ weights.T
+    return np.moveaxis(out, -1, axis)
+
+
+def bicubic_downsample(img: np.ndarray, factor: int) -> np.ndarray:
+    """Anti-aliased bicubic down-sampling of the last two axes by ``factor``."""
+    out = _resample_axis(img, 1.0 / factor, axis=-2)
+    return _resample_axis(out, 1.0 / factor, axis=-1)
+
+
+def bicubic_upsample(img: np.ndarray, factor: int) -> np.ndarray:
+    """Bicubic up-sampling of the last two axes by ``factor``."""
+    out = _resample_axis(img, float(factor), axis=-2)
+    return _resample_axis(out, float(factor), axis=-1)

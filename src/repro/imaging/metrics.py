@@ -1,0 +1,54 @@
+"""Image-quality metrics: PSNR (the paper's metric) and SSIM."""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import ndimage
+
+__all__ = ["psnr", "average_psnr", "ssim"]
+
+
+def psnr(pred: np.ndarray, target: np.ndarray, shave: int = 0, peak: float = 1.0) -> float:
+    """Peak signal-to-noise ratio in dB on [0, peak] images.
+
+    Args:
+        shave: Border pixels excluded from the computation (SR convention).
+    """
+    pred = np.asarray(pred, dtype=float)
+    target = np.asarray(target, dtype=float)
+    if pred.shape != target.shape:
+        raise ValueError(f"shape mismatch: {pred.shape} vs {target.shape}")
+    if shave:
+        pred = pred[..., shave:-shave, shave:-shave]
+        target = target[..., shave:-shave, shave:-shave]
+    mse = float(np.mean((np.clip(pred, 0, peak) - target) ** 2))
+    if mse == 0:
+        return float("inf")
+    return 10.0 * np.log10(peak**2 / mse)
+
+
+def average_psnr(
+    preds: np.ndarray, targets: np.ndarray, shave: int = 0, peak: float = 1.0
+) -> float:
+    """Mean per-image PSNR over a stack (the paper averages over test sets)."""
+    values = [psnr(p, t, shave=shave, peak=peak) for p, t in zip(preds, targets)]
+    finite = [v for v in values if np.isfinite(v)]
+    return float(np.mean(finite)) if finite else float("inf")
+
+
+def ssim(
+    pred: np.ndarray, target: np.ndarray, peak: float = 1.0, sigma: float = 1.5
+) -> float:
+    """Structural similarity with a Gaussian window (single channel)."""
+    pred = np.asarray(pred, dtype=float)
+    target = np.asarray(target, dtype=float)
+    c1 = (0.01 * peak) ** 2
+    c2 = (0.03 * peak) ** 2
+    mu_p = ndimage.gaussian_filter(pred, sigma)
+    mu_t = ndimage.gaussian_filter(target, sigma)
+    var_p = ndimage.gaussian_filter(pred**2, sigma) - mu_p**2
+    var_t = ndimage.gaussian_filter(target**2, sigma) - mu_t**2
+    cov = ndimage.gaussian_filter(pred * target, sigma) - mu_p * mu_t
+    num = (2 * mu_p * mu_t + c1) * (2 * cov + c2)
+    den = (mu_p**2 + mu_t**2 + c1) * (var_p + var_t + c2)
+    return float(np.mean(num / den))

@@ -1,0 +1,79 @@
+"""Synthetic procedural image corpus.
+
+Substitutes for the paper's training/test datasets (DIV2K, Waterloo,
+Set5/Set14/BSD100/Urban100/CBSD68 — unavailable offline; see DESIGN.md).
+Images combine band-limited textures, oriented gratings, checkerboards
+and smooth gradients so that denoising and super-resolution have genuine
+high-frequency content to restore.  All generation is seeded.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import ndimage
+
+__all__ = [
+    "band_limited_texture",
+    "oriented_grating",
+    "checkerboard",
+    "smooth_gradient",
+    "random_image",
+    "make_corpus",
+]
+
+
+def band_limited_texture(
+    size: int, rng: np.random.Generator, scales: tuple[float, ...] = (1.0, 2.0, 4.0)
+) -> np.ndarray:
+    """Multi-scale filtered noise in [0, 1] — a natural-texture stand-in."""
+    img = np.zeros((size, size))
+    for scale in scales:
+        layer = ndimage.gaussian_filter(rng.standard_normal((size, size)), sigma=scale)
+        img += layer / max(scale, 1.0)
+    lo, hi = img.min(), img.max()
+    return (img - lo) / (hi - lo + 1e-12)
+
+
+def oriented_grating(size: int, rng: np.random.Generator) -> np.ndarray:
+    """Sine grating with random orientation, frequency and phase."""
+    theta = rng.uniform(0, np.pi)
+    freq = rng.uniform(0.05, 0.35)
+    phase = rng.uniform(0, 2 * np.pi)
+    yy, xx = np.mgrid[0:size, 0:size]
+    wave = np.sin(2 * np.pi * freq * (np.cos(theta) * xx + np.sin(theta) * yy) + phase)
+    return 0.5 + 0.5 * wave
+
+
+def checkerboard(size: int, rng: np.random.Generator) -> np.ndarray:
+    """Checkerboard with a random cell size — hard edges for SR."""
+    cell = int(rng.integers(2, max(3, size // 4)))
+    yy, xx = np.mgrid[0:size, 0:size]
+    return (((yy // cell) + (xx // cell)) % 2).astype(float)
+
+
+def smooth_gradient(size: int, rng: np.random.Generator) -> np.ndarray:
+    """Linear luminance ramp in a random direction."""
+    theta = rng.uniform(0, 2 * np.pi)
+    yy, xx = np.mgrid[0:size, 0:size]
+    ramp = np.cos(theta) * xx + np.sin(theta) * yy
+    lo, hi = ramp.min(), ramp.max()
+    return (ramp - lo) / (hi - lo + 1e-12)
+
+
+def random_image(size: int, rng: np.random.Generator) -> np.ndarray:
+    """One synthetic image in [0, 1]: random blend of all generators."""
+    components = [
+        band_limited_texture(size, rng),
+        oriented_grating(size, rng),
+        checkerboard(size, rng),
+        smooth_gradient(size, rng),
+    ]
+    weights = rng.dirichlet(np.ones(len(components)))
+    img = sum(w * c for w, c in zip(weights, components))
+    return np.clip(img, 0.0, 1.0)
+
+
+def make_corpus(count: int, size: int, seed: int = 0) -> np.ndarray:
+    """A deterministic stack of synthetic images, shape (count, size, size)."""
+    rng = np.random.default_rng(seed)
+    return np.stack([random_image(size, rng) for _ in range(count)])

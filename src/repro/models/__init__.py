@@ -1,0 +1,33 @@
+"""Model zoo: ERNet family, baselines and the algebra layer factories."""
+
+from .baselines import FFDNet, SRResNet, VDSR, ffdnet, srresnet, vdsr
+from .ernet import ERNet, ERNetConfig, dn_ernet_pu, parse_config_name, sr4_ernet
+from .factory import (
+    DepthwiseFactory,
+    LayerFactory,
+    RealFactory,
+    RingFactory,
+    make_factory,
+)
+from .resnet import ResNetSmall, resnet_small
+
+__all__ = [
+    "FFDNet",
+    "SRResNet",
+    "VDSR",
+    "ffdnet",
+    "srresnet",
+    "vdsr",
+    "ERNet",
+    "ERNetConfig",
+    "dn_ernet_pu",
+    "parse_config_name",
+    "sr4_ernet",
+    "DepthwiseFactory",
+    "LayerFactory",
+    "RealFactory",
+    "RingFactory",
+    "make_factory",
+    "ResNetSmall",
+    "resnet_small",
+]

@@ -1,0 +1,138 @@
+"""Baseline computational-imaging CNNs: SRResNet, VDSR, FFDNet.
+
+Scaled-down reconstructions of the advanced/traditional baselines the
+paper compares against (Fig. 1, Table IV).  Each accepts a
+:class:`~repro.models.factory.LayerFactory`, so the Fig. 1 sweep can build
+pruned / DWC / ring variants of the identical topology.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..imaging.degrade import bicubic_upsample
+from ..nn.functional import pixel_shuffle, pixel_unshuffle
+from ..nn.layers import Sequential
+from ..nn.module import Module
+from ..nn.tensor import Tensor, concat
+from .factory import LayerFactory, RealFactory
+
+__all__ = ["SRResNet", "VDSR", "FFDNet", "srresnet", "vdsr", "ffdnet"]
+
+
+class _ResBlock(Module):
+    """SRResNet-style residual block (BN omitted at this scale)."""
+
+    def __init__(self, channels: int, factory: LayerFactory, seed: int) -> None:
+        super().__init__()
+        self.conv1 = factory.conv(channels, channels, 3, seed=seed)
+        self.act = factory.act(channels)
+        self.conv2 = factory.conv(channels, channels, 3, seed=seed + 1)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x + self.conv2(self.act(self.conv1(x)))
+
+
+class SRResNet(Module):
+    """SRResNet [31] for x4 SR: head, B residual blocks, x4 shuffle tail."""
+
+    def __init__(
+        self,
+        blocks: int = 4,
+        width: int = 16,
+        factory: LayerFactory | None = None,
+        in_channels: int = 1,
+        seed: int = 0,
+    ) -> None:
+        super().__init__()
+        factory = factory if factory is not None else RealFactory()
+        self.head = factory.conv(in_channels, width, 3, seed=seed)
+        self.head_act = factory.act(width)
+        self.body = Sequential(
+            *[_ResBlock(width, factory, seed=seed + 10 * (i + 1)) for i in range(blocks)]
+        )
+        self.fuse = factory.conv(width, width, 3, seed=seed + 500)
+        self.tail = factory.conv(width, in_channels * 16, 3, seed=seed + 600)
+        for _, param in self.tail.named_parameters():
+            param.data[...] = 0.0  # start at the bicubic identity
+
+    def forward(self, x: Tensor) -> Tensor:
+        feat = self.head_act(self.head(x))
+        body = self.fuse(self.body(feat)) + feat  # global residual over the body
+        upsampled = Tensor(bicubic_upsample(x.data, 4))
+        return upsampled + pixel_shuffle(self.tail(body), 4)
+
+
+class VDSR(Module):
+    """VDSR [26]: plain deep CNN on the bicubic-upsampled input, residual out."""
+
+    def __init__(
+        self,
+        depth: int = 6,
+        width: int = 16,
+        factory: LayerFactory | None = None,
+        in_channels: int = 1,
+        scale: int = 4,
+        seed: int = 0,
+    ) -> None:
+        super().__init__()
+        factory = factory if factory is not None else RealFactory()
+        self.scale = scale
+        layers: list[Module] = [factory.conv(in_channels, width, 3, seed=seed), factory.act(width)]
+        for i in range(depth - 2):
+            layers.append(factory.conv(width, width, 3, seed=seed + 10 * (i + 1)))
+            layers.append(factory.act(width))
+        layers.append(factory.conv(width, in_channels, 3, seed=seed + 900))
+        self.net = Sequential(*layers)
+
+    def forward(self, x: Tensor) -> Tensor:
+        upsampled = Tensor(bicubic_upsample(x.data, self.scale))
+        return upsampled + self.net(upsampled)
+
+
+class FFDNet(Module):
+    """FFDNet [50]: denoising on pixel-unshuffled features with a noise map."""
+
+    def __init__(
+        self,
+        depth: int = 4,
+        width: int = 16,
+        factory: LayerFactory | None = None,
+        in_channels: int = 1,
+        sigma: float = 15.0 / 255.0,
+        seed: int = 0,
+    ) -> None:
+        super().__init__()
+        factory = factory if factory is not None else RealFactory()
+        self.sigma = sigma
+        unshuffled = in_channels * 4
+        layers: list[Module] = [
+            factory.conv(unshuffled + 1, width, 3, seed=seed),
+            factory.act(width),
+        ]
+        for i in range(depth - 2):
+            layers.append(factory.conv(width, width, 3, seed=seed + 10 * (i + 1)))
+            layers.append(factory.act(width))
+        layers.append(factory.conv(width, unshuffled, 3, seed=seed + 900))
+        self.net = Sequential(*layers)
+
+    def forward(self, x: Tensor) -> Tensor:
+        z = pixel_unshuffle(x, 2)
+        batch, _, height, width = z.shape
+        noise_map = Tensor(np.full((batch, 1, height, width), self.sigma))
+        feat = concat([z, noise_map], axis=1)
+        out = self.net(feat) + z
+        return pixel_shuffle(out, 2)
+
+
+def srresnet(blocks: int = 4, width: int = 16, factory=None, seed: int = 0) -> SRResNet:
+    """Convenience constructor mirroring the paper's naming."""
+    return SRResNet(blocks=blocks, width=width, factory=factory, seed=seed)
+
+
+def vdsr(depth: int = 6, width: int = 16, factory=None, seed: int = 0) -> VDSR:
+    return VDSR(depth=depth, width=width, factory=factory, seed=seed)
+
+
+def ffdnet(depth: int = 4, width: int = 16, factory=None, seed: int = 0) -> FFDNet:
+    return FFDNet(depth=depth, width=width, factory=factory, seed=seed)

@@ -1,0 +1,168 @@
+"""Layer factories: one model topology, many algebras (paper Fig. 5).
+
+A :class:`LayerFactory` decides how each convolution and activation in a
+model is realized: real-valued, ring tensors with component-wise ReLU,
+the proposed (R_I, f_H) with directional ReLU, or depth-wise separable
+(the low-rank baseline of Fig. 1).  Building the same topology with
+different factories is exactly the paper's "convert any existing
+real-valued model structure into a RingCNN alternative" (Section IV-A).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from ..nn.layers import (
+    Conv2d,
+    DirectionalReLU2d,
+    ReLU,
+    RingConv2d,
+    Sequential,
+)
+from ..nn.module import Module
+from ..rings.base import Ring
+from ..rings.catalog import RingSpec, get_ring
+from ..rings.nonlinearity import DirectionalReLU, RingNonlinearity
+
+__all__ = [
+    "LayerFactory",
+    "RealFactory",
+    "RingFactory",
+    "DepthwiseFactory",
+    "identity_ring_tensor",
+    "make_factory",
+]
+
+
+def identity_ring_tensor(n: int) -> np.ndarray:
+    """Diagonal indexing tensor of R_I for arbitrary n (used for DWC)."""
+    m_tensor = np.zeros((n, n, n))
+    for i in range(n):
+        m_tensor[i, i, i] = 1.0
+    return m_tensor
+
+
+class LayerFactory:
+    """Builds convolutions and activations for one algebra choice."""
+
+    name = "base"
+
+    def conv(
+        self, in_channels: int, out_channels: int, kernel_size: int, seed: int, **kwargs
+    ) -> Module:
+        raise NotImplementedError
+
+    def act(self, channels: int) -> Module:
+        raise NotImplementedError
+
+    def weight_compression(self) -> float:
+        """Weight-count reduction factor vs the real-valued model."""
+        return 1.0
+
+
+class RealFactory(LayerFactory):
+    """Plain real-valued convolutions + ReLU (the paper's baseline)."""
+
+    name = "real"
+
+    def conv(self, in_channels, out_channels, kernel_size, seed, **kwargs) -> Module:
+        return Conv2d(in_channels, out_channels, kernel_size, seed=seed, **kwargs)
+
+    def act(self, channels: int) -> Module:
+        return ReLU()
+
+
+@dataclasses.dataclass
+class RingFactory(LayerFactory):
+    """Ring convolutions with the ring's paired non-linearity.
+
+    Layers whose channel counts are not divisible by n (image-domain head
+    and tail convolutions) stay real-valued — a documented deviation from
+    the paper needed because our scaled-down models have 1-channel I/O.
+    These layers are a negligible share of weights and compute.
+    """
+
+    spec: RingSpec
+    nonlinearity: RingNonlinearity
+
+    @property
+    def name(self) -> str:  # type: ignore[override]
+        return f"{self.spec.paper_symbol}+{self.nonlinearity.name}"
+
+    def conv(self, in_channels, out_channels, kernel_size, seed, **kwargs) -> Module:
+        n = self.spec.n
+        if in_channels % n or out_channels % n:
+            return Conv2d(in_channels, out_channels, kernel_size, seed=seed, **kwargs)
+        return RingConv2d(
+            in_channels, out_channels, kernel_size, self.spec.ring, seed=seed, **kwargs
+        )
+
+    def act(self, channels: int) -> Module:
+        if isinstance(self.nonlinearity, DirectionalReLU) and channels % self.nonlinearity.n == 0:
+            return DirectionalReLU2d(self.nonlinearity)
+        return ReLU()
+
+    def weight_compression(self) -> float:
+        return float(self.spec.n)
+
+
+class DepthwiseFactory(LayerFactory):
+    """Depth-wise separable convolutions (the low-rank baseline of Fig. 1)."""
+
+    name = "dwc"
+
+    def conv(self, in_channels, out_channels, kernel_size, seed, **kwargs) -> Module:
+        if kernel_size == 1 or in_channels == 1:
+            return Conv2d(in_channels, out_channels, kernel_size, seed=seed, **kwargs)
+        bias = kwargs.pop("bias", True)
+        depthwise = RingConv2d(
+            in_channels,
+            in_channels,
+            kernel_size,
+            Ring(f"R_I{in_channels}", identity_ring_tensor(in_channels)),
+            bias=False,
+            seed=seed,
+            **kwargs,
+        )
+        pointwise = Conv2d(in_channels, out_channels, 1, bias=bias, seed=seed + 1)
+        return Sequential(depthwise, pointwise)
+
+    def act(self, channels: int) -> Module:
+        return ReLU()
+
+
+def make_factory(kind: str, n: int = 4) -> LayerFactory:
+    """Factory lookup used by experiments.
+
+    Args:
+        kind: ``"real"``, ``"dwc"``, a catalog ring key (uses the ring's
+            default non-linearity), or ``"<ring>+fcw"`` / ``"<ring>+fh"``
+            to force a non-linearity.
+        n: Tuple dimension for the ``"proposed"`` shorthand.
+    """
+    from ..rings.nonlinearity import ComponentReLU, hadamard_relu, householder_relu
+
+    kind = kind.strip().lower()
+    if kind == "real":
+        return RealFactory()
+    if kind == "dwc":
+        return DepthwiseFactory()
+    if kind == "proposed":
+        spec = get_ring(f"ri{n}")
+        return RingFactory(spec=spec, nonlinearity=hadamard_relu(n))
+    if "+" in kind:
+        ring_key, nl_key = kind.split("+", 1)
+        spec = get_ring(ring_key)
+        if nl_key in ("fh", "f_h"):
+            nonlin: RingNonlinearity = hadamard_relu(spec.n)
+        elif nl_key in ("fo4", "f_o4"):
+            nonlin = householder_relu()
+        elif nl_key in ("fcw", "f_cw"):
+            nonlin = ComponentReLU(n=spec.n)
+        else:
+            raise KeyError(f"unknown non-linearity {nl_key!r}")
+        return RingFactory(spec=spec, nonlinearity=nonlin)
+    spec = get_ring(kind)
+    return RingFactory(spec=spec, nonlinearity=spec.default_nonlinearity())

@@ -1,0 +1,104 @@
+"""Small ResNet for the recognition study (paper Appendix C).
+
+A scaled-down ResNet-56 stand-in: three stages of residual blocks with
+stride-2 transitions, global average pooling, linear classifier.  When
+built with a ring factory, convolutions and their non-linearities use
+(R_I, f_H) while batch normalization stays real-valued — exactly the
+Appendix C setup.
+"""
+
+from __future__ import annotations
+
+from ..nn.functional import avg_pool2d
+from ..nn.layers import BatchNorm2d, Conv2d, GlobalAvgPool, Linear, Sequential
+from ..nn.module import Module
+from ..nn.tensor import Tensor
+from .factory import LayerFactory, RealFactory
+
+__all__ = ["ResNetSmall", "resnet_small"]
+
+
+class _BasicBlock(Module):
+    """conv-bn-act-conv-bn + skip, with optional stride-2 downsample."""
+
+    def __init__(
+        self, in_channels: int, out_channels: int, stride: int, factory: LayerFactory, seed: int
+    ) -> None:
+        super().__init__()
+        self.conv1 = factory.conv(in_channels, out_channels, 3, seed=seed, stride=stride)
+        self.bn1 = BatchNorm2d(out_channels)
+        self.act1 = factory.act(out_channels)
+        self.conv2 = factory.conv(out_channels, out_channels, 3, seed=seed + 1)
+        self.bn2 = BatchNorm2d(out_channels)
+        self.act2 = factory.act(out_channels)
+        self.stride = stride
+        if stride != 1 or in_channels != out_channels:
+            self.shortcut: Module | None = Conv2d(
+                in_channels, out_channels, 1, stride=stride, padding=0, seed=seed + 2
+            )
+        else:
+            self.shortcut = None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.act1(self.bn1(self.conv1(x)))
+        out = self.bn2(self.conv2(out))
+        skip = self.shortcut(x) if self.shortcut is not None else x
+        return self.act2(out + skip)
+
+
+class ResNetSmall(Module):
+    """Three-stage residual classifier (ResNet-56 stand-in)."""
+
+    def __init__(
+        self,
+        blocks_per_stage: int = 2,
+        base_width: int = 8,
+        num_classes: int = 10,
+        factory: LayerFactory | None = None,
+        in_channels: int = 1,
+        seed: int = 0,
+    ) -> None:
+        super().__init__()
+        factory = factory if factory is not None else RealFactory()
+        widths = [base_width, base_width * 2, base_width * 4]
+        self.stem = Conv2d(in_channels, widths[0], 3, seed=seed)
+        self.stem_bn = BatchNorm2d(widths[0])
+        self.stem_act = factory.act(widths[0])
+        stages = []
+        prev = widths[0]
+        for stage_idx, width in enumerate(widths):
+            stride = 1 if stage_idx == 0 else 2
+            blocks = [
+                _BasicBlock(prev, width, stride, factory, seed=seed + 100 * stage_idx)
+            ]
+            for b in range(1, blocks_per_stage):
+                blocks.append(
+                    _BasicBlock(width, width, 1, factory, seed=seed + 100 * stage_idx + 10 * b)
+                )
+            stages.append(Sequential(*blocks))
+            prev = width
+        self.stages = Sequential(*stages)
+        self.pool = GlobalAvgPool()
+        self.classifier = Linear(widths[-1], num_classes, seed=seed + 999)
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.stem_act(self.stem_bn(self.stem(x)))
+        out = self.stages(out)
+        return self.classifier(self.pool(out))
+
+
+def resnet_small(
+    blocks_per_stage: int = 2,
+    base_width: int = 8,
+    num_classes: int = 10,
+    factory: LayerFactory | None = None,
+    seed: int = 0,
+) -> ResNetSmall:
+    """Convenience constructor for the Appendix C experiments."""
+    return ResNetSmall(
+        blocks_per_stage=blocks_per_stage,
+        base_width=base_width,
+        num_classes=num_classes,
+        factory=factory,
+        seed=seed,
+    )

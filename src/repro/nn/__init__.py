@@ -1,0 +1,87 @@
+"""From-scratch numpy autodiff and neural-network substrate.
+
+Substitutes for the paper's PyTorch training setup (see DESIGN.md): a
+tape-based :class:`Tensor`, conv/ring-conv layers, optimizers, losses and
+a shared training loop.
+"""
+
+from .data import ArrayDataset, DataLoader
+from .fastconv import FastRingConv2d, frconv2d
+from .functional import (
+    avg_pool2d,
+    conv2d,
+    pixel_shuffle,
+    pixel_unshuffle,
+    ring_expand,
+)
+from .gradcheck import check_gradients, numeric_gradient
+from .layers import (
+    AvgPool2d,
+    BatchNorm2d,
+    Conv2d,
+    DirectionalReLU2d,
+    Flatten,
+    GlobalAvgPool,
+    Identity,
+    LeakyReLU,
+    Linear,
+    PixelShuffle,
+    PixelUnshuffle,
+    ReLU,
+    RingConv2d,
+    Sequential,
+    make_activation,
+)
+from .loss import charbonnier_loss, cross_entropy_loss, l1_loss, mse_loss
+from .module import Module
+from .optim import SGD, Adam, CosineLR, StepLR, clip_grad_norm
+from .tensor import Parameter, Tensor, as_tensor, concat, no_grad
+from .trainer import TrainConfig, TrainResult, evaluate_mse, train_model
+
+__all__ = [
+    "ArrayDataset",
+    "DataLoader",
+    "FastRingConv2d",
+    "frconv2d",
+    "avg_pool2d",
+    "conv2d",
+    "pixel_shuffle",
+    "pixel_unshuffle",
+    "ring_expand",
+    "check_gradients",
+    "numeric_gradient",
+    "AvgPool2d",
+    "BatchNorm2d",
+    "Conv2d",
+    "DirectionalReLU2d",
+    "Flatten",
+    "GlobalAvgPool",
+    "Identity",
+    "LeakyReLU",
+    "Linear",
+    "PixelShuffle",
+    "PixelUnshuffle",
+    "ReLU",
+    "RingConv2d",
+    "Sequential",
+    "make_activation",
+    "charbonnier_loss",
+    "cross_entropy_loss",
+    "l1_loss",
+    "mse_loss",
+    "Module",
+    "SGD",
+    "Adam",
+    "CosineLR",
+    "StepLR",
+    "clip_grad_norm",
+    "Parameter",
+    "Tensor",
+    "as_tensor",
+    "concat",
+    "no_grad",
+    "TrainConfig",
+    "TrainResult",
+    "evaluate_mse",
+    "train_model",
+]

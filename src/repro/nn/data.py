@@ -1,0 +1,60 @@
+"""Batching utilities over in-memory arrays."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+__all__ = ["ArrayDataset", "DataLoader"]
+
+
+class ArrayDataset:
+    """Paired (input, target) arrays indexed along axis 0."""
+
+    def __init__(self, inputs: np.ndarray, targets: np.ndarray) -> None:
+        if len(inputs) != len(targets):
+            raise ValueError("inputs and targets must have equal length")
+        self.inputs = np.asarray(inputs)
+        self.targets = np.asarray(targets)
+
+    def __len__(self) -> int:
+        return len(self.inputs)
+
+    def __getitem__(self, idx) -> tuple[np.ndarray, np.ndarray]:
+        return self.inputs[idx], self.targets[idx]
+
+
+class DataLoader:
+    """Mini-batch iterator with optional shuffling (seeded)."""
+
+    def __init__(
+        self,
+        dataset: ArrayDataset,
+        batch_size: int,
+        shuffle: bool = True,
+        seed: int = 0,
+        drop_last: bool = False,
+    ) -> None:
+        self.dataset = dataset
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self.drop_last = drop_last
+        self._rng = np.random.default_rng(seed)
+
+    def __len__(self) -> int:
+        n = len(self.dataset)
+        if self.drop_last:
+            return n // self.batch_size
+        return (n + self.batch_size - 1) // self.batch_size
+
+    def __iter__(self) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        order = np.arange(len(self.dataset))
+        if self.shuffle:
+            self._rng.shuffle(order)
+        stop = (
+            len(order) - len(order) % self.batch_size if self.drop_last else len(order)
+        )
+        for start in range(0, stop, self.batch_size):
+            idx = order[start : start + self.batch_size]
+            yield self.dataset[idx]

@@ -1,0 +1,128 @@
+"""FRCONV — fast ring convolution through the three-step pipeline.
+
+Implements the paper's eq. (12): transforms are applied once per weight,
+input and output ring element; the convolution itself runs as m
+component-wise (grouped) convolutions in the transformed domain.
+
+``FastRingConv2d`` is numerically identical to :class:`RingConv2d` with
+the same ring weights (Section IV-C: "each RCONV layer can be efficiently
+implemented by applying FRCONV to its fixed-point model") and is the
+software model of the hardware engines in :mod:`repro.hardware.engine`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..rings.catalog import RingSpec
+from .functional import conv2d
+from .init import ring_kaiming_normal
+from .module import Module
+from .tensor import Parameter, Tensor, concat
+
+__all__ = ["FastRingConv2d", "frconv2d"]
+
+
+def frconv2d(
+    x: Tensor,
+    g: Tensor,
+    spec: RingSpec,
+    bias: Tensor | None = None,
+    stride: int = 1,
+    padding: int = 0,
+) -> Tensor:
+    """Fast ring convolution (paper eq. 12).
+
+    Args:
+        x: Features (N, Ci, H, W) with Ci a multiple of the ring's n.
+        g: Ring weights (Co_t, Ci_t, n, kh, kw).
+        spec: Catalog entry supplying the fast algorithm (Tg, Tx, Tz).
+
+    Returns:
+        (N, Co, Ho, Wo) — identical to the direct RCONV result.
+    """
+    algo = spec.fast
+    n = spec.n
+    m = algo.num_products
+    batch, ci, height, width = x.shape
+    g = g if isinstance(g, Tensor) else Tensor(g)
+    cot, cit, _, kh, kw = g.shape
+    if ci != cit * n:
+        raise ValueError(f"input channels {ci} do not match weights ({cit} {n}-tuples)")
+
+    # Filter transform, applied once per weight element (offline in HW);
+    # kept inside the graph so FRCONV is trainable end to end.
+    g_t = g.tuple_transform(algo.tg, axis=2)  # (Co_t, Ci_t, m, kh, kw)
+
+    # Data transform, once per input ring element.
+    x_tuples = x.reshape(batch, cit, n, height, width)
+    x_t = x_tuples.tuple_transform(algo.tx, axis=2)  # (N, Ci_t, m, H, W)
+
+    # Component-wise products: one grouped convolution per product index.
+    product_maps = []
+    for p in range(m):
+        plane = x_t.select(axis=2, index=p)  # (N, Ci_t, H, W)
+        weight = g_t.select(axis=2, index=p)  # (Co_t, Ci_t, kh, kw)
+        z_p = conv2d(plane, weight, stride=stride, padding=padding)
+        ho, wo = z_p.shape[2], z_p.shape[3]
+        product_maps.append(z_p.reshape(batch, cot, 1, ho, wo))
+    z_t = concat(product_maps, axis=2)  # (N, Co_t, m, Ho, Wo)
+
+    # Reconstruction transform, once per output ring element.
+    z = z_t.tuple_transform(algo.tz, axis=2)  # (N, Co_t, n, Ho, Wo)
+    out = z.reshape(batch, cot * n, z.shape[3], z.shape[4])
+    if bias is not None:
+        out = out + bias.reshape(1, cot * n, 1, 1)
+    return out
+
+
+class FastRingConv2d(Module):
+    """Drop-in FRCONV layer, parameter-compatible with RingConv2d.
+
+    The parameter is the *untransformed* ring weight ``g`` (so trained
+    RCONV weights load directly); all three transforms stay inside the
+    autodiff graph, making FRCONV trainable end to end as well.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        spec: RingSpec,
+        stride: int = 1,
+        padding: int | None = None,
+        bias: bool = True,
+        seed: int | None = None,
+    ) -> None:
+        super().__init__()
+        n = spec.n
+        if in_channels % n or out_channels % n:
+            raise ValueError("channels must be multiples of the tuple size")
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = kernel_size // 2 if padding is None else padding
+        self.spec = spec
+        self.g = Parameter(
+            ring_kaiming_normal(
+                (out_channels // n, in_channels // n, n, kernel_size, kernel_size),
+                fan_in=in_channels * kernel_size**2,
+                seed=seed,
+            )
+        )
+        self.bias = Parameter(np.zeros(out_channels)) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        return frconv2d(
+            x, self.g, self.spec, bias=self.bias, stride=self.stride, padding=self.padding
+        )
+
+    def load_from_rconv(self, layer) -> None:
+        """Copy ring weights from a trained RingConv2d."""
+        if layer.g.shape != self.g.shape:
+            raise ValueError("shape mismatch between RCONV and FRCONV weights")
+        self.g.data[...] = layer.g.data
+        if self.bias is not None and layer.bias is not None:
+            self.bias.data[...] = layer.bias.data

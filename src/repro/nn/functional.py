@@ -1,0 +1,230 @@
+"""Convolution and pixel-(un)shuffle primitives with hand-written VJPs.
+
+The 2-D convolution uses im2col with numpy stride tricks; its backward
+pass is a col2im scatter-add.  These are the workhorses of the training
+substrate — everything else composes from :class:`~repro.nn.tensor.Tensor`
+primitives.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tensor import Tensor, as_tensor
+
+__all__ = [
+    "im2col",
+    "col2im",
+    "conv2d",
+    "ring_expand",
+    "pixel_shuffle",
+    "pixel_unshuffle",
+    "avg_pool2d",
+    "softmax_cross_entropy",
+]
+
+
+def im2col(
+    x: np.ndarray, kh: int, kw: int, stride: int, padding: int
+) -> tuple[np.ndarray, tuple[int, int, int, int]]:
+    """Unfold sliding windows into columns.
+
+    Returns:
+        cols of shape (N, C*kh*kw, Ho*Wo) and (Hp, Wp, Ho, Wo).
+    """
+    if padding:
+        x = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    n, c, hp, wp = x.shape
+    ho = (hp - kh) // stride + 1
+    wo = (wp - kw) // stride + 1
+    s0, s1, s2, s3 = x.strides
+    windows = np.lib.stride_tricks.as_strided(
+        x,
+        shape=(n, c, kh, kw, ho, wo),
+        strides=(s0, s1, s2, s3, s2 * stride, s3 * stride),
+        writeable=False,
+    )
+    cols = np.ascontiguousarray(windows).reshape(n, c * kh * kw, ho * wo)
+    return cols, (hp, wp, ho, wo)
+
+
+def col2im(
+    dcols: np.ndarray,
+    x_shape: tuple[int, int, int, int],
+    kh: int,
+    kw: int,
+    stride: int,
+    padding: int,
+    ho: int,
+    wo: int,
+) -> np.ndarray:
+    """Adjoint of im2col: scatter-add column gradients back to the input."""
+    n, c, h, w = x_shape
+    hp, wp = h + 2 * padding, w + 2 * padding
+    dxp = np.zeros((n, c, hp, wp))
+    dcols = dcols.reshape(n, c, kh, kw, ho, wo)
+    for i in range(kh):
+        for j in range(kw):
+            dxp[:, :, i : i + stride * ho : stride, j : j + stride * wo : stride] += dcols[
+                :, :, i, j
+            ]
+    if padding:
+        return dxp[:, :, padding:-padding, padding:-padding]
+    return dxp
+
+
+def conv2d(
+    x: Tensor,
+    weight: Tensor,
+    bias: Tensor | None = None,
+    stride: int = 1,
+    padding: int = 0,
+) -> Tensor:
+    """2-D cross-correlation: x (N,C,H,W) * weight (Co,Ci,kh,kw) -> (N,Co,Ho,Wo)."""
+    x = as_tensor(x)
+    weight = as_tensor(weight)
+    n, c, h, w = x.shape
+    co, ci, kh, kw = weight.shape
+    if ci != c:
+        raise ValueError(f"channel mismatch: input {c}, weight expects {ci}")
+    cols, (hp, wp, ho, wo) = im2col(x.data, kh, kw, stride, padding)
+    out = (weight.data.reshape(co, -1) @ cols).reshape(n, co, ho, wo)
+    if bias is not None:
+        out = out + bias.data.reshape(1, co, 1, 1)
+    parents = (x, weight) if bias is None else (x, weight, bias)
+
+    def backward(grad: np.ndarray) -> None:
+        grad_flat = grad.reshape(n, co, ho * wo)
+        if weight.requires_grad:
+            dw = np.einsum("nop,nkp->ok", grad_flat, cols).reshape(weight.shape)
+            weight._accumulate(dw)
+        if x.requires_grad:
+            dcols = np.einsum("ok,nop->nkp", weight.data.reshape(co, -1), grad_flat)
+            x._accumulate(col2im(dcols, x.shape, kh, kw, stride, padding, ho, wo))
+        if bias is not None and bias.requires_grad:
+            bias._accumulate(grad.sum(axis=(0, 2, 3)))
+
+    return Tensor._make(out, parents, backward)
+
+
+def ring_expand(g: Tensor, m_tensor: np.ndarray) -> Tensor:
+    """Expand ring weights into the isomorphic real-valued filter bank.
+
+    Args:
+        g: Ring weights of shape (Co_t, Ci_t, n, kh, kw) — n real weights
+            per tuple pair (the paper's DoF reduction, eq. 9).
+        m_tensor: The ring's (n, n, n) indexing tensor ``M[i, k, j]``.
+
+    Returns:
+        Real weights of shape (Co_t*n, Ci_t*n, kh, kw) with
+        ``W[ot*n+i, ct*n+j] = sum_k M[i,k,j] g[ot,ct,k]``.
+
+    The expansion is linear, so training through it is the paper's
+    "treat the RingCNN as a conventional real-valued CNN" (Section IV-B).
+    """
+    g = as_tensor(g)
+    cot, cit, k_comp, kh, kw = g.shape
+    if m_tensor.ndim != 3 or m_tensor.shape[1] != k_comp:
+        raise ValueError("indexing tensor does not match the weight components")
+    n = m_tensor.shape[0]
+    if m_tensor.shape[2] != n:
+        raise ValueError("indexing tensor must be (n, k, n)")
+    expand = m_tensor.transpose(0, 2, 1)  # E[i, j, k]
+    w = np.einsum("ijk,ockst->oicjst", expand, g.data).reshape(cot * n, cit * n, kh, kw)
+
+    def backward(grad: np.ndarray) -> None:
+        if g.requires_grad:
+            grad6 = grad.reshape(cot, n, cit, n, kh, kw)
+            dg = np.einsum("ijk,oicjst->ockst", expand, grad6)
+            g._accumulate(dg)
+
+    return Tensor._make(w, (g,), backward)
+
+
+def pixel_shuffle(x: Tensor, factor: int) -> Tensor:
+    """Rearrange (N, C*r^2, H, W) -> (N, C, H*r, W*r) (depth-to-space)."""
+    x = as_tensor(x)
+    n, c, h, w = x.shape
+    r = factor
+    if c % (r * r):
+        raise ValueError("channels must be divisible by factor^2")
+    co = c // (r * r)
+    out = (
+        x.data.reshape(n, co, r, r, h, w)
+        .transpose(0, 1, 4, 2, 5, 3)
+        .reshape(n, co, h * r, w * r)
+    )
+
+    def backward(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            g = (
+                grad.reshape(n, co, h, r, w, r)
+                .transpose(0, 1, 3, 5, 2, 4)
+                .reshape(n, c, h, w)
+            )
+            x._accumulate(g)
+
+    return Tensor._make(out, (x,), backward)
+
+
+def pixel_unshuffle(x: Tensor, factor: int) -> Tensor:
+    """Rearrange (N, C, H*r, W*r) -> (N, C*r^2, H, W) (space-to-depth)."""
+    x = as_tensor(x)
+    n, c, h, w = x.shape
+    r = factor
+    if h % r or w % r:
+        raise ValueError("spatial dims must be divisible by factor")
+    ho, wo = h // r, w // r
+    out = (
+        x.data.reshape(n, c, ho, r, wo, r)
+        .transpose(0, 1, 3, 5, 2, 4)
+        .reshape(n, c * r * r, ho, wo)
+    )
+
+    def backward(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            g = (
+                grad.reshape(n, c, r, r, ho, wo)
+                .transpose(0, 1, 4, 2, 5, 3)
+                .reshape(n, c, h, w)
+            )
+            x._accumulate(g)
+
+    return Tensor._make(out, (x,), backward)
+
+
+def avg_pool2d(x: Tensor, kernel: int) -> Tensor:
+    """Non-overlapping average pooling with stride = kernel."""
+    x = as_tensor(x)
+    n, c, h, w = x.shape
+    k = kernel
+    if h % k or w % k:
+        raise ValueError("spatial dims must be divisible by the kernel")
+    ho, wo = h // k, w // k
+    out = x.data.reshape(n, c, ho, k, wo, k).mean(axis=(3, 5))
+
+    def backward(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            g = np.repeat(np.repeat(grad, k, axis=2), k, axis=3) / (k * k)
+            x._accumulate(g)
+
+    return Tensor._make(out, (x,), backward)
+
+
+def softmax_cross_entropy(logits: Tensor, labels: np.ndarray) -> Tensor:
+    """Mean softmax cross-entropy; labels are integer class indices."""
+    logits = as_tensor(logits)
+    labels = np.asarray(labels, dtype=int)
+    shifted = logits.data - logits.data.max(axis=1, keepdims=True)
+    exp = np.exp(shifted)
+    probs = exp / exp.sum(axis=1, keepdims=True)
+    batch = logits.shape[0]
+    loss = -np.mean(np.log(probs[np.arange(batch), labels] + 1e-12))
+
+    def backward(grad: np.ndarray) -> None:
+        if logits.requires_grad:
+            d = probs.copy()
+            d[np.arange(batch), labels] -= 1.0
+            logits._accumulate(grad * d / batch)
+
+    return Tensor._make(np.array(loss), (logits,), backward)

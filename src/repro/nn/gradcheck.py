@@ -1,0 +1,59 @@
+"""Numerical gradient checking for the autodiff engine."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = ["numeric_gradient", "check_gradients"]
+
+
+def numeric_gradient(
+    fn: Callable[[np.ndarray], float], x: np.ndarray, eps: float = 1e-5
+) -> np.ndarray:
+    """Central-difference gradient of a scalar function of an array."""
+    grad = np.zeros_like(x, dtype=np.float64)
+    flat = x.reshape(-1)
+    gflat = grad.reshape(-1)
+    for idx in range(flat.size):
+        orig = flat[idx]
+        flat[idx] = orig + eps
+        up = fn(x)
+        flat[idx] = orig - eps
+        down = fn(x)
+        flat[idx] = orig
+        gflat[idx] = (up - down) / (2 * eps)
+    return grad
+
+
+def check_gradients(
+    build: Callable[[Tensor], Tensor],
+    x: np.ndarray,
+    rtol: float = 1e-4,
+    atol: float = 1e-6,
+    eps: float = 1e-5,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Compare autodiff and numeric gradients of ``build``'s scalar output.
+
+    Args:
+        build: Maps an input Tensor to a scalar Tensor.
+        x: Input array (perturbed in place during numeric differencing).
+
+    Returns:
+        (analytic, numeric) gradient arrays; raises AssertionError on
+        mismatch beyond tolerances.
+    """
+    t = Tensor(x.copy(), requires_grad=True)
+    out = build(t)
+    out.backward()
+    analytic = t.grad.copy()
+
+    def scalar(arr: np.ndarray) -> float:
+        return float(build(Tensor(arr)).data)
+
+    numeric = numeric_gradient(scalar, x.copy(), eps=eps)
+    np.testing.assert_allclose(analytic, numeric, rtol=rtol, atol=atol)
+    return analytic, numeric

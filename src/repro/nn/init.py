@@ -1,0 +1,31 @@
+"""Weight initialization helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["kaiming_normal", "ring_kaiming_normal"]
+
+
+def kaiming_normal(shape: tuple[int, ...], seed: int | None = None) -> np.ndarray:
+    """He-normal initialization: std = sqrt(2 / fan_in).
+
+    For conv weights (Co, Ci, kh, kw), fan_in = Ci*kh*kw; for linear
+    (out, in), fan_in = in.
+    """
+    rng = np.random.default_rng(seed)
+    fan_in = int(np.prod(shape[1:])) if len(shape) > 1 else shape[0]
+    return rng.standard_normal(shape) * np.sqrt(2.0 / fan_in)
+
+
+def ring_kaiming_normal(
+    shape: tuple[int, ...], fan_in: int, seed: int | None = None
+) -> np.ndarray:
+    """He-normal for ring weights g of shape (Co_t, Ci_t, n, kh, kw).
+
+    The expanded real filter bank has ``fan_in`` input connections per
+    output channel, and each expanded weight is (+-) one ring component,
+    so the ring components themselves take std = sqrt(2 / fan_in).
+    """
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal(shape) * np.sqrt(2.0 / fan_in)

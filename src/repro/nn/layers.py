@@ -1,0 +1,285 @@
+"""Neural-network layers, including ring convolution (paper Section IV).
+
+``RingConv2d`` stores n real weights per tuple pair (the paper's DoF
+reduction) and expands them to the isomorphic real filter bank on the
+forward pass, so Backprop needs no special treatment (Section IV-B).
+``DirectionalReLU2d`` applies the paper's f_dir = U f_cw(V .) along the
+channel-tuple axis (Section III-E).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..rings.base import Ring
+from ..rings.nonlinearity import DirectionalReLU, RingNonlinearity
+from .functional import avg_pool2d, conv2d, pixel_shuffle, pixel_unshuffle, ring_expand
+from .init import kaiming_normal, ring_kaiming_normal
+from .module import Module
+from .tensor import Parameter, Tensor, as_tensor
+
+__all__ = [
+    "Conv2d",
+    "RingConv2d",
+    "ReLU",
+    "LeakyReLU",
+    "DirectionalReLU2d",
+    "Sequential",
+    "Linear",
+    "BatchNorm2d",
+    "PixelShuffle",
+    "PixelUnshuffle",
+    "AvgPool2d",
+    "GlobalAvgPool",
+    "Flatten",
+    "Identity",
+]
+
+
+class Conv2d(Module):
+    """Real-valued 2-D convolution layer."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        stride: int = 1,
+        padding: int | None = None,
+        bias: bool = True,
+        seed: int | None = None,
+    ) -> None:
+        super().__init__()
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = kernel_size // 2 if padding is None else padding
+        self.weight = Parameter(
+            kaiming_normal((out_channels, in_channels, kernel_size, kernel_size), seed=seed)
+        )
+        self.bias = Parameter(np.zeros(out_channels)) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        return conv2d(x, self.weight, self.bias, stride=self.stride, padding=self.padding)
+
+    def macs_per_pixel(self) -> int:
+        """Multiply-accumulates per output pixel (hardware model input)."""
+        return self.out_channels * self.in_channels * self.kernel_size**2
+
+
+class RingConv2d(Module):
+    """Ring convolution RCONV (paper eq. 11).
+
+    Channels are grouped into consecutive n-tuples; each tuple pair
+    (ci_t, co_t) holds one ring weight of n real values.  The forward
+    pass expands ``g`` through the ring's indexing tensor into the
+    isomorphic real filter bank and convolves normally.
+
+    Weight count: ``(Co/n) * (Ci/n) * n * K^2`` — exactly n-times fewer
+    than the real-valued layer it replaces.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        ring: Ring,
+        stride: int = 1,
+        padding: int | None = None,
+        bias: bool = True,
+        seed: int | None = None,
+    ) -> None:
+        super().__init__()
+        n = ring.n
+        if in_channels % n or out_channels % n:
+            raise ValueError(
+                f"channels ({in_channels}, {out_channels}) must be multiples of n={n}"
+            )
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = kernel_size // 2 if padding is None else padding
+        self.ring = ring
+        self.g = Parameter(
+            ring_kaiming_normal(
+                (out_channels // n, in_channels // n, n, kernel_size, kernel_size),
+                fan_in=in_channels * kernel_size**2,
+                seed=seed,
+            )
+        )
+        self.bias = Parameter(np.zeros(out_channels)) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        weight = ring_expand(self.g, self.ring.m_tensor)
+        return conv2d(x, weight, self.bias, stride=self.stride, padding=self.padding)
+
+    def expanded_weight(self) -> np.ndarray:
+        """The isomorphic real filter bank (inference-time view)."""
+        return ring_expand(self.g.detach(), self.ring.m_tensor).data
+
+    def macs_per_pixel(self, num_products: int | None = None) -> int:
+        """Real multiplications per output pixel with an m-product algorithm."""
+        n = self.ring.n
+        m = num_products if num_products is not None else n
+        tuples = (self.out_channels // n) * (self.in_channels // n)
+        return tuples * m * self.kernel_size**2
+
+
+class ReLU(Module):
+    """Component-wise ReLU (the paper's f_cw when applied to tuples)."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.relu()
+
+
+class LeakyReLU(Module):
+    def __init__(self, slope: float = 0.1) -> None:
+        super().__init__()
+        self.slope = slope
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.leaky_relu(self.slope)
+
+
+class DirectionalReLU2d(Module):
+    """The paper's directional ReLU applied on channel n-tuples.
+
+    For feature maps (N, C, H, W) with C = C_t * n, consecutive channel
+    groups of size n form the tuples; the non-linearity rotates each tuple
+    by V, applies ReLU, and rotates back by U (Fig. 4).
+    """
+
+    def __init__(self, nonlinearity: DirectionalReLU) -> None:
+        super().__init__()
+        self.nonlinearity = nonlinearity
+        self.n = nonlinearity.n
+
+    def forward(self, x: Tensor) -> Tensor:
+        n = self.n
+        batch, channels, height, width = x.shape
+        if channels % n:
+            raise ValueError(f"channels {channels} not divisible by tuple size {n}")
+        tuples = channels // n
+        y = x.reshape(batch, tuples, n, height, width)
+        y = y.tuple_transform(self.nonlinearity.v_mat, axis=2)
+        y = y.relu()
+        y = y.tuple_transform(self.nonlinearity.u_mat, axis=2)
+        return y.reshape(batch, channels, height, width)
+
+
+def make_activation(nonlinearity: RingNonlinearity) -> Module:
+    """Build the layer realizing a catalog non-linearity."""
+    if isinstance(nonlinearity, DirectionalReLU):
+        return DirectionalReLU2d(nonlinearity)
+    return ReLU()
+
+
+class Sequential(Module):
+    """Chain of modules."""
+
+    def __init__(self, *layers: Module) -> None:
+        super().__init__()
+        self.layers = list(layers)
+
+    def forward(self, x: Tensor) -> Tensor:
+        for layer in self.layers:
+            x = layer(x)
+        return x
+
+    def __iter__(self):
+        return iter(self.layers)
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+    def __getitem__(self, idx: int) -> Module:
+        return self.layers[idx]
+
+
+class Linear(Module):
+    """Fully-connected layer."""
+
+    def __init__(self, in_features: int, out_features: int, bias: bool = True, seed=None) -> None:
+        super().__init__()
+        self.weight = Parameter(kaiming_normal((out_features, in_features), seed=seed))
+        self.bias = Parameter(np.zeros(out_features)) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x @ self.weight.transpose(1, 0)
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+
+class BatchNorm2d(Module):
+    """Batch normalization (kept real-valued for recognition, Appendix C)."""
+
+    def __init__(self, channels: int, momentum: float = 0.1, eps: float = 1e-5) -> None:
+        super().__init__()
+        self.gamma = Parameter(np.ones(channels))
+        self.beta = Parameter(np.zeros(channels))
+        self.running_mean = np.zeros(channels)
+        self.running_var = np.ones(channels)
+        self.momentum = momentum
+        self.eps = eps
+
+    def forward(self, x: Tensor) -> Tensor:
+        channels = x.shape[1]
+        if self.training:
+            mean = x.data.mean(axis=(0, 2, 3))
+            var = x.data.var(axis=(0, 2, 3))
+            self.running_mean = (1 - self.momentum) * self.running_mean + self.momentum * mean
+            self.running_var = (1 - self.momentum) * self.running_var + self.momentum * var
+        else:
+            mean, var = self.running_mean, self.running_var
+        shape = (1, channels, 1, 1)
+        scale = self.gamma.reshape(shape) * as_tensor(
+            (1.0 / np.sqrt(var + self.eps)).reshape(shape)
+        )
+        shift = self.beta.reshape(shape) - scale * as_tensor(mean.reshape(shape))
+        return x * scale + shift
+
+
+class PixelShuffle(Module):
+    def __init__(self, factor: int) -> None:
+        super().__init__()
+        self.factor = factor
+
+    def forward(self, x: Tensor) -> Tensor:
+        return pixel_shuffle(x, self.factor)
+
+
+class PixelUnshuffle(Module):
+    def __init__(self, factor: int) -> None:
+        super().__init__()
+        self.factor = factor
+
+    def forward(self, x: Tensor) -> Tensor:
+        return pixel_unshuffle(x, self.factor)
+
+
+class AvgPool2d(Module):
+    def __init__(self, kernel: int) -> None:
+        super().__init__()
+        self.kernel = kernel
+
+    def forward(self, x: Tensor) -> Tensor:
+        return avg_pool2d(x, self.kernel)
+
+
+class GlobalAvgPool(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.mean(axis=(2, 3))
+
+
+class Flatten(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.reshape(x.shape[0], -1)
+
+
+class Identity(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x

@@ -1,0 +1,32 @@
+"""Loss functions for image restoration and recognition."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .functional import softmax_cross_entropy
+from .tensor import Tensor, as_tensor
+
+__all__ = ["mse_loss", "l1_loss", "charbonnier_loss", "cross_entropy_loss"]
+
+
+def mse_loss(pred: Tensor, target) -> Tensor:
+    """Mean squared error (the paper's restoration training loss)."""
+    diff = pred - as_tensor(target)
+    return (diff * diff).mean()
+
+
+def l1_loss(pred: Tensor, target) -> Tensor:
+    """Mean absolute error."""
+    return (pred - as_tensor(target)).abs().mean()
+
+
+def charbonnier_loss(pred: Tensor, target, eps: float = 1e-3) -> Tensor:
+    """Smooth L1 variant common in SR training."""
+    diff = pred - as_tensor(target)
+    return ((diff * diff + eps * eps) ** 0.5).mean()
+
+
+def cross_entropy_loss(logits: Tensor, labels: np.ndarray) -> Tensor:
+    """Softmax cross-entropy on integer labels (Appendix C recognition)."""
+    return softmax_cross_entropy(logits, labels)

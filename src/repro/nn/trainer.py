@@ -1,0 +1,85 @@
+"""Training loop shared by every quality experiment.
+
+The paper trains all algebra variants "using the same training strategy"
+(Fig. 1) — this module is that single strategy: Adam + cosine decay on
+MSE, with gradient clipping for the higher learning rates the paper uses
+to get each algebra's best performance (Section VI-A).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable
+
+import numpy as np
+
+from .data import DataLoader
+from .loss import mse_loss
+from .module import Module
+from .optim import Adam, CosineLR, clip_grad_norm
+from .tensor import Tensor, no_grad
+
+__all__ = ["TrainConfig", "TrainResult", "train_model", "evaluate_mse"]
+
+
+@dataclasses.dataclass
+class TrainConfig:
+    """Hyper-parameters of the shared training recipe.
+
+    Mirrors the paper's Table III at reduced scale: Adam, cosine-decayed
+    learning rate, MSE loss; epochs/batches are sized for CPU training.
+    """
+
+    epochs: int = 6
+    lr: float = 2e-3
+    batch_size: int = 8
+    grad_clip: float = 5.0
+    min_lr_ratio: float = 0.05
+    seed: int = 0
+    loss_fn: Callable[[Tensor, np.ndarray], Tensor] = staticmethod(mse_loss)
+
+
+@dataclasses.dataclass
+class TrainResult:
+    """Loss trajectory of one training run."""
+
+    train_losses: list[float]
+    final_loss: float
+
+    @property
+    def epochs(self) -> int:
+        return len(self.train_losses)
+
+
+def train_model(model: Module, loader: DataLoader, config: TrainConfig) -> TrainResult:
+    """Train ``model`` in place and return the loss trajectory."""
+    params = model.parameters()
+    optimizer = Adam(params, lr=config.lr)
+    schedule = CosineLR(optimizer, total=config.epochs, min_lr=config.lr * config.min_lr_ratio)
+    model.train()
+    losses: list[float] = []
+    for _ in range(config.epochs):
+        epoch_loss = 0.0
+        batches = 0
+        for inputs, targets in loader:
+            optimizer.zero_grad()
+            pred = model(Tensor(inputs))
+            loss = config.loss_fn(pred, targets)
+            loss.backward()
+            if config.grad_clip:
+                clip_grad_norm(params, config.grad_clip)
+            optimizer.step()
+            epoch_loss += float(loss.data)
+            batches += 1
+        schedule.step()
+        losses.append(epoch_loss / max(1, batches))
+    model.eval()
+    return TrainResult(train_losses=losses, final_loss=losses[-1] if losses else float("nan"))
+
+
+def evaluate_mse(model: Module, inputs: np.ndarray, targets: np.ndarray) -> float:
+    """Mean squared error of the model on a held-out array pair."""
+    model.eval()
+    with no_grad():
+        pred = model(Tensor(inputs))
+        return float(((pred.data - targets) ** 2).mean())

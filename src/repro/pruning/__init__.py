@@ -1,0 +1,29 @@
+"""Pruning baselines: unstructured magnitude and structured channel pruning."""
+
+from .magnitude import (
+    apply_masks,
+    finetune_pruned,
+    global_magnitude_masks,
+    prunable_parameters,
+    prune_model,
+    sparsity_of,
+)
+from .structured import (
+    apply_channel_masks,
+    channel_norms,
+    channel_sparsity,
+    structured_masks,
+)
+
+__all__ = [
+    "apply_masks",
+    "finetune_pruned",
+    "global_magnitude_masks",
+    "prunable_parameters",
+    "prune_model",
+    "sparsity_of",
+    "apply_channel_masks",
+    "channel_norms",
+    "channel_sparsity",
+    "structured_masks",
+]

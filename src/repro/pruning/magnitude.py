@@ -1,0 +1,107 @@
+"""Unstructured magnitude-based weight pruning (paper Figs. 1 and 11).
+
+The paper's comparison baseline: pre-train a real-valued CNN, zero the
+globally-smallest weights to reach a compression ratio, then fine-tune
+with the sparsity mask enforced.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn.data import DataLoader
+from ..nn.module import Module
+from ..nn.optim import Adam, CosineLR, clip_grad_norm
+from ..nn.tensor import Tensor
+from ..nn.trainer import TrainConfig, TrainResult
+
+__all__ = [
+    "prunable_parameters",
+    "global_magnitude_masks",
+    "apply_masks",
+    "prune_model",
+    "finetune_pruned",
+    "sparsity_of",
+]
+
+
+def prunable_parameters(model: Module) -> dict[str, "np.ndarray"]:
+    """Multi-dimensional (conv / ring / linear) weights; biases are kept."""
+    return {
+        name: param for name, param in model.named_parameters() if param.data.ndim >= 2
+    }
+
+
+def global_magnitude_masks(model: Module, compression: float) -> dict[str, np.ndarray]:
+    """Binary keep-masks reaching ``compression``x fewer non-zero weights.
+
+    A single global magnitude threshold ranks all prunable weights
+    together (the paper's unstructured magnitude-based pruning).
+    """
+    if compression < 1.0:
+        raise ValueError("compression ratio must be >= 1")
+    params = prunable_parameters(model)
+    all_magnitudes = np.concatenate([np.abs(p.data).reshape(-1) for p in params.values()])
+    keep_fraction = 1.0 / compression
+    keep_count = int(round(keep_fraction * all_magnitudes.size))
+    if keep_count >= all_magnitudes.size:
+        return {name: np.ones_like(p.data, dtype=bool) for name, p in params.items()}
+    threshold = np.partition(all_magnitudes, -keep_count)[-keep_count] if keep_count else np.inf
+    return {name: np.abs(p.data) >= threshold for name, p in params.items()}
+
+
+def apply_masks(model: Module, masks: dict[str, np.ndarray]) -> None:
+    """Zero out pruned weights in place."""
+    params = dict(model.named_parameters())
+    for name, mask in masks.items():
+        params[name].data *= mask
+
+
+def prune_model(model: Module, compression: float) -> dict[str, np.ndarray]:
+    """Prune in place to ``compression``x and return the masks."""
+    masks = global_magnitude_masks(model, compression)
+    apply_masks(model, masks)
+    return masks
+
+
+def sparsity_of(model: Module, masks: dict[str, np.ndarray] | None = None) -> float:
+    """Fraction of zeroed prunable weights."""
+    params = prunable_parameters(model)
+    total = sum(p.data.size for p in params.values())
+    if masks is not None:
+        zeros = sum(int((~m).sum()) for m in masks.values())
+    else:
+        zeros = sum(int((p.data == 0).sum()) for p in params.values())
+    return zeros / total if total else 0.0
+
+
+def finetune_pruned(
+    model: Module,
+    masks: dict[str, np.ndarray],
+    loader: DataLoader,
+    config: TrainConfig,
+) -> TrainResult:
+    """Fine-tune with the sparsity pattern enforced after every step."""
+    params = model.parameters()
+    named = dict(model.named_parameters())
+    optimizer = Adam(params, lr=config.lr)
+    schedule = CosineLR(optimizer, total=config.epochs, min_lr=config.lr * config.min_lr_ratio)
+    model.train()
+    losses: list[float] = []
+    for _ in range(config.epochs):
+        epoch_loss, batches = 0.0, 0
+        for inputs, targets in loader:
+            optimizer.zero_grad()
+            loss = config.loss_fn(model(Tensor(inputs)), targets)
+            loss.backward()
+            if config.grad_clip:
+                clip_grad_norm(params, config.grad_clip)
+            optimizer.step()
+            for name, mask in masks.items():
+                named[name].data *= mask
+            epoch_loss += float(loss.data)
+            batches += 1
+        schedule.step()
+        losses.append(epoch_loss / max(1, batches))
+    model.eval()
+    return TrainResult(train_losses=losses, final_loss=losses[-1] if losses else float("nan"))

@@ -1,0 +1,81 @@
+"""Structured (filter) pruning, LeGR-style (paper Appendix C baseline).
+
+Whole output channels are removed by zeroing their filters; filters are
+ranked by L2 norm with a learned-global-ranking stand-in (norm scaled by
+a per-layer sensitivity factor).  Zeroed channels count as removed for
+the compute/compression accounting of Fig. C-1.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn.layers import Conv2d
+from ..nn.module import Module
+
+__all__ = ["channel_norms", "structured_masks", "apply_channel_masks", "channel_sparsity"]
+
+
+def channel_norms(model: Module) -> dict[int, np.ndarray]:
+    """L2 norm of every output filter, keyed by conv-module id."""
+    norms: dict[int, np.ndarray] = {}
+    for module in model.modules():
+        if isinstance(module, Conv2d):
+            w = module.weight.data
+            norms[id(module)] = np.sqrt((w**2).sum(axis=(1, 2, 3)))
+    return norms
+
+
+def structured_masks(
+    model: Module, compression: float, protect_last: bool = True
+) -> dict[int, np.ndarray]:
+    """Per-conv boolean channel keep-masks reaching ``compression``x.
+
+    Ranks all filters globally by normalized norm (each layer's norms are
+    scaled to unit median — the LeGR-like global ranking) and drops the
+    weakest.  At least one channel per layer is always kept, and the
+    final conv (image output) is protected by default.
+    """
+    convs = [m for m in model.modules() if isinstance(m, Conv2d)]
+    if protect_last and convs:
+        convs = convs[:-1]
+    entries: list[tuple[float, int, int]] = []  # (score, module-id, channel)
+    norms = {}
+    for module in convs:
+        w = module.weight.data
+        norm = np.sqrt((w**2).sum(axis=(1, 2, 3)))
+        scale = np.median(norm) + 1e-12
+        norms[id(module)] = norm
+        for ch, value in enumerate(norm / scale):
+            entries.append((float(value), id(module), ch))
+    total = len(entries)
+    keep = int(round(total / compression))
+    entries.sort()
+    drop = {(mid, ch) for _, mid, ch in entries[: total - keep]}
+    masks: dict[int, np.ndarray] = {}
+    for module in convs:
+        mid = id(module)
+        mask = np.array(
+            [(mid, ch) not in drop for ch in range(module.out_channels)], dtype=bool
+        )
+        if not mask.any():
+            mask[int(np.argmax(norms[mid]))] = True
+        masks[mid] = mask
+    return masks
+
+
+def apply_channel_masks(model: Module, masks: dict[int, np.ndarray]) -> None:
+    """Zero whole filters (weight rows and biases) in place."""
+    for module in model.modules():
+        if isinstance(module, Conv2d) and id(module) in masks:
+            mask = masks[id(module)]
+            module.weight.data *= mask[:, None, None, None]
+            if module.bias is not None:
+                module.bias.data *= mask
+
+
+def channel_sparsity(masks: dict[int, np.ndarray]) -> float:
+    """Fraction of removed channels across masked convs."""
+    total = sum(m.size for m in masks.values())
+    removed = sum(int((~m).sum()) for m in masks.values())
+    return removed / total if total else 0.0

@@ -1,0 +1,24 @@
+"""Dynamic fixed-point quantization (paper Section IV-C)."""
+
+from .qformat import QFormat, choose_qformat, componentwise_qformats, quantize_dynamic
+from .quantize import (
+    Quantize,
+    QuantizedDirectionalReLU2d,
+    QuantizingFactory,
+    calibrate,
+    quantize_weights,
+    set_quantization_enabled,
+)
+
+__all__ = [
+    "QFormat",
+    "choose_qformat",
+    "componentwise_qformats",
+    "quantize_dynamic",
+    "Quantize",
+    "QuantizedDirectionalReLU2d",
+    "QuantizingFactory",
+    "calibrate",
+    "quantize_weights",
+    "set_quantization_enabled",
+]

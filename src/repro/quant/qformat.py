@@ -1,0 +1,94 @@
+"""Fixed-point Q-format arithmetic (paper Section IV-C, ref. [1]).
+
+A Q-format (w, f) represents numbers with ``w`` total bits of which ``f``
+are fractional: step 2^-f, range [-2^(w-1-f), 2^(w-1-f) - 2^-f].  The
+paper uses *dynamic* quantization — per-layer Q-formats chosen from the
+observed dynamic range — and, for the directional ReLU, *component-wise*
+Q-formats (one per tuple component) to avoid the saturation errors a
+single shared format would cause (Section IV-C).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+__all__ = [
+    "QFormat",
+    "choose_qformat",
+    "quantize_dynamic",
+    "componentwise_qformats",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class QFormat:
+    """A fixed-point format with ``word_bits`` total and ``frac_bits`` fractional."""
+
+    frac_bits: int
+    word_bits: int = 8
+
+    @property
+    def step(self) -> float:
+        """Quantization step 2^-f."""
+        return 2.0 ** (-self.frac_bits)
+
+    @property
+    def max_value(self) -> float:
+        return (2.0 ** (self.word_bits - 1) - 1) * self.step
+
+    @property
+    def min_value(self) -> float:
+        return -(2.0 ** (self.word_bits - 1)) * self.step
+
+    def quantize(self, x: np.ndarray) -> np.ndarray:
+        """Round-to-nearest with saturation."""
+        q = np.round(np.asarray(x, dtype=float) / self.step) * self.step
+        return np.clip(q, self.min_value, self.max_value)
+
+    def quantization_error(self, x: np.ndarray) -> float:
+        """RMS error introduced on ``x``."""
+        return float(np.sqrt(np.mean((self.quantize(x) - np.asarray(x)) ** 2)))
+
+
+def choose_qformat(x: np.ndarray, word_bits: int = 8) -> QFormat:
+    """Dynamic Q-format: the most fractional bits that avoid saturation.
+
+    The integer part must hold max|x|, i.e. ``w - 1 - f >= ceil(log2(max|x|))``.
+    """
+    peak = float(np.max(np.abs(x))) if np.asarray(x).size else 0.0
+    if peak == 0.0:
+        return QFormat(frac_bits=word_bits - 1, word_bits=word_bits)
+    int_bits = max(0, int(np.ceil(np.log2(peak + 1e-12))))
+    # Allow peak exactly at a power of two to use one fewer integer bit.
+    if peak <= 2.0**int_bits - 2.0 ** (int_bits - word_bits + 1):
+        pass
+    frac = word_bits - 1 - int_bits
+    return QFormat(frac_bits=frac, word_bits=word_bits)
+
+
+def quantize_dynamic(x: np.ndarray, word_bits: int = 8) -> tuple[np.ndarray, QFormat]:
+    """Quantize with a freshly chosen dynamic Q-format."""
+    fmt = choose_qformat(x, word_bits)
+    return fmt.quantize(x), fmt
+
+
+def componentwise_qformats(
+    x: np.ndarray, n: int, axis: int, word_bits: int = 8
+) -> list[QFormat]:
+    """One Q-format per tuple component (paper's fix for the directional ReLU).
+
+    ``x`` is grouped into n-tuples along ``axis`` (size must divide by n);
+    component i aggregates slices ``axis % n == i``.
+    """
+    x = np.asarray(x)
+    size = x.shape[axis]
+    if size % n:
+        raise ValueError(f"axis size {size} not divisible by tuple size {n}")
+    formats = []
+    for comp in range(n):
+        index = [slice(None)] * x.ndim
+        index[axis] = slice(comp, None, n)
+        formats.append(choose_qformat(x[tuple(index)], word_bits))
+    return formats

@@ -1,0 +1,35 @@
+"""Ring algebra for neural networks (paper Section III)."""
+
+from . import backprop, catalog, properties, search
+from .base import Ring, indexing_tensor_from_sp, sp_from_indexing_tensor
+from .catalog import RingSpec, get_ring, proposed_pair, ring_names, table1_rings
+from .fast import FastAlgorithm, identity_fast, solve_reconstruction, synthesize_fast
+from .grank import estimate_grank
+from .nonlinearity import ComponentReLU, DirectionalReLU, hadamard_relu, householder_relu
+from .transforms import hadamard, reflected_householder
+
+__all__ = [
+    "backprop",
+    "catalog",
+    "properties",
+    "search",
+    "Ring",
+    "indexing_tensor_from_sp",
+    "sp_from_indexing_tensor",
+    "RingSpec",
+    "get_ring",
+    "proposed_pair",
+    "ring_names",
+    "table1_rings",
+    "FastAlgorithm",
+    "identity_fast",
+    "solve_reconstruction",
+    "synthesize_fast",
+    "estimate_grank",
+    "ComponentReLU",
+    "DirectionalReLU",
+    "hadamard_relu",
+    "householder_relu",
+    "hadamard",
+    "reflected_householder",
+]

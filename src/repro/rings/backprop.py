@@ -1,0 +1,87 @@
+"""Backprop expressed in ring terminology (paper Section IV-B).
+
+Training treats a RingCNN as the isomorphic real-valued CNN, so
+``grad_x L = G(g)^T grad_z L``.  For the paper's rings this transpose is
+itself a ring multiplication by an *adjoint weight*:
+
+* ``R_I``, ``R_H``, ``R_O4`` — G is symmetric, so ``grad_x = g . grad_z``;
+* ``R_H4-I`` (circulant) — ``grad_x = g_c . grad_z`` with the circular
+  fold ``g_c = (g0, g3, g2, g1)``;
+* ``H`` (quaternions) — ``grad_x = g* . grad_z`` with the quaternion
+  conjugate ``g* = (g0, -g1, -g2, -g3)``.
+
+:func:`adjoint_weight` recovers the adjoint for *any* ring by solving the
+linear system ``G(h) = G(g)^T`` over the basis matrices (when solvable).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .catalog import RingSpec
+
+__all__ = [
+    "adjoint_weight",
+    "circular_fold",
+    "quaternion_conjugate",
+    "grad_input",
+    "verify_backprop_identity",
+]
+
+
+def circular_fold(g: np.ndarray) -> np.ndarray:
+    """g_c: index reversal modulo n — the circulant ring's adjoint weight."""
+    g = np.asarray(g, dtype=float)
+    return np.concatenate([g[:1], g[:0:-1]])
+
+
+def quaternion_conjugate(g: np.ndarray) -> np.ndarray:
+    """g*: negate the vector part — the quaternion adjoint weight."""
+    g = np.asarray(g, dtype=float)
+    out = -g
+    out[0] = g[0]
+    return out
+
+
+def adjoint_weight(spec: RingSpec, g: np.ndarray, atol: float = 1e-9) -> np.ndarray | None:
+    """Solve ``G(h) = G(g)^T`` for h, or None if the transpose leaves the ring.
+
+    Since ``G(h) = sum_k h_k E_k`` the problem is linear in h; exact
+    solvability means the gradient flow of Backprop is itself a ring
+    multiplication (the paper's Section IV-B observation).
+    """
+    g = np.asarray(g, dtype=float)
+    n = spec.n
+    basis = spec.ring.basis_matrices()  # (n, n, n), E_k
+    design = basis.reshape(n, n * n).T  # columns are vec(E_k)
+    target = spec.ring.isomorphic_matrix(g).T.reshape(n * n)
+    h, *_ = np.linalg.lstsq(design, target)
+    if np.max(np.abs(design @ h - target)) > atol:
+        return None
+    return h
+
+
+def grad_input(spec: RingSpec, g: np.ndarray, grad_z: np.ndarray) -> np.ndarray:
+    """grad_x L = G(g)^T grad_z L, computed in matrix form (ground truth)."""
+    return np.einsum(
+        "...ji,...j->...i", spec.ring.isomorphic_matrix(np.asarray(g, dtype=float)),
+        np.asarray(grad_z, dtype=float),
+    )
+
+
+def verify_backprop_identity(
+    spec: RingSpec, seed: int = 0, samples: int = 8, atol: float = 1e-8
+) -> bool:
+    """Check grad_x = adjoint(g) . grad_z on random weights/gradients."""
+    rng = np.random.default_rng(seed)
+    for _ in range(samples):
+        g = rng.standard_normal(spec.n)
+        grad_z = rng.standard_normal(spec.n)
+        h = adjoint_weight(spec, g)
+        if h is None:
+            return False
+        lhs = spec.ring.multiply(h, grad_z)
+        rhs = grad_input(spec, g, grad_z)
+        if not np.allclose(lhs, rhs, atol=atol):
+            return False
+    return True

@@ -1,0 +1,291 @@
+"""Core ring-algebra machinery (paper Section III-A).
+
+A *ring* here is the set of real-valued n-tuples equipped with
+component-wise addition and a bilinear multiplication
+
+    z = g . x,     z_i = sum_{j,k} M[i, k, j] * g_k * x_j        (paper eq. 3)
+
+where ``M`` is a 3-D *indexing tensor* whose entries are -1, 0 or 1.  The
+multiplication is isomorphic to a matrix-vector product ``z = G(g) x`` with
+
+    G(g)[i, j] = sum_k M[i, k, j] * g_k                           (paper eq. 4)
+
+Rings satisfying the *exclusive sub-product distribution* (paper eq. 9)
+are fully described by a sign matrix ``S`` and a permutation-indexing
+matrix ``P``:  ``G[i, j] = S[i, j] * g[P[i, j]]``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+__all__ = [
+    "Ring",
+    "indexing_tensor_from_sp",
+    "sp_from_indexing_tensor",
+    "random_tuples",
+]
+
+
+def indexing_tensor_from_sp(sign: np.ndarray, perm: np.ndarray) -> np.ndarray:
+    """Build the indexing tensor M from a sign matrix and permutation matrix.
+
+    ``M[i, k, j] = sign[i, j]`` if ``perm[i, j] == k`` else 0 (paper eq. 9).
+
+    Args:
+        sign: (n, n) array with entries in {-1, +1}.
+        perm: (n, n) integer array; every row and column must be a
+            permutation of {0, ..., n-1} for a *proper* ring, but this
+            constructor does not enforce that (``R_I`` uses a degenerate P).
+
+    Returns:
+        (n, n, n) float array M indexed as ``M[i, k, j]``.
+    """
+    sign = np.asarray(sign, dtype=float)
+    perm = np.asarray(perm, dtype=int)
+    if sign.shape != perm.shape or sign.ndim != 2 or sign.shape[0] != sign.shape[1]:
+        raise ValueError("sign and perm must be square matrices of equal shape")
+    n = sign.shape[0]
+    m_tensor = np.zeros((n, n, n))
+    for i in range(n):
+        for j in range(n):
+            m_tensor[i, perm[i, j], j] = sign[i, j]
+    return m_tensor
+
+
+def sp_from_indexing_tensor(m_tensor: np.ndarray) -> tuple[np.ndarray, np.ndarray] | None:
+    """Recover (S, P) from an indexing tensor, or None if M is not exclusive.
+
+    The inverse of :func:`indexing_tensor_from_sp`: succeeds only when each
+    (i, j) fibre ``M[i, :, j]`` has exactly one non-zero entry equal to +-1.
+    """
+    m_tensor = np.asarray(m_tensor, dtype=float)
+    n = m_tensor.shape[0]
+    sign = np.zeros((n, n))
+    perm = np.zeros((n, n), dtype=int)
+    for i in range(n):
+        for j in range(n):
+            fibre = m_tensor[i, :, j]
+            nz = np.nonzero(fibre)[0]
+            if len(nz) != 1 or abs(fibre[nz[0]]) != 1.0:
+                return None
+            perm[i, j] = nz[0]
+            sign[i, j] = fibre[nz[0]]
+    return sign, perm
+
+
+def random_tuples(n: int, count: int, rng: np.random.Generator) -> np.ndarray:
+    """Sample ``count`` random n-tuples for property checks, shape (count, n)."""
+    return rng.standard_normal((count, n))
+
+
+@dataclasses.dataclass(frozen=True)
+class Ring:
+    """An n-tuple ring defined by its bilinear indexing tensor.
+
+    Attributes:
+        name: Human-readable symbol, e.g. ``"C"`` or ``"R_H4"``.
+        m_tensor: The (n, n, n) indexing tensor ``M[i, k, j]`` of eq. (3).
+        description: One-line provenance note.
+    """
+
+    name: str
+    m_tensor: np.ndarray
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        m_tensor = np.asarray(self.m_tensor, dtype=float)
+        if m_tensor.ndim != 3 or len(set(m_tensor.shape)) != 1:
+            raise ValueError("indexing tensor must be cubical (n, n, n)")
+        object.__setattr__(self, "m_tensor", m_tensor)
+
+    # ------------------------------------------------------------------
+    # basic structure
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Tuple dimension (the paper's n)."""
+        return self.m_tensor.shape[0]
+
+    @property
+    def dof(self) -> int:
+        """Degrees of freedom of the isomorphic matrix G (always n here)."""
+        return self.n
+
+    def sign_perm(self) -> tuple[np.ndarray, np.ndarray] | None:
+        """Return (S, P) when the ring is exclusive (paper eq. 9), else None."""
+        return sp_from_indexing_tensor(self.m_tensor)
+
+    def is_exclusive(self) -> bool:
+        """True when every sub-product g_k x_j feeds exactly one output."""
+        return self.sign_perm() is not None
+
+    # ------------------------------------------------------------------
+    # arithmetic
+    # ------------------------------------------------------------------
+    def isomorphic_matrix(self, g: np.ndarray) -> np.ndarray:
+        """Matrix G(g) with ``g . x == G(g) @ x`` (paper eq. 4).
+
+        ``g`` may carry leading batch dimensions: shape (..., n) maps to
+        (..., n, n).
+        """
+        g = np.asarray(g, dtype=float)
+        return np.einsum("ikj,...k->...ij", self.m_tensor, g)
+
+    def multiply(self, g: np.ndarray, x: np.ndarray) -> np.ndarray:
+        """Ring product ``g . x`` (paper eq. 2/3); broadcasts over batches."""
+        g = np.asarray(g, dtype=float)
+        x = np.asarray(x, dtype=float)
+        return np.einsum("ikj,...k,...j->...i", self.m_tensor, g, x)
+
+    def add(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Ring addition: component-wise vector addition."""
+        return np.asarray(a, dtype=float) + np.asarray(b, dtype=float)
+
+    def unity(self) -> np.ndarray | None:
+        """The multiplicative unity ``1`` (paper condition C1), if it exists.
+
+        Solves ``G(e) = I`` for ``e`` via least squares and verifies both
+        ``e . x == x`` and ``x . e == x`` structurally.
+        """
+        n = self.n
+        # G(e) = I  <=>  sum_k M[i,k,j] e_k = delta_ij : n^2 equations.
+        coeffs = self.m_tensor.transpose(0, 2, 1).reshape(n * n, n)
+        rhs = np.eye(n).reshape(n * n)
+        e, *_ = np.linalg.lstsq(coeffs, rhs)
+        if not np.allclose(coeffs @ e, rhs, atol=1e-9):
+            return None
+        # Left unity as well: x . e == x  <=>  sum_j M[i,k,j] e_j = delta_ik.
+        coeffs_left = self.m_tensor.reshape(n * n, n)
+        if not np.allclose(coeffs_left @ e, np.eye(n).reshape(n * n), atol=1e-9):
+            return None
+        return e
+
+    # ------------------------------------------------------------------
+    # algebraic property checks (paper Appendix B)
+    # ------------------------------------------------------------------
+    def is_commutative(self) -> bool:
+        """Exact commutativity check: M[i, k, j] == M[i, j, k] for all i."""
+        return bool(np.allclose(self.m_tensor, self.m_tensor.transpose(0, 2, 1)))
+
+    def basis_matrices(self) -> np.ndarray:
+        """Isomorphic matrices E_k of the standard-basis tuples e_k.
+
+        Lemma B.2: ``G(g) = sum_k g_k E_k`` with ``E_k[i, j] = M[i, k, j]``.
+        Returns shape (n, n, n) indexed as ``E[k]``.
+        """
+        return self.m_tensor.transpose(1, 0, 2).copy()
+
+    def is_associative(self, samples: int = 8, seed: int = 0) -> bool:
+        """Associativity via Lemma B.1: C == A @ B whenever c = a . b.
+
+        Checked exactly on the bilinear structure: associativity holds iff
+        ``G(a . b) == G(a) @ G(b)`` for all a, b, which is a bilinear
+        identity — verifying it on a spanning set (all basis pairs) is exact.
+        """
+        basis = self.basis_matrices()
+        n = self.n
+        for k in range(n):
+            for j in range(n):
+                prod = self.multiply(np.eye(n)[k], np.eye(n)[j])
+                if not np.allclose(self.isomorphic_matrix(prod), basis[k] @ basis[j], atol=1e-9):
+                    return False
+        # Redundant randomized spot-check guards indexing mistakes above.
+        rng = np.random.default_rng(seed)
+        for _ in range(samples):
+            a, b, c = rng.standard_normal((3, n))
+            left = self.multiply(self.multiply(a, b), c)
+            right = self.multiply(a, self.multiply(b, c))
+            if not np.allclose(left, right, atol=1e-8):
+                return False
+        return True
+
+    def is_distributive(self, samples: int = 4, seed: int = 0) -> bool:
+        """Distributivity holds by bilinearity; randomized sanity check."""
+        rng = np.random.default_rng(seed)
+        n = self.n
+        for _ in range(samples):
+            a, b, c = rng.standard_normal((3, n))
+            if not np.allclose(self.multiply(a, b + c), self.multiply(a, b) + self.multiply(a, c)):
+                return False
+        return True
+
+    def satisfies_c1(self) -> bool:
+        """Condition C1: first column of G is g itself and unity is e_0."""
+        sp = self.sign_perm()
+        if sp is None:
+            return False
+        sign, perm = sp
+        first_col_ok = np.array_equal(perm[:, 0], np.arange(self.n)) and np.all(sign[:, 0] == 1)
+        diag_ok = np.all(np.diag(perm) == 0) and np.all(np.diag(sign) == 1)
+        e = self.unity()
+        unity_ok = e is not None and np.allclose(e, np.eye(self.n)[0])
+        return bool(first_col_ok and diag_ok and unity_ok)
+
+    def satisfies_c2(self) -> bool:
+        """Condition C2 (cyclic mapping): P[i, P[i, j]] == j, S[i, j] == S[i, P[i, j]].
+
+        Equivalent to commutativity for exclusive rings.
+        """
+        sp = self.sign_perm()
+        if sp is None:
+            return False
+        sign, perm = sp
+        n = self.n
+        for i in range(n):
+            for j in range(n):
+                jp = perm[i, j]
+                if perm[i, jp] != j or sign[i, jp] != sign[i, j]:
+                    return False
+        return True
+
+    def permutation_matrices_commute(self) -> bool:
+        """Condition (iii) of Theorem B.3: E_k E_j == E_j E_k for all j, k."""
+        basis = self.basis_matrices()
+        n = self.n
+        for k in range(n):
+            for j in range(k + 1, n):
+                if not np.allclose(basis[k] @ basis[j], basis[j] @ basis[k], atol=1e-9):
+                    return False
+        return True
+
+    # ------------------------------------------------------------------
+    # diagonalizability (paper Appendix A)
+    # ------------------------------------------------------------------
+    def real_diagonalizer(self, seed: int = 0, trials: int = 4) -> np.ndarray | None:
+        """A real T with ``T @ G(g) @ inv(T) = diag`` for *all* g, or None.
+
+        Because ``G(g) = sum g_k E_k``, a simultaneous diagonalizer of the
+        basis matrices E_k diagonalizes the whole family.  We eigendecompose
+        G at a generic random g and verify on every basis matrix.
+        """
+        rng = np.random.default_rng(seed)
+        basis = self.basis_matrices()
+        for _ in range(trials):
+            g = rng.standard_normal(self.n)
+            mat = self.isomorphic_matrix(g)
+            eigvals, eigvecs = np.linalg.eig(mat)
+            if np.abs(eigvals.imag).max() > 1e-9 or np.abs(eigvecs.imag).max() > 1e-9:
+                continue
+            try:
+                t_inv = eigvecs.real
+                t_mat = np.linalg.inv(t_inv)
+            except np.linalg.LinAlgError:
+                continue
+            ok = all(
+                np.allclose(t_mat @ e_k @ t_inv, np.diag(np.diag(t_mat @ e_k @ t_inv)), atol=1e-8)
+                for e_k in basis
+            )
+            if ok:
+                return t_mat
+        return None
+
+    def matrix_rank(self, seed: int = 0) -> int:
+        """rank(G(g)) at a generic g — the paper's rank(G)."""
+        rng = np.random.default_rng(seed)
+        return int(np.linalg.matrix_rank(self.isomorphic_matrix(rng.standard_normal(self.n))))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Ring(name={self.name!r}, n={self.n})"

@@ -1,0 +1,215 @@
+"""Fast bilinear algorithms for ring multiplication (paper Section III-B).
+
+A fast algorithm computes ``z = g . x`` in three steps (paper eqs. 6-8):
+
+    filter/data transform:      g~ = Tg g,   x~ = Tx x      (m-tuples)
+    component-wise product:     z~ = g~ o x~
+    reconstruction transform:   z  = Tz z~
+
+It is *exact* for a ring with indexing tensor M iff
+
+    M[i, k, j] == sum_p Tz[i, p] * Tg[p, k] * Tx[p, j]
+
+which is a rank-m CP decomposition of M.  This module provides the
+algorithm container, exact verification, a reconstruction-matrix solver
+(given candidate Tg/Tx), and automatic synthesis from diagonalization
+(Appendix A) or CP decomposition.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from .base import Ring
+from .grank import cp_decompose
+
+__all__ = [
+    "FastAlgorithm",
+    "solve_reconstruction",
+    "fast_from_diagonalization",
+    "fast_from_cp",
+    "identity_fast",
+    "synthesize_fast",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class FastAlgorithm:
+    """A bilinear fast algorithm (Tg, Tx, Tz) with m component-wise products.
+
+    Attributes:
+        tg: (m, n) filter transform.
+        tx: (m, n) data transform.
+        tz: (n, m) reconstruction transform.
+    """
+
+    tg: np.ndarray
+    tx: np.ndarray
+    tz: np.ndarray
+
+    def __post_init__(self) -> None:
+        tg = np.asarray(self.tg, dtype=float)
+        tx = np.asarray(self.tx, dtype=float)
+        tz = np.asarray(self.tz, dtype=float)
+        if tg.shape != tx.shape or tz.shape != (tg.shape[1], tg.shape[0]):
+            raise ValueError(
+                f"inconsistent shapes: Tg {tg.shape}, Tx {tx.shape}, Tz {tz.shape}"
+            )
+        object.__setattr__(self, "tg", tg)
+        object.__setattr__(self, "tx", tx)
+        object.__setattr__(self, "tz", tz)
+
+    @property
+    def n(self) -> int:
+        """Tuple dimension."""
+        return self.tg.shape[1]
+
+    @property
+    def num_products(self) -> int:
+        """m — the number of real-valued multiplications (paper eq. 7)."""
+        return self.tg.shape[0]
+
+    def bilinear_tensor(self) -> np.ndarray:
+        """The indexing tensor this algorithm realizes: M[i,k,j]."""
+        return np.einsum("ip,pk,pj->ikj", self.tz, self.tg, self.tx)
+
+    def residual(self, ring: Ring) -> float:
+        """Max-abs deviation from the ring's indexing tensor (0 => exact)."""
+        return float(np.max(np.abs(self.bilinear_tensor() - ring.m_tensor)))
+
+    def verify(self, ring: Ring, atol: float = 1e-8) -> bool:
+        """Exact structural verification against a ring."""
+        return self.residual(ring) <= atol
+
+    def apply(self, g: np.ndarray, x: np.ndarray) -> np.ndarray:
+        """Compute g . x through the three-step pipeline; broadcasts batches."""
+        g_t = np.einsum("pk,...k->...p", self.tg, np.asarray(g, dtype=float))
+        x_t = np.einsum("pj,...j->...p", self.tx, np.asarray(x, dtype=float))
+        return np.einsum("ip,...p->...i", self.tz, g_t * x_t)
+
+    def transform_filter(self, g: np.ndarray) -> np.ndarray:
+        """g~ = Tg g (applied once per weight; paper Section IV-C)."""
+        return np.einsum("pk,...k->...p", self.tg, np.asarray(g, dtype=float))
+
+    def transform_data(self, x: np.ndarray) -> np.ndarray:
+        """x~ = Tx x."""
+        return np.einsum("pj,...j->...p", self.tx, np.asarray(x, dtype=float))
+
+    def reconstruct(self, z_t: np.ndarray) -> np.ndarray:
+        """z = Tz z~."""
+        return np.einsum("ip,...p->...i", self.tz, np.asarray(z_t, dtype=float))
+
+    def fold_scale_into_filter(self) -> "FastAlgorithm":
+        """Push per-product scale factors of Tz into Tg.
+
+        Hardware keeps Tx and Tz as pure adder trees (entries in
+        {-1, 0, +1}); any common scale of a Tz column is moved into the
+        (offline) filter transform.  Returns an equivalent algorithm.
+        """
+        tz = self.tz.copy()
+        tg = self.tg.copy()
+        for p in range(self.num_products):
+            col = tz[:, p]
+            nz = np.abs(col[np.abs(col) > 1e-12])
+            if len(nz) == 0:
+                continue
+            scale = float(nz.min())
+            if scale not in (0.0, 1.0):
+                tz[:, p] /= scale
+                tg[p, :] *= scale
+        return FastAlgorithm(tg=tg, tx=self.tx, tz=tz)
+
+
+def solve_reconstruction(
+    ring: Ring, tg: np.ndarray, tx: np.ndarray, atol: float = 1e-8
+) -> FastAlgorithm | None:
+    """Solve for Tz given candidate transforms, or None if no exact Tz exists.
+
+    For each output i we need ``M[i] == sum_p Tz[i, p] * outer(Tg[p], Tx[p])``:
+    a least-squares problem in the m unknowns Tz[i, :].
+    """
+    tg = np.asarray(tg, dtype=float)
+    tx = np.asarray(tx, dtype=float)
+    n = ring.n
+    m = tg.shape[0]
+    design = np.stack([np.outer(tg[p], tx[p]).reshape(-1) for p in range(m)], axis=1)
+    tz = np.zeros((n, m))
+    for i in range(n):
+        target = ring.m_tensor[i].reshape(-1)
+        sol, *_ = np.linalg.lstsq(design, target)
+        if np.max(np.abs(design @ sol - target)) > atol:
+            return None
+        tz[i] = sol
+    algo = FastAlgorithm(tg=tg, tx=tx, tz=tz)
+    return algo if algo.verify(ring, atol=atol) else None
+
+
+def identity_fast(n: int) -> FastAlgorithm:
+    """The trivial fast algorithm of R_I: all transforms are the identity."""
+    eye = np.eye(n)
+    return FastAlgorithm(tg=eye, tx=eye.copy(), tz=eye.copy())
+
+
+def fast_from_diagonalization(ring: Ring, seed: int = 0) -> FastAlgorithm | None:
+    """Minimal algorithm for a real-diagonalizable G (paper Theorem A.1b).
+
+    With ``G = T^-1 D T`` the algorithm is ``Tz = T^-1``, ``Tx = T`` and
+    ``Tg`` maps g to diag(D); m = rank(G) = n.
+    """
+    t_mat = ring.real_diagonalizer(seed=seed)
+    if t_mat is None:
+        return None
+    t_inv = np.linalg.inv(t_mat)
+    n = ring.n
+    # Tg from the diagonal of T G(e_k) T^-1, linear in g.
+    tg = np.zeros((n, n))
+    for k in range(n):
+        tg[:, k] = np.diag(t_mat @ ring.basis_matrices()[k] @ t_inv)
+    algo = FastAlgorithm(tg=tg, tx=t_mat, tz=t_inv)
+    return algo if algo.verify(ring) else None
+
+
+def fast_from_cp(ring: Ring, rank: int, seed: int = 0, restarts: int = 20) -> FastAlgorithm | None:
+    """Fast algorithm from a rank-``rank`` CP decomposition of M.
+
+    Used for non-diagonalizable rings (complex field, circulant family,
+    quaternions).  Factors are numeric; use hand-crafted algorithms from
+    the catalog when adder-friendly coefficients matter.
+    """
+    factors = cp_decompose(ring.m_tensor, rank, seed=seed, restarts=restarts)
+    if factors is None:
+        return None
+    a_fac, b_fac, c_fac = factors  # M[i,k,j] = sum_p A[i,p] B[k,p] C[j,p]
+    algo = FastAlgorithm(tg=b_fac.T, tx=c_fac.T, tz=a_fac)
+    return algo if algo.verify(ring, atol=1e-6) else None
+
+
+def synthesize_fast(ring: Ring, max_rank: int | None = None, seed: int = 0) -> FastAlgorithm:
+    """Best-effort fast algorithm for any ring.
+
+    Tries, in order: diagonalization over R (optimal, m = n), then CP
+    decompositions with increasing rank up to ``max_rank`` (default 2n),
+    finally the always-valid outer-product algorithm with m = n^2.
+    """
+    algo = fast_from_diagonalization(ring, seed=seed)
+    if algo is not None:
+        return algo
+    n = ring.n
+    cap = max_rank if max_rank is not None else 2 * n
+    for rank in range(n, cap + 1):
+        algo = fast_from_cp(ring, rank, seed=seed)
+        if algo is not None:
+            return algo
+    # Fallback: one product per (k, j) pair — always exact.
+    tg = np.zeros((n * n, n))
+    tx = np.zeros((n * n, n))
+    tz = np.zeros((n, n * n))
+    for k in range(n):
+        for j in range(n):
+            p = k * n + j
+            tg[p, k] = 1.0
+            tx[p, j] = 1.0
+            tz[:, p] = ring.m_tensor[:, k, j]
+    return FastAlgorithm(tg=tg, tx=tx, tz=tz)

@@ -1,0 +1,106 @@
+"""Tensor generic-rank estimation via randomized CP-ALS (paper Section III-C).
+
+The paper evaluates ``grank(M(S; P))`` with the CP-ARLS algorithm [6] in
+MATLAB to apply condition (C3).  We implement the same idea in numpy:
+alternating-least-squares CP decomposition with random restarts; the
+generic rank estimate is the smallest rank whose best fit is (numerically)
+exact.  For the tiny tensors involved (n <= 8, so at most 8x8x8) this is
+fast and reliable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["cp_als", "cp_decompose", "cp_fit", "estimate_grank"]
+
+
+def _unfold(tensor: np.ndarray, mode: int) -> np.ndarray:
+    """Mode-``mode`` unfolding (matricization) of a 3-way tensor."""
+    return np.moveaxis(tensor, mode, 0).reshape(tensor.shape[mode], -1)
+
+
+def _khatri_rao(a_fac: np.ndarray, b_fac: np.ndarray) -> np.ndarray:
+    """Column-wise Khatri-Rao product of two (dim, rank) factor matrices."""
+    rank = a_fac.shape[1]
+    return (a_fac[:, None, :] * b_fac[None, :, :]).reshape(-1, rank)
+
+
+def cp_als(
+    tensor: np.ndarray,
+    rank: int,
+    rng: np.random.Generator,
+    iters: int = 400,
+    tol: float = 1e-12,
+) -> tuple[list[np.ndarray], float]:
+    """One CP-ALS run; returns factors [A, B, C] and relative squared error.
+
+    ``tensor[i, k, j] ~= sum_p A[i, p] B[k, p] C[j, p]``.
+    """
+    tensor = np.asarray(tensor, dtype=float)
+    dims = tensor.shape
+    factors = [rng.standard_normal((d, rank)) for d in dims]
+    norm_sq = float(np.sum(tensor**2))
+    if norm_sq == 0.0:
+        return factors, 0.0
+    last_err = np.inf
+    for _ in range(iters):
+        for mode in range(3):
+            others = [factors[m] for m in range(3) if m != mode]
+            # Khatri-Rao ordering must match the unfolding's column order.
+            kr = _khatri_rao(others[0], others[1])
+            unfolded = _unfold(tensor, mode)
+            sol, *_ = np.linalg.lstsq(kr, unfolded.T)
+            factors[mode] = sol.T
+        approx = np.einsum("ip,kp,jp->ikj", *factors)
+        err = float(np.sum((tensor - approx) ** 2) / norm_sq)
+        if abs(last_err - err) < tol and err < 1e-10:
+            break
+        last_err = err
+    return factors, last_err
+
+
+def cp_fit(tensor: np.ndarray, rank: int, seed: int = 0, restarts: int = 20) -> float:
+    """Best relative squared error over random restarts at a given rank."""
+    rng = np.random.default_rng(seed)
+    best = np.inf
+    for _ in range(restarts):
+        _, err = cp_als(tensor, rank, rng)
+        best = min(best, err)
+        if best < 1e-16:
+            break
+    return best
+
+
+def cp_decompose(
+    tensor: np.ndarray, rank: int, seed: int = 0, restarts: int = 20, tol: float = 1e-10
+) -> list[np.ndarray] | None:
+    """Exact rank-``rank`` CP factors if attainable, else None."""
+    rng = np.random.default_rng(seed)
+    for _ in range(restarts):
+        factors, err = cp_als(tensor, rank, rng)
+        if err < tol:
+            return factors
+    return None
+
+
+def estimate_grank(
+    tensor: np.ndarray,
+    min_rank: int = 1,
+    max_rank: int | None = None,
+    seed: int = 0,
+    restarts: int = 20,
+    tol: float = 1e-10,
+) -> int:
+    """Smallest rank with (numerically) exact CP fit — the paper's grank.
+
+    Randomized ALS can under-report fit quality (local minima), so the
+    estimate is an upper bound on the true generic rank; restarts make
+    over-estimation unlikely for these tiny +-1 tensors.
+    """
+    tensor = np.asarray(tensor, dtype=float)
+    cap = max_rank if max_rank is not None else int(np.prod(tensor.shape[:2]))
+    for rank in range(min_rank, cap + 1):
+        if cp_fit(tensor, rank, seed=seed, restarts=restarts) < tol:
+            return rank
+    return cap

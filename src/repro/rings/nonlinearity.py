@@ -1,0 +1,117 @@
+"""Ring non-linearities (paper Sections III-A and III-E).
+
+Two families:
+
+* component-wise ReLU ``f_cw`` (paper eq. 5) — the conventional choice,
+  which leaves tuple components un-mixed; and
+* directional ReLU ``f_dir(y) = U f_cw(V y)`` (paper Section III-E) — the
+  proposed co-design that performs the ReLU along rotated axes, mixing
+  information between components so that the identity ring R_I recovers
+  full model capacity.  The paper's instance is ``f_H(y) = H f_cw(H y)``;
+  ``f_O4`` uses the reflected Householder matrix instead.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from .transforms import hadamard, reflected_householder
+
+__all__ = [
+    "RingNonlinearity",
+    "component_relu",
+    "ComponentReLU",
+    "DirectionalReLU",
+    "hadamard_relu",
+    "householder_relu",
+]
+
+
+def component_relu(y: np.ndarray) -> np.ndarray:
+    """Component-wise ReLU on the trailing tuple axis (paper eq. 5)."""
+    return np.maximum(0.0, np.asarray(y, dtype=float))
+
+
+@dataclasses.dataclass(frozen=True)
+class RingNonlinearity:
+    """Base class: a unary non-linearity acting on trailing n-tuples."""
+
+    n: int
+    name: str = "f"
+
+    def __call__(self, y: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def mixes_components(self) -> bool:
+        """Whether information flows between tuple components."""
+        raise NotImplementedError
+
+
+@dataclasses.dataclass(frozen=True)
+class ComponentReLU(RingNonlinearity):
+    """f_cw: independent real-valued ReLU per component."""
+
+    name: str = "f_cw"
+
+    def __call__(self, y: np.ndarray) -> np.ndarray:
+        return component_relu(y)
+
+    def mixes_components(self) -> bool:
+        return False
+
+
+@dataclasses.dataclass(frozen=True)
+class DirectionalReLU(RingNonlinearity):
+    """f_dir(y) = U f_cw(V y) (paper Section III-E).
+
+    Attributes:
+        u_mat: (n, n) output-axis matrix U.
+        v_mat: (n, n) direction matrix V.
+
+    Notes:
+        When U = V = H the paper writes f_H (eq. 10).  We normalise so
+        that U V = I whenever V is a scaled orthogonal matrix — i.e. the
+        composition is the identity on the positive cone, matching the
+        fixed-point hardware where the 1/n factor is a Q-format shift.
+    """
+
+    u_mat: np.ndarray = None  # type: ignore[assignment]
+    v_mat: np.ndarray = None  # type: ignore[assignment]
+    name: str = "f_dir"
+
+    def __post_init__(self) -> None:
+        u_mat = np.asarray(self.u_mat, dtype=float)
+        v_mat = np.asarray(self.v_mat, dtype=float)
+        if u_mat.shape != (self.n, self.n) or v_mat.shape != (self.n, self.n):
+            raise ValueError("U and V must be (n, n)")
+        object.__setattr__(self, "u_mat", u_mat)
+        object.__setattr__(self, "v_mat", v_mat)
+
+    def __call__(self, y: np.ndarray) -> np.ndarray:
+        y = np.asarray(y, dtype=float)
+        rotated = np.einsum("ij,...j->...i", self.v_mat, y)
+        return np.einsum("ij,...j->...i", self.u_mat, np.maximum(0.0, rotated))
+
+    def mixes_components(self) -> bool:
+        return True
+
+
+def hadamard_relu(n: int, normalized: bool = True) -> DirectionalReLU:
+    """The paper's f_H(y) = H f_cw(H y) (eq. 10).
+
+    With ``normalized=True`` the reconstruction uses H/n so that
+    f_H degenerates to the identity on inputs already in the positive
+    H-cone; hardware realises the 1/n as a Q-format right-shift (Fig. 8).
+    """
+    h_mat = hadamard(n)
+    u_mat = h_mat / n if normalized else h_mat
+    return DirectionalReLU(n=n, u_mat=u_mat, v_mat=h_mat, name="f_H")
+
+
+def householder_relu(normalized: bool = True) -> DirectionalReLU:
+    """The n = 4 variant f_O4(y) = O f_cw(O y) (paper Section III-E)."""
+    o_mat = reflected_householder(4)
+    u_mat = o_mat.T / 4 if normalized else o_mat
+    return DirectionalReLU(n=4, u_mat=u_mat, v_mat=o_mat, name="f_O4")

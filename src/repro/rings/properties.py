@@ -1,0 +1,149 @@
+"""Ring resource analysis — reproduces the paper's Table I.
+
+For each ring we report the degrees of freedom of G, the number of real
+multiplications m of the fast algorithm, and the fixed-point multiplier
+complexity.  Following Section III-D, the circuit complexity of one
+multiplier is approximated by the product of its input bitwidths, and the
+transforms Tg / Tx widen the inputs of the component-wise products
+(Fig. 3); efficiencies are relative to the real-valued baseline which
+needs ``n^2`` multipliers of ``w x w`` bits per n-tuple in/out pair.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from .catalog import RingSpec, table1_rings
+from .transforms import transform_bit_growth
+
+__all__ = [
+    "RingProperties",
+    "row_bit_growth",
+    "product_bitwidths",
+    "analyze_ring",
+    "table1",
+    "format_table1",
+]
+
+
+def row_bit_growth(row: np.ndarray) -> int:
+    """Bit growth of a single transform row (see transform_bit_growth)."""
+    return transform_bit_growth(np.asarray(row, dtype=float).reshape(1, -1))
+
+
+def _normalized_rows(mat: np.ndarray) -> np.ndarray:
+    """Scale each row so its smallest non-zero magnitude is 1.
+
+    Hardware folds per-row power-of-two scales into Q-formats; bitwidth
+    growth is a property of the +-1 adder pattern, not the scale.
+    """
+    mat = np.asarray(mat, dtype=float).copy()
+    for idx, row in enumerate(mat):
+        nz = np.abs(row[np.abs(row) > 1e-12])
+        if len(nz):
+            mat[idx] = row / nz.min()
+    return mat
+
+
+def product_bitwidths(
+    spec: RingSpec, feature_bits: int = 8, weight_bits: int = 8
+) -> list[tuple[int, int]]:
+    """Input bitwidths (wg_p, wx_p) of each component-wise product."""
+    tg = _normalized_rows(spec.hw_fast.tg)
+    tx = _normalized_rows(spec.hw_fast.tx)
+    widths = []
+    for p in range(spec.hw_fast.num_products):
+        wg = weight_bits + row_bit_growth(tg[p])
+        wx = feature_bits + row_bit_growth(tx[p])
+        widths.append((wg, wx))
+    return widths
+
+
+@dataclasses.dataclass(frozen=True)
+class RingProperties:
+    """One Table I row.
+
+    Attributes:
+        key: Catalog key.
+        symbol: Paper symbol.
+        n: Tuple dimension.
+        dof: Real-valued weights per G (always n for rings; n^2 for R^nxn).
+        num_products: m — real multiplications of the fast algorithm.
+        grank: Generic rank of the indexing tensor.
+        rank_g: rank(G) at generic weights.
+        diagonalizable: Whether G is diagonalizable over R.
+        commutative: Ring commutativity.
+        storage_efficiency: Weight-storage gain vs real-valued (= n).
+        mult_efficiency: Multiplication-count gain (= n^2 / m).
+        complexity_8bit: Sum over products of wg_p * wx_p.
+        efficiency_8bit: n^2 * w^2 / complexity_8bit — the paper's
+            rightmost Table I column.
+    """
+
+    key: str
+    symbol: str
+    n: int
+    dof: int
+    num_products: int
+    grank: int
+    rank_g: int
+    diagonalizable: bool
+    commutative: bool
+    storage_efficiency: float
+    mult_efficiency: float
+    complexity_8bit: int
+    efficiency_8bit: float
+
+
+def analyze_ring(
+    spec: RingSpec, feature_bits: int = 8, weight_bits: int = 8
+) -> RingProperties:
+    """Compute the paper's Table I metrics for one catalog ring."""
+    n = spec.n
+    widths = product_bitwidths(spec, feature_bits=feature_bits, weight_bits=weight_bits)
+    complexity = int(sum(wg * wx for wg, wx in widths))
+    baseline = n * n * feature_bits * weight_bits
+    return RingProperties(
+        key=spec.key,
+        symbol=spec.paper_symbol,
+        n=n,
+        dof=spec.ring.dof,
+        num_products=spec.fast.num_products,
+        grank=spec.grank,
+        rank_g=spec.ring.matrix_rank(),
+        diagonalizable=spec.ring.real_diagonalizer() is not None,
+        commutative=spec.ring.is_commutative(),
+        storage_efficiency=float(n),
+        mult_efficiency=n * n / spec.fast.num_products,
+        complexity_8bit=complexity,
+        efficiency_8bit=baseline / complexity,
+    )
+
+
+def table1(feature_bits: int = 8, weight_bits: int = 8) -> list[RingProperties]:
+    """All Table I rows for n = 2 and n = 4."""
+    rows = []
+    for n in (2, 4):
+        for spec in table1_rings(n):
+            rows.append(analyze_ring(spec, feature_bits, weight_bits))
+    return rows
+
+
+def format_table1(rows: list[RingProperties] | None = None) -> str:
+    """Render Table I as printable text."""
+    rows = rows if rows is not None else table1()
+    header = (
+        f"{'ring':<8} {'n':>2} {'DoF':>4} {'m':>3} {'grank':>5} {'diag/R':>6} "
+        f"{'comm':>5} {'store-eff':>9} {'mult-eff':>8} {'cmplx8b':>8} {'eff8b':>6}"
+    )
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        lines.append(
+            f"{row.symbol:<8} {row.n:>2} {row.dof:>4} {row.num_products:>3} "
+            f"{row.grank:>5} {str(row.diagonalizable):>6} {str(row.commutative):>5} "
+            f"{row.storage_efficiency:>8.1f}x {row.mult_efficiency:>7.2f}x "
+            f"{row.complexity_8bit:>8} {row.efficiency_8bit:>5.2f}x"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,256 @@
+"""Proper-ring search under conditions C1-C3 (paper Section III-C).
+
+The paper confines the design space with three assumptions:
+
+* **C1** — exclusive sub-product distribution with a ring unity:
+  ``G[i, j] = S[i, j] g[P[i, j]]`` where P's first column is the identity
+  and its diagonal is zero (so ``g . 1 = 1 . g = g``).
+* **C2** — commutativity, equivalent to the cyclic-mapping condition
+  ``P[i, P[i, j]] = j`` and ``S[i, j] = S[i, P[i, j]]``.
+* **C3** — keep only sign matrices minimising the generic rank of the
+  bilinear tensor M(S; P), estimated by randomized CP decomposition.
+
+This module enumerates permutation-indexing matrices and sign matrices,
+filters by the ring axioms, estimates granks, and clusters the survivors
+into isomorphism classes — reproducing the paper's findings (n = 2: only
+R_H2 and C; n = 4: one grank-4 permutation with two variants and one
+grank-5 permutation with four variants).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+
+import numpy as np
+
+from .base import Ring, indexing_tensor_from_sp
+from .grank import estimate_grank
+
+__all__ = [
+    "proper_permutations",
+    "cyclic_sign_patterns",
+    "are_isomorphic",
+    "SearchResult",
+    "RingCandidate",
+    "search_proper_rings",
+]
+
+
+def _row_involutions(n: int, i: int) -> list[tuple[int, ...]]:
+    """Row-i candidates: involutions sigma with sigma(0) = i (hence sigma(i) = 0).
+
+    C1 forces ``P[i, 0] = i`` and ``P[i, i] = 0``; C2 forces each row, as a
+    map j -> P[i, j], to be an involution.
+    """
+    rest = [j for j in range(n) if j not in (0, i)] if i != 0 else list(range(1, n))
+    rows = []
+    for pairing in _involutions(rest):
+        row = [0] * n
+        row[0] = i
+        row[i] = 0
+        for a, b in pairing:
+            row[a], row[b] = b, a
+        rows.append(tuple(row))
+    return rows
+
+
+def _involutions(items: list[int]) -> list[list[tuple[int, int]]]:
+    """All involutions of ``items`` as lists of 2-cycles (fixed points (a, a))."""
+    if not items:
+        return [[]]
+    head, rest = items[0], items[1:]
+    out = [[(head, head)] + tail for tail in _involutions(rest)]
+    for idx, other in enumerate(rest):
+        remaining = rest[:idx] + rest[idx + 1 :]
+        out.extend([(head, other)] + tail for tail in _involutions(remaining))
+    return out
+
+
+def proper_permutations(n: int) -> list[np.ndarray]:
+    """All permutation-indexing matrices P satisfying C1 and C2's P-part.
+
+    Requires every row and column of P to be a permutation of {0..n-1},
+    ``P[:, 0] = range(n)``, ``diag(P) = 0`` and row-involution closure.
+    """
+    candidates: list[np.ndarray] = []
+    row_options = [_row_involutions(n, i) for i in range(n)]
+    for rows in itertools.product(*row_options):
+        p_mat = np.array(rows, dtype=int)
+        if all(len(set(p_mat[:, j])) == n for j in range(n)):
+            candidates.append(p_mat)
+    return candidates
+
+
+def cyclic_sign_patterns(p_mat: np.ndarray) -> list[np.ndarray]:
+    """All sign matrices satisfying C1 (first column and diagonal +1) and C2.
+
+    The free slots are the orbits of j -> P[i, j] within each row,
+    excluding column 0 and the diagonal.
+    """
+    n = p_mat.shape[0]
+    slots: list[list[tuple[int, int]]] = []
+    seen: set[tuple[int, int]] = set()
+    for i in range(n):
+        for j in range(n):
+            if j == 0 or j == i or (i, j) in seen:
+                continue
+            jp = int(p_mat[i, j])
+            seen.add((i, j))
+            slot = [(i, j)]
+            if jp not in (j,) and (i, jp) not in seen and jp != 0 and jp != i:
+                seen.add((i, jp))
+                slot.append((i, jp))
+            slots.append(slot)
+    patterns = []
+    for bits in itertools.product((1.0, -1.0), repeat=len(slots)):
+        s_mat = np.ones((n, n))
+        for slot, bit in zip(slots, bits):
+            for (i, j) in slot:
+                s_mat[i, j] = bit
+        patterns.append(s_mat)
+    return patterns
+
+
+def _signed_permutation_matrices(n: int) -> list[np.ndarray]:
+    """Unity-preserving signed permutations Q (Q e0 = e0) for isomorphism tests."""
+    mats = []
+    for perm in itertools.permutations(range(1, n)):
+        full = (0,) + perm
+        for signs in itertools.product((1.0, -1.0), repeat=n - 1):
+            q_mat = np.zeros((n, n))
+            q_mat[0, 0] = 1.0
+            for row, col in enumerate(full[1:], start=1):
+                q_mat[row, col] = signs[row - 1]
+            mats.append(q_mat)
+    return mats
+
+
+def are_isomorphic(ring_a: Ring, ring_b: Ring) -> bool:
+    """Whether a unity-preserving signed permutation maps ring_a onto ring_b.
+
+    phi(x) = Q x is a ring isomorphism iff phi(a . b) = phi(a) . phi(b);
+    bilinearity makes checking all basis pairs exact.
+    """
+    if ring_a.n != ring_b.n:
+        return False
+    n = ring_a.n
+    eye = np.eye(n)
+    for q_mat in _signed_permutation_matrices(n):
+        ok = True
+        for k in range(n):
+            for j in range(n):
+                lhs = q_mat @ ring_a.multiply(eye[k], eye[j])
+                rhs = ring_b.multiply(q_mat @ eye[k], q_mat @ eye[j])
+                if not np.allclose(lhs, rhs, atol=1e-9):
+                    ok = False
+                    break
+            if not ok:
+                break
+        if ok:
+            return True
+    return False
+
+
+@dataclasses.dataclass(frozen=True)
+class RingCandidate:
+    """One survivor of the search with its estimated grank."""
+
+    ring: Ring
+    sign: np.ndarray
+    perm: np.ndarray
+    grank: int
+
+
+@dataclasses.dataclass(frozen=True)
+class SearchResult:
+    """Search output for one tuple dimension n.
+
+    Attributes:
+        n: Tuple dimension searched.
+        permutation_classes: Non-isomorphic permutation matrices found.
+        candidates: All commutative+associative rings with granks.
+        minimal: Candidates achieving the minimum grank of their
+            permutation class (the paper's condition C3), deduplicated up
+            to isomorphism.
+    """
+
+    n: int
+    permutation_classes: list[np.ndarray]
+    candidates: list[RingCandidate]
+    minimal: list[RingCandidate]
+
+    def min_grank_of_perm(self, p_mat: np.ndarray) -> int:
+        """Minimum estimated grank among candidates sharing P (condition C3)."""
+        granks = [
+            cand.grank for cand in self.candidates if np.array_equal(cand.perm, p_mat)
+        ]
+        if not granks:
+            raise ValueError("permutation not present in candidates")
+        return min(granks)
+
+
+def _dedupe_permutations(perms: list[np.ndarray]) -> list[np.ndarray]:
+    """Group P-matrices by all-plus-ring isomorphism; keep one per class."""
+    classes: list[np.ndarray] = []
+    for p_mat in perms:
+        ring = Ring("p", indexing_tensor_from_sp(np.ones_like(p_mat, dtype=float), p_mat))
+        if not any(
+            are_isomorphic(
+                ring,
+                Ring("q", indexing_tensor_from_sp(np.ones_like(rep, dtype=float), rep)),
+            )
+            for rep in classes
+        ):
+            classes.append(p_mat)
+    return classes
+
+
+def search_proper_rings(
+    n: int,
+    grank_cap: int | None = None,
+    restarts: int = 12,
+    seed: int = 0,
+    dedupe: bool = True,
+) -> SearchResult:
+    """Run the full C1-C3 search for tuple dimension n.
+
+    Args:
+        n: Tuple dimension (the paper explores 2 and 4).
+        grank_cap: Upper bound passed to the grank estimator
+            (defaults to 2n).
+        restarts: CP-ALS restarts per rank probe.
+        seed: Seed for the randomized grank estimation.
+        dedupe: Deduplicate minimal candidates up to isomorphism.
+
+    Returns:
+        A :class:`SearchResult`; ``result.minimal`` reproduces the paper's
+        ring-variant counts (2 for n = 2; 2 + 4 for n = 4).
+    """
+    perm_classes = _dedupe_permutations(proper_permutations(n)) if dedupe else proper_permutations(n)
+    candidates: list[RingCandidate] = []
+    cap = grank_cap if grank_cap is not None else 2 * n
+    for p_mat in perm_classes:
+        for s_mat in cyclic_sign_patterns(p_mat):
+            ring = Ring("cand", indexing_tensor_from_sp(s_mat, p_mat))
+            if not (ring.is_commutative() and ring.is_associative()):
+                continue
+            grank = estimate_grank(
+                ring.m_tensor, min_rank=max(2, n - 1), max_rank=cap, seed=seed, restarts=restarts
+            )
+            candidates.append(RingCandidate(ring=ring, sign=s_mat, perm=p_mat, grank=grank))
+    # Note: sign variants are NOT deduplicated by abstract isomorphism —
+    # e.g. R_H4 and R_O4 are isomorphic as rings (both are R^4 in a
+    # rotated basis) yet the paper counts them as distinct variants
+    # because their transform hardware differs.  Each distinct (S, P)
+    # achieving the minimum grank of its permutation class is kept.
+    minimal: list[RingCandidate] = []
+    for p_mat in perm_classes:
+        local = [c for c in candidates if np.array_equal(c.perm, p_mat)]
+        if not local:
+            continue
+        best = min(c.grank for c in local)
+        minimal.extend(c for c in local if c.grank == best)
+    return SearchResult(
+        n=n, permutation_classes=perm_classes, candidates=candidates, minimal=minimal
+    )

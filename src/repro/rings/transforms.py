@@ -1,0 +1,68 @@
+"""Structured transform matrices used by fast ring multiplication.
+
+The paper's fast algorithms (Section III-B) are built from matrices with
+only simple +-1 coefficients so that, in hardware, they reduce to adder
+trees: the Hadamard transform H, the reflected Householder matrix O
+(Section III-C), and real-valued DFT building blocks for circulant rings.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "hadamard",
+    "reflected_householder",
+    "is_signed_matrix",
+    "transform_bit_growth",
+]
+
+
+def hadamard(n: int) -> np.ndarray:
+    """Sylvester-construction Hadamard matrix of order n (n a power of two).
+
+    Entries are +-1 and ``H @ H.T == n * I``.
+    """
+    if n < 1 or n & (n - 1):
+        raise ValueError(f"Hadamard order must be a power of two, got {n}")
+    h_mat = np.array([[1.0]])
+    while h_mat.shape[0] < n:
+        h_mat = np.block([[h_mat, h_mat], [h_mat, -h_mat]])
+    return h_mat
+
+
+def reflected_householder(n: int = 4) -> np.ndarray:
+    """The paper's reflected Householder matrix O = 2 L1 (I - 2 v v^t).
+
+    With ``L1 = diag(1, -1, ..., -1)`` and ``v = (1/2)(1, ..., 1)^t`` for
+    n = 4.  For general n we keep ``v = 1/sqrt(n)`` so that O has +-1
+    entries only when n = 4 (the paper's case); O always satisfies
+    ``O @ O.T == n * I`` for n = 4.
+    """
+    if n != 4:
+        raise ValueError("the paper defines O only for n = 4")
+    l1_mat = np.diag([1.0, -1.0, -1.0, -1.0])
+    v = np.full((4, 1), 0.5)
+    o_mat = 2.0 * l1_mat @ (np.eye(4) - 2.0 * v @ v.T)
+    return o_mat
+
+
+def is_signed_matrix(mat: np.ndarray, atol: float = 1e-9) -> bool:
+    """True when every entry of ``mat`` is in {-1, 0, +1}."""
+    mat = np.asarray(mat, dtype=float)
+    return bool(np.all(np.min(np.abs(mat[..., None] - np.array([-1.0, 0.0, 1.0])), axis=-1) < atol))
+
+
+def transform_bit_growth(t_mat: np.ndarray) -> int:
+    """Worst-case bit growth of a fixed-point vector through transform T.
+
+    An output component is ``sum_j T[i, j] x_j``; its magnitude grows by at
+    most ``max_i sum_j |T[i, j]|``, i.e. ``ceil(log2(.))`` extra integer
+    bits (paper Section III-D / Fig. 3).  Fractional +-1/2 style entries do
+    not *add* bits; growth below 1 is clamped to zero.
+    """
+    t_mat = np.asarray(t_mat, dtype=float)
+    worst = float(np.max(np.sum(np.abs(t_mat), axis=1)))
+    if worst <= 1.0:
+        return 0
+    return int(np.ceil(np.log2(worst)))

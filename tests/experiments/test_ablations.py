@@ -1,0 +1,35 @@
+"""Tests for the design-choice ablation experiments."""
+
+import pytest
+
+from repro.experiments import ablations
+from repro.experiments.settings import TINY
+
+
+class TestDreluPipeline:
+    def test_runs_and_orders(self):
+        result = ablations.drelu_pipeline_ablation("denoise", TINY)
+        # On-the-fly never does worse (paper Section V).
+        assert result.psnr_onthefly_db >= result.psnr_naive_db - 0.02
+        assert result.psnr_float_db > 0
+
+    def test_format(self):
+        result = ablations.drelu_pipeline_ablation("denoise", TINY)
+        text = ablations.format_drelu(result)
+        assert "on-the-fly" in text and "naive penalty" in text
+
+
+class TestQformatAblation:
+    @pytest.mark.parametrize("n", [2, 4])
+    def test_componentwise_always_better(self, n):
+        result = ablations.qformat_ablation(n=n)
+        assert result.rms_componentwise < result.rms_single
+        assert result.improvement > 1.2
+
+    def test_more_word_bits_reduce_error(self):
+        coarse = ablations.qformat_ablation(word_bits=6)
+        fine = ablations.qformat_ablation(word_bits=10)
+        assert fine.rms_componentwise < coarse.rms_componentwise
+
+    def test_format(self):
+        assert "Q-format" in ablations.format_qformat(ablations.qformat_ablation())

@@ -1,0 +1,127 @@
+"""Tests for the non-training experiment drivers (hardware tables)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    fig14,
+    table1,
+    table2,
+    table5,
+    table6,
+    table7,
+    table8,
+)
+from repro.experiments.settings import PAPER_TABLE3, SMALL, TINY
+
+
+class TestTable1Experiment:
+    def test_rows_cover_both_n(self):
+        rows = table1.run()
+        assert {r.n for r in rows} == {2, 4}
+
+    def test_format_contains_efficiencies(self):
+        text = table1.format_result()
+        assert "R_I4" in text and "4.00x" in text
+
+
+class TestTable2Experiment:
+    def test_all_rows_exact(self):
+        for row in table2.run():
+            assert row.exact, row.symbol
+            assert row.residual < 1e-5
+
+    def test_proper_rings_expose_sign_perm(self):
+        rows = {r.symbol: r for r in table2.run()}
+        assert rows["C"].sign is not None
+        np.testing.assert_array_equal(rows["R_H4"].perm[0], [0, 1, 2, 3])
+
+    def test_format_renders(self):
+        text = table2.format_result()
+        assert "R_H4-I" in text and "residual" in text
+
+
+class TestTable5Experiment:
+    def test_rows_and_anchors(self):
+        rows = table5.run()
+        assert [r.name for r in rows] == ["eRingCNN-n2", "eRingCNN-n4"]
+        for row in rows:
+            anchor = table5.PAPER_VALUES[row.name]
+            assert row.area_mm2 == pytest.approx(anchor["area_mm2"], rel=0.1)
+            assert row.power_w == pytest.approx(anchor["power_w"], rel=0.1)
+            assert row.equivalent_tops == pytest.approx(41.0, abs=0.5)
+
+    def test_mac_halving(self):
+        rows = table5.run()
+        assert rows[0].macs_per_cycle == 2 * rows[1].macs_per_cycle
+
+    def test_format(self):
+        assert "DRAM bandwidth" in table5.format_result()
+
+
+class TestTable6Experiment:
+    def test_breakdown_sums_to_total(self):
+        for row in table6.run():
+            assert sum(row.areas_mm2.values()) > 0
+            assert row.conv_area_fraction == pytest.approx(
+                row.areas_mm2["conv_engines"] / sum(row.areas_mm2.values())
+            )
+
+    def test_drelu_share_larger_for_n4(self):
+        rows = {r.name: r for r in table6.run()}
+        assert (
+            rows["eRingCNN-n4"].drelu_share_3x3 > 2 * rows["eRingCNN-n2"].drelu_share_3x3
+        )
+
+    def test_format(self):
+        assert "conv share" in table6.format_result()
+
+
+class TestFig14Experiment:
+    def test_gains_close_to_paper(self):
+        for g in fig14.run():
+            anchors = fig14.PAPER_GAINS[g.name]
+            assert g.engine_area_gain == pytest.approx(anchors["engine_area"], rel=0.12)
+            assert g.engine_energy_gain == pytest.approx(anchors["engine_energy"], rel=0.12)
+
+    def test_format(self):
+        assert "eRingCNN-n4" in fig14.format_result()
+
+
+class TestTable7Experiment:
+    def test_gains_in_paper_ballpark(self):
+        rows = {r.name: r for r in table7.run()}
+        assert rows["eRingCNN-n2"].gain_vs_reference == pytest.approx(2.71, rel=0.3)
+        assert rows["eRingCNN-n4"].gain_vs_reference == pytest.approx(4.59, rel=0.3)
+
+    def test_format(self):
+        assert "Diffy" in table7.format_result()
+
+
+class TestTable8Experiment:
+    def test_ring_band(self):
+        rows = {r.name: r for r in table8.run()}
+        lo, hi = table8.PAPER_BAND
+        assert lo * 0.7 < rows["eRingCNN-n2"].equivalent_tops_per_watt
+        assert rows["eRingCNN-n4"].equivalent_tops_per_watt < hi * 1.3
+
+    def test_ordering_vs_other_sparsity(self):
+        rows = {r.name: r for r in table8.run()}
+        assert (
+            rows["eRingCNN-n2"].equivalent_tops_per_watt
+            > rows["CirCNN"].equivalent_tops_per_watt
+            > rows["SparTen"].equivalent_tops_per_watt
+        )
+
+    def test_format(self):
+        assert "SparTen" in table8.format_result()
+
+
+class TestSettings:
+    def test_paper_table3_recipes(self):
+        assert set(PAPER_TABLE3) == {"lightweight", "polishment", "finetune-8bit"}
+        assert all(s.optimizer == "Adam" for s in PAPER_TABLE3.values())
+
+    def test_scales_ordered(self):
+        assert TINY.epochs < SMALL.epochs
+        assert TINY.train_count < SMALL.train_count

@@ -1,0 +1,198 @@
+"""Tests for the analytical hardware model against the paper's anchors."""
+
+import numpy as np
+import pytest
+
+from repro.hardware.accelerator import (
+    ECNN,
+    ERINGCNN_N2,
+    ERINGCNN_N4,
+    HD30,
+    UHD30,
+    dram_bandwidth_gbps,
+    model_accelerator,
+    supported_3x3_layers,
+)
+from repro.hardware.compare import (
+    diffy_comparison,
+    fig14_efficiencies,
+    table8_comparison,
+)
+from repro.hardware.cost import CostModel, Resource
+from repro.hardware.engine import EngineConfig, engine_for_ring, model_engine, real_engine
+from repro.rings.catalog import get_ring
+
+
+class TestCostPrimitives:
+    def test_resource_arithmetic(self):
+        a = Resource(10.0, 1.0)
+        b = Resource(5.0, 0.5)
+        c = a + 2 * b
+        assert c.area_um2 == 20.0 and c.energy_pj == 2.0
+
+    def test_power_scaling_with_frequency(self):
+        r = Resource(0.0, 100.0)  # 100 pJ per cycle
+        assert r.power_w(1e9) == pytest.approx(0.1)
+
+    def test_multiplier_scales_with_bit_product(self):
+        cost = CostModel()
+        small = cost.multiplier(8, 8)
+        big = cost.multiplier(16, 16)
+        assert big.area_um2 == pytest.approx(4 * small.area_um2)
+
+    def test_adder_tree_count(self):
+        cost = CostModel(adder_area=1.0, adder_energy=0.0, activity=1.0)
+        tree = cost.adder_tree(8, 16)
+        # 7 adders of ~(16 + 1.5) bits.
+        assert tree.area_um2 == pytest.approx(7 * 18, rel=0.1)
+
+    def test_adder_tree_single_term_free(self):
+        assert CostModel().adder_tree(1, 16).area_um2 == 0.0
+
+
+class TestEngineModel:
+    def test_real_engine_mac_count(self):
+        report = real_engine(kernel_size=3)
+        assert report.macs_per_cycle() == 32 * 32 * 9 * 8
+
+    def test_ring_engine_mac_reduction(self):
+        # Paper: MACs reduced by 50% (n2) and 75% (n4).
+        real = real_engine(3).macs_per_cycle()
+        assert engine_for_ring("ri2", 3).macs_per_cycle() == real // 2
+        assert engine_for_ring("ri4", 3).macs_per_cycle() == real // 4
+
+    def test_equivalent_ops_identical_across_rings(self):
+        ops = real_engine(3).equivalent_ops_per_cycle()
+        for name in ("ri2", "ri4"):
+            assert engine_for_ring(name, 3).equivalent_ops_per_cycle() == ops
+
+    def test_41_tops_operating_point(self):
+        # 3x3 + 1x1 engines at 250 MHz deliver ~41 equivalent TOPS.
+        ops = (
+            real_engine(3).equivalent_ops_per_cycle()
+            + real_engine(1).equivalent_ops_per_cycle()
+        )
+        assert ops * 250e6 / 1e12 == pytest.approx(41.0, abs=0.5)
+
+    def test_engine_area_efficiency_near_n(self):
+        # Paper Fig. 14: ~2x for n2, ~3.8x for n4 ("near-maximum ~ n").
+        base = real_engine(3).total.area_um2
+        eff2 = base / engine_for_ring("ri2", 3).total.area_um2
+        eff4 = base / engine_for_ring("ri4", 3).total.area_um2
+        assert eff2 == pytest.approx(2.0, abs=0.15)
+        assert eff4 == pytest.approx(3.77, abs=0.35)
+
+    def test_frconv_transform_overhead(self):
+        # R_H4 (FRCONV) pays transform adders and wider multipliers; its
+        # engine is bigger than the (R_I4, f_H) engine.
+        ri4 = engine_for_ring("ri4", 3).total.area_um2
+        rh4 = engine_for_ring("rh4", 3).total.area_um2
+        assert rh4 > 1.3 * ri4
+
+    def test_fig12_ordering_matches_table1(self):
+        # Area ordering across rings tracks the Table I complexity column.
+        areas = {
+            name: engine_for_ring(name, 3).total.area_um2
+            for name in ("ri4", "rh4", "rh4i", "h")
+        }
+        assert areas["ri4"] < areas["rh4"] < areas["rh4i"] < areas["h"]
+
+    def test_directional_relu_share_grows_with_n(self):
+        # Paper: f_H block is 3.4% of the 3x3 engine for n2, 8.9% for n4.
+        shares = {}
+        for name in ("ri2", "ri4"):
+            rep = engine_for_ring(name, 3)
+            shares[name] = rep.nonlinearity.area_um2 / rep.total.area_um2
+        assert shares["ri4"] > 2 * shares["ri2"]
+        assert 0.01 < shares["ri2"] < 0.08
+        assert 0.04 < shares["ri4"] < 0.15
+
+    def test_1x1_engine_smaller(self):
+        assert (
+            engine_for_ring("ri2", 1).total.area_um2
+            < engine_for_ring("ri2", 3).total.area_um2 / 4
+        )
+
+
+class TestAcceleratorModel:
+    def test_table5_anchors(self):
+        # Paper Table V: 33.73 mm2 / 3.76 W (n2), 23.36 mm2 / 2.22 W (n4).
+        n2 = model_accelerator(ERINGCNN_N2)
+        n4 = model_accelerator(ERINGCNN_N4)
+        assert n2.total_area_mm2 == pytest.approx(33.73, rel=0.08)
+        assert n2.total_power_w == pytest.approx(3.76, rel=0.08)
+        assert n4.total_area_mm2 == pytest.approx(23.36, rel=0.08)
+        assert n4.total_power_w == pytest.approx(2.22, rel=0.08)
+
+    def test_equivalent_tops(self):
+        for cfg in (ECNN, ERINGCNN_N2, ERINGCNN_N4):
+            assert model_accelerator(cfg).equivalent_tops() == pytest.approx(41.0, abs=0.5)
+
+    def test_table6_conv_fractions(self):
+        # Paper Table VI: conv engines 57.42%/86.51% (n2), 45.63%/76.56% (n4).
+        n2 = model_accelerator(ERINGCNN_N2)
+        n4 = model_accelerator(ERINGCNN_N4)
+        assert n2.conv_area_fraction == pytest.approx(0.574, abs=0.08)
+        assert n2.conv_power_fraction == pytest.approx(0.865, abs=0.08)
+        assert n4.conv_area_fraction == pytest.approx(0.456, abs=0.08)
+        assert n4.conv_power_fraction == pytest.approx(0.766, abs=0.10)
+
+    def test_weight_memory_halves_n2_to_n4(self):
+        n2 = model_accelerator(ERINGCNN_N2)
+        n4 = model_accelerator(ERINGCNN_N4)
+        assert n4.areas_mm2["weight_memory"] == pytest.approx(
+            n2.areas_mm2["weight_memory"] / 2
+        )
+
+    def test_datapath_larger_for_n4(self):
+        # Paper: the n4 inference datapath is 0.53 mm2 larger than n2's.
+        n2 = model_accelerator(ERINGCNN_N2)
+        n4 = model_accelerator(ERINGCNN_N4)
+        assert n4.areas_mm2["datapath"] > n2.areas_mm2["datapath"]
+
+    def test_dram_bandwidth_anchor(self):
+        # Paper: 1.93 GB/s for 4K UHD applications.
+        assert dram_bandwidth_gbps(UHD30) == pytest.approx(1.93, abs=0.1)
+
+    def test_hd30_allows_deeper_models_than_uhd30(self):
+        assert supported_3x3_layers(HD30) > 3 * supported_3x3_layers(UHD30)
+
+
+class TestComparisons:
+    def test_fig14_gains(self):
+        gains = {g.name: g for g in fig14_efficiencies()}
+        n2, n4 = gains["eRingCNN-n2"], gains["eRingCNN-n4"]
+        # Paper: engines 2.08x/2.00x and 3.77x/3.84x; chip 1.64x/1.85x and
+        # 2.36x/3.12x.
+        assert n2.engine_area_gain == pytest.approx(2.08, abs=0.2)
+        assert n2.engine_energy_gain == pytest.approx(2.00, abs=0.15)
+        assert n4.engine_area_gain == pytest.approx(3.77, abs=0.35)
+        assert n4.engine_energy_gain == pytest.approx(3.84, abs=0.25)
+        assert n2.chip_area_gain == pytest.approx(1.64, abs=0.2)
+        assert n2.chip_energy_gain == pytest.approx(1.85, abs=0.2)
+        assert n4.chip_area_gain == pytest.approx(2.36, rel=0.15)
+        assert n4.chip_energy_gain == pytest.approx(3.12, rel=0.15)
+
+    def test_table8_ring_beats_other_sparsity(self):
+        rows = {r.name: r for r in table8_comparison()}
+        ours_n2 = rows["eRingCNN-n2"].equivalent_tops_per_watt
+        ours_n4 = rows["eRingCNN-n4"].equivalent_tops_per_watt
+        # Paper: 19.1-28.4 equivalent TOPS/W >> SparTen 2.7, CirCNN 10.0.
+        assert 15.0 < ours_n2 < 25.0
+        assert 25.0 < ours_n4 < 40.0
+        assert ours_n2 > rows["SparTen"].equivalent_tops_per_watt * 5
+        assert ours_n4 > rows["CirCNN"].equivalent_tops_per_watt * 2
+
+    def test_table8_moderate_compression(self):
+        rows = {r.name: r for r in table8_comparison()}
+        assert rows["eRingCNN-n4"].compression == 4.0
+        assert rows["CirCNN"].compression == 66.0
+
+    def test_diffy_comparison_gains(self):
+        # Paper Table VII: 2.71x (n2) and 4.59x (n4) over Diffy at 167 MHz.
+        rows = {r.name: r for r in diffy_comparison()}
+        assert rows["eRingCNN-n2"].gain_vs_reference == pytest.approx(2.71, rel=0.35)
+        assert rows["eRingCNN-n4"].gain_vs_reference == pytest.approx(4.59, rel=0.35)
+        assert rows["eRingCNN-n4"].gain_vs_reference > rows[
+            "eRingCNN-n2"
+        ].gain_vs_reference

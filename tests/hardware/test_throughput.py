@@ -1,0 +1,86 @@
+"""Tests for the throughput/scheduling model."""
+
+import math
+
+import pytest
+
+from repro.hardware.accelerator import HD30, UHD30
+from repro.hardware.throughput import (
+    LayerShape,
+    achievable_fps,
+    cycles_per_pixel,
+    layers_of_model,
+    max_blocks_for_target,
+)
+from repro.models.ernet import sr4_ernet
+
+
+class TestLayerShape:
+    def test_folds_exact_fit(self):
+        assert LayerShape(32, 32, 3).folds() == 1
+
+    def test_folds_wide_layer(self):
+        assert LayerShape(64, 96, 3).folds() == 2 * 3
+
+    def test_folds_narrow_layer_still_one_pass(self):
+        assert LayerShape(8, 8, 3).folds() == 1
+
+
+class TestCyclesPerPixel:
+    def test_single_layer(self):
+        layers = [LayerShape(32, 32, 3)]
+        assert cycles_per_pixel(layers) == pytest.approx(1 / 8)
+
+    def test_scale_discounts_low_res_layers(self):
+        full = [LayerShape(32, 32, 3, scale=1.0)]
+        low = [LayerShape(32, 32, 3, scale=1 / 16)]
+        assert cycles_per_pixel(low) == pytest.approx(cycles_per_pixel(full) / 16)
+
+    def test_empty_model_infinite_fps(self):
+        assert achievable_fps([], UHD30) == math.inf
+
+
+class TestAchievableFps:
+    def test_uhd30_depth_budget(self):
+        # ~8 single-pass layers fit per pixel at UHD30/250 MHz.
+        layers = [LayerShape(32, 32, 3) for _ in range(8)]
+        assert achievable_fps(layers, UHD30) >= 30.0
+        layers_too_deep = [LayerShape(32, 32, 3) for _ in range(12)]
+        assert achievable_fps(layers_too_deep, UHD30) < 30.0
+
+    def test_hd30_allows_deeper(self):
+        layers = [LayerShape(32, 32, 3) for _ in range(8)]
+        assert achievable_fps(layers, HD30) > 4 * achievable_fps(layers, UHD30) * 0.9
+
+
+class TestCompactConfiguration:
+    def test_hd30_deeper_than_uhd30(self):
+        # The paper's Section VI-B: deeper compact models at HD30.
+        assert max_blocks_for_target(HD30) > max_blocks_for_target(UHD30)
+
+    def test_uhd30_supports_at_least_one_block(self):
+        assert max_blocks_for_target(UHD30) >= 1
+
+    def test_frequency_scales_depth(self):
+        assert max_blocks_for_target(UHD30, freq_hz=500e6) > max_blocks_for_target(
+            UHD30, freq_hz=250e6
+        )
+
+
+class TestModelExtraction:
+    def test_layers_of_ernet(self):
+        model = sr4_ernet(blocks=2, ratio=2, seed=0)
+        layers = layers_of_model(model, scale=1 / 16)  # SR body runs in LR domain
+        # head + 2 blocks x 2 convs + tail = 6 convolutions.
+        assert len(layers) == 6
+        assert all(layer.scale == 1 / 16 for layer in layers)
+
+    def test_ring_model_same_schedule(self):
+        # Ring layers reduce MACs inside a pass, not the pass count.
+        from repro.models.factory import make_factory
+
+        real = layers_of_model(sr4_ernet(blocks=1, ratio=1, seed=0))
+        ring = layers_of_model(
+            sr4_ernet(blocks=1, ratio=1, factory=make_factory("proposed"), seed=0)
+        )
+        assert cycles_per_pixel(real) == cycles_per_pixel(ring)

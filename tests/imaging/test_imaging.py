@@ -1,0 +1,176 @@
+"""Tests for the imaging substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.imaging.datasets import (
+    TEST_SET_SPECS,
+    denoising_pairs,
+    make_denoising_task,
+    make_sr_task,
+    named_test_set,
+    super_resolution_pairs,
+)
+from repro.imaging.degrade import (
+    add_gaussian_noise,
+    bicubic_downsample,
+    bicubic_kernel,
+    bicubic_upsample,
+)
+from repro.imaging.metrics import average_psnr, psnr, ssim
+from repro.imaging.synthetic import (
+    band_limited_texture,
+    checkerboard,
+    make_corpus,
+    oriented_grating,
+    random_image,
+    smooth_gradient,
+)
+
+
+class TestSynthetic:
+    def test_generators_in_range(self):
+        rng = np.random.default_rng(0)
+        for gen in (band_limited_texture, oriented_grating, checkerboard, smooth_gradient):
+            img = gen(16, rng)
+            assert img.shape == (16, 16)
+            assert img.min() >= -1e-9 and img.max() <= 1 + 1e-9
+
+    def test_random_image_clipped(self):
+        img = random_image(24, np.random.default_rng(1))
+        assert img.min() >= 0 and img.max() <= 1
+
+    def test_corpus_deterministic(self):
+        a = make_corpus(3, 16, seed=5)
+        b = make_corpus(3, 16, seed=5)
+        np.testing.assert_array_equal(a, b)
+        c = make_corpus(3, 16, seed=6)
+        assert not np.array_equal(a, c)
+
+    def test_corpus_has_high_frequency_content(self):
+        # SR/denoising need real detail to restore: check spectral energy.
+        imgs = make_corpus(4, 32, seed=0)
+        for img in imgs:
+            spectrum = np.abs(np.fft.fft2(img - img.mean()))
+            high = spectrum[8:24, 8:24].sum()
+            assert high > 0.01 * spectrum.sum()
+
+
+class TestDegrade:
+    def test_noise_statistics(self):
+        img = np.full((64, 64), 0.5)
+        noisy = add_gaussian_noise(img, 0.1, seed=0)
+        assert abs(float((noisy - img).std()) - 0.1) < 0.01
+        assert abs(float((noisy - img).mean())) < 0.01
+
+    def test_bicubic_kernel_properties(self):
+        assert bicubic_kernel(np.array([0.0]))[0] == pytest.approx(1.0)
+        assert bicubic_kernel(np.array([1.0]))[0] == pytest.approx(0.0, abs=1e-12)
+        assert bicubic_kernel(np.array([2.0]))[0] == pytest.approx(0.0, abs=1e-12)
+
+    def test_downsample_shape_and_constant_preservation(self):
+        img = np.full((1, 1, 16, 16), 0.7)
+        down = bicubic_downsample(img, 4)
+        assert down.shape == (1, 1, 4, 4)
+        np.testing.assert_allclose(down, 0.7, atol=1e-9)
+
+    def test_upsample_shape_and_constant_preservation(self):
+        img = np.full((2, 8, 8), 0.3)
+        up = bicubic_upsample(img, 2)
+        assert up.shape == (2, 16, 16)
+        np.testing.assert_allclose(up, 0.3, atol=1e-9)
+
+    def test_down_up_recovers_smooth_image(self):
+        yy, xx = np.mgrid[0:32, 0:32] / 32.0
+        smooth = 0.5 + 0.25 * np.sin(2 * np.pi * yy) * np.cos(2 * np.pi * xx)
+        rec = bicubic_upsample(bicubic_downsample(smooth, 2), 2)
+        assert psnr(rec, smooth) > 35.0
+
+    def test_downsample_antialiases(self):
+        # Nyquist-rate checkerboard must collapse toward its mean, not alias.
+        img = np.indices((16, 16)).sum(axis=0) % 2.0
+        down = bicubic_downsample(img, 4)
+        assert float(np.abs(down - 0.5).max()) < 0.2
+
+
+class TestMetrics:
+    def test_psnr_identity_infinite(self):
+        img = np.random.default_rng(0).random((8, 8))
+        assert psnr(img, img) == float("inf")
+
+    def test_psnr_known_value(self):
+        target = np.zeros((10, 10))
+        pred = np.full((10, 10), 0.1)
+        assert psnr(pred, target) == pytest.approx(20.0, abs=1e-9)
+
+    def test_psnr_shave_excludes_border(self):
+        target = np.zeros((10, 10))
+        pred = np.zeros((10, 10))
+        pred[0, :] = 1.0  # only border error
+        assert psnr(pred, target, shave=1) == float("inf")
+
+    def test_psnr_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            psnr(np.zeros((4, 4)), np.zeros((5, 5)))
+
+    def test_average_psnr(self):
+        t = np.zeros((2, 8, 8))
+        p = np.stack([np.full((8, 8), 0.1), np.full((8, 8), 0.01)])
+        avg = average_psnr(p, t)
+        assert avg == pytest.approx((20.0 + 40.0) / 2, abs=1e-6)
+
+    def test_ssim_bounds(self):
+        rng = np.random.default_rng(1)
+        img = rng.random((16, 16))
+        assert ssim(img, img) == pytest.approx(1.0, abs=1e-9)
+        assert ssim(img, 1 - img) < 0.9
+
+    @settings(max_examples=20, deadline=None)
+    @given(scale=st.floats(0.01, 0.2))
+    def test_psnr_monotone_in_error(self, scale):
+        target = np.zeros((6, 6))
+        small = psnr(np.full((6, 6), scale / 2), target)
+        big = psnr(np.full((6, 6), scale), target)
+        assert small > big
+
+
+class TestDatasets:
+    def test_denoising_pairs_shapes(self):
+        imgs = make_corpus(4, 16, seed=0)
+        noisy, clean = denoising_pairs(imgs, 0.1, seed=0)
+        assert noisy.shape == clean.shape == (4, 1, 16, 16)
+        assert not np.array_equal(noisy, clean)
+
+    def test_sr_pairs_shapes(self):
+        imgs = make_corpus(3, 16, seed=0)
+        low, high = super_resolution_pairs(imgs, 4)
+        assert low.shape == (3, 1, 4, 4)
+        assert high.shape == (3, 1, 16, 16)
+
+    def test_make_denoising_task(self):
+        task = make_denoising_task(train_count=6, test_count=2, size=16)
+        assert task.task == "denoise"
+        assert task.train_inputs.shape == (6, 1, 16, 16)
+        assert task.test_targets.shape == (2, 1, 16, 16)
+        # Inputs are noisy versions of targets.
+        assert psnr(task.train_inputs, task.train_targets) < 40
+
+    def test_make_sr_task(self):
+        task = make_sr_task(train_count=4, test_count=2, size=16, factor=4)
+        assert task.train_inputs.shape == (4, 1, 4, 4)
+        assert task.train_targets.shape == (4, 1, 16, 16)
+
+    def test_sr_task_size_validation(self):
+        with pytest.raises(ValueError):
+            make_sr_task(size=10, factor=4)
+
+    def test_named_test_sets(self):
+        for name, (count, size, _) in TEST_SET_SPECS.items():
+            imgs = named_test_set(name)
+            assert imgs.shape == (count, size, size)
+
+    def test_named_test_set_unknown(self):
+        with pytest.raises(KeyError):
+            named_test_set("set5")  # must use the synthetic- prefix

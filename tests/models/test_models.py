@@ -1,0 +1,190 @@
+"""Tests for the model zoo and algebra factories."""
+
+import numpy as np
+import pytest
+
+from repro.models.baselines import FFDNet, SRResNet, VDSR
+from repro.models.ernet import ERNetConfig, dn_ernet_pu, parse_config_name, sr4_ernet
+from repro.models.factory import (
+    DepthwiseFactory,
+    RealFactory,
+    RingFactory,
+    identity_ring_tensor,
+    make_factory,
+)
+from repro.models.resnet import resnet_small
+from repro.nn.layers import Conv2d, DirectionalReLU2d, ReLU, RingConv2d, Sequential
+from repro.nn.tensor import Tensor
+from repro.rings.catalog import get_ring
+from repro.rings.nonlinearity import ComponentReLU, hadamard_relu
+
+
+class TestFactories:
+    def test_real_factory(self):
+        f = RealFactory()
+        assert isinstance(f.conv(4, 4, 3, seed=0), Conv2d)
+        assert isinstance(f.act(4), ReLU)
+        assert f.weight_compression() == 1.0
+
+    def test_ring_factory_builds_ring_conv(self):
+        f = RingFactory(spec=get_ring("ri4"), nonlinearity=hadamard_relu(4))
+        assert isinstance(f.conv(8, 8, 3, seed=0), RingConv2d)
+        assert isinstance(f.act(8), DirectionalReLU2d)
+        assert f.weight_compression() == 4.0
+
+    def test_ring_factory_falls_back_on_indivisible_channels(self):
+        f = RingFactory(spec=get_ring("ri4"), nonlinearity=hadamard_relu(4))
+        assert isinstance(f.conv(1, 8, 3, seed=0), Conv2d)
+        assert isinstance(f.act(6), ReLU)
+
+    def test_ring_factory_component_relu(self):
+        f = RingFactory(spec=get_ring("rh4"), nonlinearity=ComponentReLU(n=4))
+        assert isinstance(f.act(8), ReLU)
+
+    def test_depthwise_factory(self):
+        f = DepthwiseFactory()
+        layer = f.conv(8, 8, 3, seed=0)
+        assert isinstance(layer, Sequential)
+        out = layer(Tensor(np.zeros((1, 8, 6, 6))))
+        assert out.shape == (1, 8, 6, 6)
+        # 1x1 convs stay dense.
+        assert isinstance(f.conv(8, 8, 1, seed=0), Conv2d)
+
+    def test_depthwise_reduces_weights(self):
+        real = RealFactory().conv(16, 16, 3, seed=0)
+        dwc = DepthwiseFactory().conv(16, 16, 3, seed=0)
+        assert dwc.num_parameters() < real.num_parameters() / 2
+
+    def test_identity_ring_tensor(self):
+        m = identity_ring_tensor(3)
+        assert m.shape == (3, 3, 3)
+        assert m.sum() == 3
+
+    @pytest.mark.parametrize(
+        "kind,expected",
+        [
+            ("real", "real"),
+            ("dwc", "dwc"),
+            ("proposed", "R_I4+f_H"),
+            ("ri2+fh", "R_I2+f_H"),
+            ("rh4+fcw", "R_H4+f_cw"),
+            ("ri4+fo4", "R_I4+f_O4"),
+            ("c", "C+f_cw"),
+        ],
+    )
+    def test_make_factory_names(self, kind, expected):
+        assert make_factory(kind).name == expected
+
+    def test_make_factory_unknown_nonlinearity(self):
+        with pytest.raises(KeyError):
+            make_factory("ri4+bogus")
+
+
+class TestERNet:
+    def test_config_name(self):
+        cfg = ERNetConfig(task="sr4", blocks=17, ratio=3, extra_layers=1)
+        assert cfg.name == "SR4ERNet-B17R3N1"
+        assert parse_config_name("B17R3N1") == (17, 3, 1)
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            parse_config_name("B17R3")
+
+    def test_denoise_shape_preserved(self):
+        model = dn_ernet_pu(blocks=1, ratio=1, seed=0)
+        x = Tensor(np.random.default_rng(0).random((2, 1, 8, 8)))
+        assert model(x).shape == (2, 1, 8, 8)
+
+    def test_sr4_upscales_by_four(self):
+        model = sr4_ernet(blocks=1, ratio=1, seed=0)
+        x = Tensor(np.random.default_rng(0).random((1, 1, 4, 4)))
+        assert model(x).shape == (1, 1, 16, 16)
+
+    def test_unknown_task_rejected(self):
+        with pytest.raises(ValueError):
+            dn_ernet_pu().__class__(ERNetConfig(task="segmentation"))
+
+    def test_ring_variant_weight_reduction(self):
+        real = sr4_ernet(blocks=2, ratio=2, seed=0)
+        ring = sr4_ernet(blocks=2, ratio=2, factory=make_factory("proposed"), seed=0)
+        # Body convolutions shrink ~4x; head/tail stay real.
+        assert ring.num_parameters() < real.num_parameters() / 2.2
+
+    def test_extra_pumping_layers_increase_params(self):
+        small = sr4_ernet(blocks=1, ratio=1, extra_layers=0, seed=0)
+        big = sr4_ernet(blocks=1, ratio=1, extra_layers=2, seed=0)
+        assert big.num_parameters() > small.num_parameters()
+
+    @pytest.mark.parametrize("kind", ["real", "proposed", "rh4+fcw", "c", "dwc"])
+    def test_all_factories_run_forward(self, kind):
+        model = dn_ernet_pu(blocks=1, ratio=1, factory=make_factory(kind), seed=0)
+        x = Tensor(np.random.default_rng(1).random((1, 1, 8, 8)))
+        out = model(x)
+        assert out.shape == (1, 1, 8, 8)
+        assert np.all(np.isfinite(out.data))
+
+    def test_denoise_residual_path(self):
+        # With zero weights the tail contributes nothing; the global skip
+        # must pass the input straight through.
+        model = dn_ernet_pu(blocks=1, ratio=1, seed=0)
+        for _, p in model.named_parameters():
+            p.data[...] = 0.0
+        x = np.random.default_rng(2).random((1, 1, 8, 8))
+        np.testing.assert_allclose(model(Tensor(x)).data, x, atol=1e-12)
+
+
+class TestBaselines:
+    def test_srresnet_shapes(self):
+        model = SRResNet(blocks=2, width=8, seed=0)
+        out = model(Tensor(np.random.default_rng(0).random((1, 1, 4, 4))))
+        assert out.shape == (1, 1, 16, 16)
+
+    def test_vdsr_shapes(self):
+        model = VDSR(depth=3, width=8, seed=0)
+        out = model(Tensor(np.random.default_rng(0).random((1, 1, 4, 4))))
+        assert out.shape == (1, 1, 16, 16)
+
+    def test_vdsr_zero_net_is_bicubic(self):
+        model = VDSR(depth=3, width=8, seed=0)
+        for _, p in model.named_parameters():
+            p.data[...] = 0.0
+        from repro.imaging.degrade import bicubic_upsample
+
+        x = np.random.default_rng(1).random((1, 1, 4, 4))
+        np.testing.assert_allclose(
+            model(Tensor(x)).data, bicubic_upsample(x, 4), atol=1e-12
+        )
+
+    def test_ffdnet_shapes(self):
+        model = FFDNet(depth=3, width=8, seed=0)
+        out = model(Tensor(np.random.default_rng(0).random((2, 1, 8, 8))))
+        assert out.shape == (2, 1, 8, 8)
+
+    def test_srresnet_with_ring_factory(self):
+        model = SRResNet(blocks=1, width=8, factory=make_factory("ri2+fh"), seed=0)
+        out = model(Tensor(np.random.default_rng(0).random((1, 1, 4, 4))))
+        assert out.shape == (1, 1, 16, 16)
+
+
+class TestResNet:
+    def test_logit_shape(self):
+        model = resnet_small(blocks_per_stage=1, base_width=4, num_classes=7, seed=0)
+        out = model(Tensor(np.random.default_rng(0).random((2, 1, 16, 16))))
+        assert out.shape == (2, 7)
+
+    def test_ring_factory_keeps_bn_real(self):
+        # Appendix C: convolutions use (R_I, f_H); BN stays real-valued.
+        from repro.nn.layers import BatchNorm2d
+
+        model = resnet_small(
+            blocks_per_stage=1, base_width=4, factory=make_factory("proposed"), seed=0
+        )
+        kinds = [type(m).__name__ for m in model.modules()]
+        assert "BatchNorm2d" in kinds
+        assert "RingConv2d" in kinds
+
+    def test_strided_stage_reduces_resolution(self):
+        model = resnet_small(blocks_per_stage=1, base_width=4, seed=0)
+        feat = model.stem_act(model.stem_bn(model.stem(Tensor(np.zeros((1, 1, 16, 16))))))
+        out = model.stages(feat)
+        assert out.shape[-1] == 4  # two stride-2 stages: 16 -> 8 -> 4

@@ -1,0 +1,94 @@
+"""Tests for FRCONV — the fast ring convolution (paper eq. 12)."""
+
+import numpy as np
+import pytest
+
+from repro.nn.fastconv import FastRingConv2d, frconv2d
+from repro.nn.gradcheck import check_gradients
+from repro.nn.layers import RingConv2d
+from repro.nn.tensor import Tensor
+from repro.rings.catalog import get_ring
+
+
+class TestFrconvEquivalence:
+    @pytest.mark.parametrize("name", ["ri2", "ri4", "c", "rh2", "rh4", "ro4", "rh4i", "h"])
+    def test_matches_direct_rconv(self, name):
+        # FRCONV(g) == RCONV(g) for identical ring weights (Section IV-C).
+        spec = get_ring(name)
+        n = spec.n
+        rconv = RingConv2d(2 * n, 2 * n, 3, spec.ring, seed=0)
+        frconv = FastRingConv2d(2 * n, 2 * n, 3, spec, seed=1)
+        frconv.load_from_rconv(rconv)
+        x = Tensor(np.random.default_rng(2).standard_normal((1, 2 * n, 6, 6)))
+        np.testing.assert_allclose(frconv(x).data, rconv(x).data, atol=1e-8)
+
+    def test_stride_and_padding_match(self):
+        spec = get_ring("rh4")
+        rconv = RingConv2d(4, 4, 3, spec.ring, stride=2, padding=1, seed=0)
+        frconv = FastRingConv2d(4, 4, 3, spec, stride=2, padding=1, seed=0)
+        frconv.load_from_rconv(rconv)
+        x = Tensor(np.random.default_rng(0).standard_normal((2, 4, 8, 8)))
+        np.testing.assert_allclose(frconv(x).data, rconv(x).data, atol=1e-8)
+
+    def test_identity_ring_frconv_is_rconv(self):
+        # For R_I, FRCONV degenerates to RCONV (identity transforms).
+        spec = get_ring("ri4")
+        assert np.array_equal(spec.fast.tx, np.eye(4))
+
+    def test_channel_validation(self):
+        spec = get_ring("ri4")
+        with pytest.raises(ValueError):
+            FastRingConv2d(6, 8, 3, spec)
+        layer = FastRingConv2d(8, 8, 3, spec, seed=0)
+        with pytest.raises(ValueError):
+            frconv2d(Tensor(np.zeros((1, 4, 4, 4))), layer.g, spec)
+
+    def test_load_shape_mismatch(self):
+        spec = get_ring("ri2")
+        frconv = FastRingConv2d(4, 4, 3, spec, seed=0)
+        rconv = RingConv2d(2, 2, 3, spec.ring, seed=0)
+        with pytest.raises(ValueError):
+            frconv.load_from_rconv(rconv)
+
+
+class TestFrconvTraining:
+    def test_gradients_flow_to_g(self):
+        spec = get_ring("rh4")
+        layer = FastRingConv2d(4, 4, 3, spec, seed=0)
+        out = layer(Tensor(np.random.default_rng(1).standard_normal((1, 4, 5, 5))))
+        (out**2).sum().backward()
+        assert layer.g.grad is not None
+        assert np.abs(layer.g.grad).max() > 0
+
+    def test_gradcheck_through_frconv(self):
+        spec = get_ring("c")
+        x = np.random.default_rng(3).standard_normal((1, 2, 4, 4))
+        g0 = np.random.default_rng(4).standard_normal((1, 1, 2, 3, 3))
+
+        def build(t):
+            return (frconv2d(Tensor(x), t, spec, padding=1) ** 2).sum()
+
+        check_gradients(build, g0)
+
+    def test_gradient_matches_rconv_gradient(self):
+        # Same parameterization => identical weight gradients.
+        spec = get_ring("rh4")
+        rconv = RingConv2d(4, 4, 3, spec.ring, bias=False, seed=0)
+        frconv = FastRingConv2d(4, 4, 3, spec, bias=False, seed=0)
+        frconv.g.data[...] = rconv.g.data
+        x = np.random.default_rng(5).standard_normal((1, 4, 5, 5))
+        (rconv(Tensor(x)) ** 2).sum().backward()
+        (frconv(Tensor(x)) ** 2).sum().backward()
+        np.testing.assert_allclose(frconv.g.grad, rconv.g.grad, atol=1e-8)
+
+
+class TestSelectOp:
+    def test_forward_and_backward(self):
+        x = np.random.default_rng(0).standard_normal((2, 3, 4))
+        t = Tensor(x, requires_grad=True)
+        out = t.select(axis=1, index=2)
+        np.testing.assert_array_equal(out.data, x[:, 2])
+        (out**2).sum().backward()
+        expect = np.zeros_like(x)
+        expect[:, 2] = 2 * x[:, 2]
+        np.testing.assert_allclose(t.grad, expect)

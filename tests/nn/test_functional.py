@@ -1,0 +1,213 @@
+"""Tests for conv2d / ring_expand / pixel-shuffle primitives."""
+
+import numpy as np
+import pytest
+from scipy import signal
+
+from repro.nn.functional import (
+    avg_pool2d,
+    col2im,
+    conv2d,
+    im2col,
+    pixel_shuffle,
+    pixel_unshuffle,
+    ring_expand,
+    softmax_cross_entropy,
+)
+from repro.nn.gradcheck import check_gradients
+from repro.nn.tensor import Tensor
+from repro.rings.catalog import get_ring
+
+
+class TestConvForward:
+    def test_against_scipy_correlate(self):
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((1, 1, 8, 8))
+        w = rng.standard_normal((1, 1, 3, 3))
+        out = conv2d(Tensor(x), Tensor(w), padding=1).data
+        ref = signal.correlate2d(x[0, 0], w[0, 0], mode="same")
+        np.testing.assert_allclose(out[0, 0], ref, atol=1e-10)
+
+    def test_multichannel_shapes(self):
+        rng = np.random.default_rng(1)
+        x = Tensor(rng.standard_normal((2, 3, 10, 12)))
+        w = Tensor(rng.standard_normal((5, 3, 3, 3)))
+        assert conv2d(x, w, padding=1).shape == (2, 5, 10, 12)
+
+    def test_stride_two(self):
+        rng = np.random.default_rng(2)
+        x = Tensor(rng.standard_normal((1, 2, 8, 8)))
+        w = Tensor(rng.standard_normal((4, 2, 3, 3)))
+        assert conv2d(x, w, stride=2, padding=1).shape == (1, 4, 4, 4)
+
+    def test_1x1_is_channel_matmul(self):
+        rng = np.random.default_rng(3)
+        x = rng.standard_normal((1, 4, 5, 5))
+        w = rng.standard_normal((6, 4, 1, 1))
+        out = conv2d(Tensor(x), Tensor(w), padding=0).data
+        ref = np.einsum("oc,nchw->nohw", w[:, :, 0, 0], x)
+        np.testing.assert_allclose(out, ref, atol=1e-10)
+
+    def test_bias_added_per_channel(self):
+        x = Tensor(np.zeros((1, 1, 4, 4)))
+        w = Tensor(np.zeros((2, 1, 3, 3)))
+        b = Tensor(np.array([1.0, -2.0]))
+        out = conv2d(x, w, b, padding=1).data
+        assert np.all(out[0, 0] == 1.0) and np.all(out[0, 1] == -2.0)
+
+    def test_channel_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            conv2d(Tensor(np.zeros((1, 3, 4, 4))), Tensor(np.zeros((2, 4, 3, 3))))
+
+    def test_im2col_col2im_adjoint(self):
+        # <im2col(x), y> == <x, col2im(y)> : exact adjointness.
+        rng = np.random.default_rng(4)
+        x = rng.standard_normal((2, 3, 6, 6))
+        cols, (hp, wp, ho, wo) = im2col(x, 3, 3, 1, 1)
+        y = rng.standard_normal(cols.shape)
+        lhs = float((cols * y).sum())
+        back = col2im(y, x.shape, 3, 3, 1, 1, ho, wo)
+        rhs = float((x * back).sum())
+        assert lhs == pytest.approx(rhs, rel=1e-10)
+
+
+class TestConvBackward:
+    def test_gradcheck_input(self):
+        rng = np.random.default_rng(5)
+        w = rng.standard_normal((2, 2, 3, 3))
+        x = rng.standard_normal((1, 2, 5, 5))
+        check_gradients(lambda t: (conv2d(t, Tensor(w), padding=1) ** 2).sum(), x)
+
+    def test_gradcheck_weight(self):
+        rng = np.random.default_rng(6)
+        x = rng.standard_normal((1, 2, 5, 5))
+        w = rng.standard_normal((2, 2, 3, 3))
+
+        def build(t):
+            return (conv2d(Tensor(x), t, padding=1) ** 2).sum()
+
+        check_gradients(build, w)
+
+    def test_gradcheck_bias(self):
+        rng = np.random.default_rng(7)
+        x = rng.standard_normal((1, 2, 4, 4))
+        w = rng.standard_normal((3, 2, 3, 3))
+        b = rng.standard_normal(3)
+
+        def build(t):
+            return (conv2d(Tensor(x), Tensor(w), t, padding=1) ** 2).sum()
+
+        check_gradients(build, b)
+
+    def test_gradcheck_strided(self):
+        rng = np.random.default_rng(8)
+        x = rng.standard_normal((1, 1, 6, 6))
+        w = rng.standard_normal((1, 1, 3, 3))
+        check_gradients(
+            lambda t: (conv2d(t, Tensor(w), stride=2, padding=1) ** 2).sum(), x
+        )
+
+
+class TestRingExpand:
+    @pytest.mark.parametrize("name", ["ri4", "c", "rh4", "ro4", "h", "rh4i"])
+    def test_expansion_matches_isomorphic_matrix(self, name):
+        spec = get_ring(name)
+        n = spec.n
+        rng = np.random.default_rng(9)
+        g = rng.standard_normal((2, 3, n, 1, 1))
+        w = ring_expand(Tensor(g), spec.ring.m_tensor).data
+        for ot in range(2):
+            for ct in range(3):
+                block = w[ot * n : (ot + 1) * n, ct * n : (ct + 1) * n, 0, 0]
+                np.testing.assert_allclose(
+                    block, spec.ring.isomorphic_matrix(g[ot, ct, :, 0, 0]), atol=1e-12
+                )
+
+    def test_weight_count_reduction(self):
+        # n-times fewer real weights than the real-valued layer (Section III-D).
+        spec = get_ring("ri4")
+        g = np.zeros((8 // 4, 8 // 4, 4, 3, 3))
+        w = ring_expand(Tensor(g), spec.ring.m_tensor)
+        assert w.shape == (8, 8, 3, 3)
+        assert g.size * 4 == w.size
+
+    def test_gradcheck(self):
+        spec = get_ring("rh4")
+        rng = np.random.default_rng(10)
+        g = rng.standard_normal((1, 2, 4, 3, 3))
+        check_gradients(
+            lambda t: (ring_expand(t, spec.ring.m_tensor) ** 2).sum(), g
+        )
+
+    def test_ring_conv_equals_tuplewise_ring_multiply(self):
+        # A 1x1 RCONV on a single spatial position is the ring product sum.
+        spec = get_ring("rh4")
+        rng = np.random.default_rng(11)
+        g = rng.standard_normal((1, 2, 4, 1, 1))
+        x = rng.standard_normal((1, 8, 1, 1))
+        w = ring_expand(Tensor(g), spec.ring.m_tensor)
+        out = conv2d(Tensor(x), w, padding=0).data[0, :, 0, 0]
+        expect = sum(
+            spec.ring.multiply(g[0, ct, :, 0, 0], x[0, ct * 4 : (ct + 1) * 4, 0, 0])
+            for ct in range(2)
+        )
+        np.testing.assert_allclose(out, expect, atol=1e-10)
+
+    def test_mismatched_tensor_raises(self):
+        with pytest.raises(ValueError):
+            ring_expand(Tensor(np.zeros((1, 1, 2, 1, 1))), np.zeros((4, 4, 4)))
+
+
+class TestPixelShuffle:
+    def test_round_trip(self):
+        rng = np.random.default_rng(12)
+        x = rng.standard_normal((2, 4, 3, 5))
+        up = pixel_shuffle(Tensor(x), 2)
+        assert up.shape == (2, 1, 6, 10)
+        down = pixel_unshuffle(up, 2)
+        np.testing.assert_allclose(down.data, x, atol=1e-12)
+
+    def test_unshuffle_round_trip(self):
+        rng = np.random.default_rng(13)
+        x = rng.standard_normal((1, 3, 8, 8))
+        down = pixel_unshuffle(Tensor(x), 2)
+        assert down.shape == (1, 12, 4, 4)
+        np.testing.assert_allclose(pixel_shuffle(down, 2).data, x, atol=1e-12)
+
+    def test_gradchecks(self):
+        rng = np.random.default_rng(14)
+        x = rng.standard_normal((1, 4, 2, 2))
+        check_gradients(lambda t: (pixel_shuffle(t, 2) ** 2).sum(), x)
+        y = rng.standard_normal((1, 1, 4, 4))
+        check_gradients(lambda t: (pixel_unshuffle(t, 2) ** 2).sum(), y)
+
+    def test_invalid_shapes(self):
+        with pytest.raises(ValueError):
+            pixel_shuffle(Tensor(np.zeros((1, 3, 2, 2))), 2)
+        with pytest.raises(ValueError):
+            pixel_unshuffle(Tensor(np.zeros((1, 3, 5, 4))), 2)
+
+
+class TestPoolingAndLoss:
+    def test_avg_pool_value(self):
+        x = np.arange(16, dtype=float).reshape(1, 1, 4, 4)
+        out = avg_pool2d(Tensor(x), 2).data
+        np.testing.assert_allclose(out[0, 0], [[2.5, 4.5], [10.5, 12.5]])
+
+    def test_avg_pool_gradcheck(self):
+        rng = np.random.default_rng(15)
+        x = rng.standard_normal((1, 2, 4, 4))
+        check_gradients(lambda t: (avg_pool2d(t, 2) ** 2).sum(), x)
+
+    def test_cross_entropy_value_uniform(self):
+        logits = Tensor(np.zeros((2, 4)))
+        loss = softmax_cross_entropy(logits, np.array([0, 3]))
+        assert float(loss.data) == pytest.approx(np.log(4), abs=1e-6)
+
+    def test_cross_entropy_gradcheck(self):
+        rng = np.random.default_rng(16)
+        logits = rng.standard_normal((3, 5))
+        labels = np.array([0, 2, 4])
+        check_gradients(
+            lambda t: softmax_cross_entropy(t, labels), logits, rtol=1e-3, atol=1e-6
+        )

@@ -1,0 +1,107 @@
+"""Tests for magnitude and structured pruning."""
+
+import numpy as np
+import pytest
+
+from repro.models.ernet import dn_ernet_pu
+from repro.models.resnet import resnet_small
+from repro.nn.data import ArrayDataset, DataLoader
+from repro.nn.layers import Conv2d, Sequential
+from repro.nn.trainer import TrainConfig
+from repro.pruning.magnitude import (
+    apply_masks,
+    finetune_pruned,
+    global_magnitude_masks,
+    prunable_parameters,
+    prune_model,
+    sparsity_of,
+)
+from repro.pruning.structured import (
+    apply_channel_masks,
+    channel_norms,
+    channel_sparsity,
+    structured_masks,
+)
+
+
+class TestMagnitudePruning:
+    def test_prunable_excludes_biases(self):
+        model = dn_ernet_pu(blocks=1, ratio=1, seed=0)
+        params = prunable_parameters(model)
+        assert all(p.data.ndim >= 2 for p in params.values())
+        assert not any(name.endswith("bias") for name in params)
+
+    @pytest.mark.parametrize("compression", [2.0, 4.0, 8.0])
+    def test_target_sparsity_reached(self, compression):
+        model = dn_ernet_pu(blocks=2, ratio=2, seed=0)
+        masks = global_magnitude_masks(model, compression)
+        target = 1.0 - 1.0 / compression
+        assert sparsity_of(model, masks) == pytest.approx(target, abs=0.01)
+
+    def test_prune_zeroes_smallest(self):
+        model = Sequential(Conv2d(4, 4, 3, bias=False, seed=0))
+        weights = model[0].weight.data
+        smallest = np.abs(weights).min()
+        prune_model(model, 2.0)
+        # The globally smallest weight must be gone.
+        assert not np.any(np.abs(weights[weights != 0]) == smallest)
+
+    def test_compression_one_keeps_everything(self):
+        model = Sequential(Conv2d(2, 2, 3, seed=0))
+        masks = global_magnitude_masks(model, 1.0)
+        assert all(m.all() for m in masks.values())
+
+    def test_invalid_compression(self):
+        with pytest.raises(ValueError):
+            global_magnitude_masks(Sequential(Conv2d(2, 2, 3, seed=0)), 0.5)
+
+    def test_apply_masks_idempotent(self):
+        model = Sequential(Conv2d(4, 4, 3, bias=False, seed=0))
+        masks = prune_model(model, 4.0)
+        snapshot = model[0].weight.data.copy()
+        apply_masks(model, masks)
+        np.testing.assert_array_equal(model[0].weight.data, snapshot)
+
+    def test_finetune_preserves_sparsity_and_improves_loss(self):
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((8, 1, 8, 8))
+        y = x * 0.7
+        model = Sequential(Conv2d(1, 4, 3, seed=0), Conv2d(4, 1, 3, seed=1))
+        masks = prune_model(model, 2.0)
+        loader = DataLoader(ArrayDataset(x, y), batch_size=4, seed=0)
+        result = finetune_pruned(model, masks, loader, TrainConfig(epochs=8, lr=5e-3))
+        assert result.final_loss < result.train_losses[0]
+        assert sparsity_of(model) >= 0.49
+
+
+class TestStructuredPruning:
+    def test_channel_norms_shapes(self):
+        model = resnet_small(blocks_per_stage=1, base_width=4, seed=0)
+        norms = channel_norms(model)
+        assert all(v.ndim == 1 for v in norms.values())
+
+    def test_masks_reach_compression(self):
+        model = resnet_small(blocks_per_stage=1, base_width=8, seed=0)
+        masks = structured_masks(model, compression=2.0)
+        assert channel_sparsity(masks) == pytest.approx(0.5, abs=0.05)
+
+    def test_apply_channel_masks_zeroes_filters(self):
+        model = Sequential(Conv2d(2, 8, 3, seed=0), Conv2d(8, 2, 3, seed=1))
+        masks = structured_masks(model, compression=2.0)
+        apply_channel_masks(model, masks)
+        conv = model[0]
+        mask = masks[id(conv)]
+        for ch in range(8):
+            if not mask[ch]:
+                assert np.all(conv.weight.data[ch] == 0)
+                assert conv.bias.data[ch] == 0
+
+    def test_every_layer_keeps_a_channel(self):
+        model = Sequential(Conv2d(2, 4, 3, seed=0), Conv2d(4, 2, 3, seed=1))
+        masks = structured_masks(model, compression=16.0)
+        assert all(m.any() for m in masks.values())
+
+    def test_last_conv_protected(self):
+        model = Sequential(Conv2d(2, 4, 3, seed=0), Conv2d(4, 2, 3, seed=1))
+        masks = structured_masks(model, compression=2.0, protect_last=True)
+        assert id(model[1]) not in masks

@@ -1,0 +1,190 @@
+"""Tests for Q-format arithmetic and model quantization."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.models.ernet import dn_ernet_pu
+from repro.models.factory import make_factory
+from repro.nn.tensor import Tensor
+from repro.quant.qformat import (
+    QFormat,
+    choose_qformat,
+    componentwise_qformats,
+    quantize_dynamic,
+)
+from repro.quant.quantize import (
+    Quantize,
+    QuantizedDirectionalReLU2d,
+    QuantizingFactory,
+    calibrate,
+    quantize_weights,
+    set_quantization_enabled,
+)
+from repro.nn.layers import DirectionalReLU2d
+from repro.rings.nonlinearity import hadamard_relu
+
+
+class TestQFormat:
+    def test_step_and_range(self):
+        fmt = QFormat(frac_bits=6, word_bits=8)
+        assert fmt.step == pytest.approx(1 / 64)
+        assert fmt.max_value == pytest.approx(127 / 64)
+        assert fmt.min_value == pytest.approx(-2.0)
+
+    def test_quantize_rounds_to_grid(self):
+        fmt = QFormat(frac_bits=2, word_bits=8)
+        out = fmt.quantize(np.array([0.1, 0.3, -0.6]))
+        np.testing.assert_allclose(out, [0.0, 0.25, -0.5])
+
+    def test_quantize_saturates(self):
+        fmt = QFormat(frac_bits=7, word_bits=8)  # range ~[-1, 0.992]
+        out = fmt.quantize(np.array([5.0, -5.0]))
+        assert out[0] == pytest.approx(fmt.max_value)
+        assert out[1] == pytest.approx(fmt.min_value)
+
+    def test_error_within_half_step(self):
+        fmt = QFormat(frac_bits=4, word_bits=8)
+        x = np.linspace(-2, 2, 101)  # inside the representable range
+        x = x[(x >= fmt.min_value) & (x <= fmt.max_value)]
+        assert np.max(np.abs(fmt.quantize(x) - x)) <= fmt.step / 2 + 1e-12
+
+    @settings(max_examples=30, deadline=None)
+    @given(peak=st.floats(0.01, 100.0))
+    def test_choose_qformat_never_saturates_peak(self, peak):
+        fmt = choose_qformat(np.array([peak, -peak]))
+        assert fmt.max_value >= peak * (1 - 2**-7) - fmt.step
+
+    def test_choose_qformat_small_values_use_more_frac_bits(self):
+        small = choose_qformat(np.array([0.1]))
+        large = choose_qformat(np.array([10.0]))
+        assert small.frac_bits > large.frac_bits
+
+    def test_choose_qformat_zero_input(self):
+        fmt = choose_qformat(np.zeros(4))
+        assert fmt.frac_bits == 7
+
+    def test_quantize_dynamic_round_trip_accuracy(self):
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal(1000)
+        xq, fmt = quantize_dynamic(x, word_bits=8)
+        assert np.sqrt(np.mean((x - xq) ** 2)) < 2 * fmt.step
+
+    def test_componentwise_formats_differ_with_ranges(self):
+        x = np.zeros((1, 4, 2, 2))
+        x[:, 0::4] = 10.0  # component 0 large
+        x[:, 1::4] = 0.05  # component 1 tiny
+        fmts = componentwise_qformats(x, n=4, axis=1)
+        assert fmts[1].frac_bits > fmts[0].frac_bits
+
+    def test_componentwise_requires_divisible_axis(self):
+        with pytest.raises(ValueError):
+            componentwise_qformats(np.zeros((1, 6, 2, 2)), n=4, axis=1)
+
+
+class TestQuantizeLayer:
+    def test_calibration_then_freeze(self):
+        q = Quantize(word_bits=8)
+        q.calibrating = True
+        q(Tensor(np.array([[3.5]])))
+        q(Tensor(np.array([[-7.0]])))
+        q.freeze()
+        assert q.formats is not None
+        assert q.formats[0].max_value >= 7.0 - q.formats[0].step
+
+    def test_freeze_without_data_raises(self):
+        with pytest.raises(RuntimeError):
+            Quantize().freeze()
+
+    def test_disabled_passthrough(self):
+        q = Quantize()
+        q._peak = np.array([1.0])
+        q.freeze()
+        q.enabled = False
+        x = np.array([[0.12345]])
+        np.testing.assert_array_equal(q(Tensor(x)).data, x)
+
+    def test_componentwise_quantization_applied(self):
+        q = Quantize(word_bits=8, tuple_size=2)
+        q.calibrating = True
+        x = np.zeros((1, 4, 1, 1))
+        x[:, 0::2] = 8.0
+        x[:, 1::2] = 0.06
+        q(Tensor(x))
+        q.freeze()
+        out = q(Tensor(x)).data
+        # The small component keeps fine resolution.
+        assert abs(out[0, 1, 0, 0] - 0.06) < 1e-2
+
+
+class TestDirectionalReLUQuantization:
+    def _setup(self, mode):
+        inner = DirectionalReLU2d(hadamard_relu(4))
+        layer = QuantizedDirectionalReLU2d(inner, word_bits=8, mode=mode)
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((2, 8, 4, 4))
+        # calibrate
+        for q in (layer.pre, layer.mid, layer.post):
+            q.calibrating = True
+        layer(Tensor(x))
+        for q in (layer.pre, layer.mid, layer.post):
+            if q._peak is not None:  # pre/mid are bypassed in onthefly mode
+                q.freeze()
+            else:
+                q.calibrating = False
+        return layer, inner, x
+
+    def test_invalid_mode(self):
+        with pytest.raises(ValueError):
+            QuantizedDirectionalReLU2d(DirectionalReLU2d(hadamard_relu(4)), mode="bogus")
+
+    @pytest.mark.parametrize("mode", ["onthefly", "naive"])
+    def test_output_close_to_float(self, mode):
+        layer, inner, x = self._setup(mode)
+        out = layer(Tensor(x)).data
+        ref = inner(Tensor(x)).data
+        assert np.sqrt(np.mean((out - ref) ** 2)) < 0.1
+
+    def test_onthefly_more_accurate_than_naive(self):
+        # The paper's motivation for the on-the-fly pipeline (Section V).
+        errs = {}
+        for mode in ("onthefly", "naive"):
+            layer, inner, x = self._setup(mode)
+            out = layer(Tensor(x)).data
+            ref = inner(Tensor(x)).data
+            errs[mode] = float(np.mean((out - ref) ** 2))
+        assert errs["onthefly"] < errs["naive"]
+
+
+class TestModelQuantization:
+    def test_quantize_weights_snaps_parameters(self):
+        model = dn_ernet_pu(blocks=1, ratio=1, seed=0)
+        formats = quantize_weights(model, word_bits=8)
+        assert len(formats) == len(list(model.named_parameters()))
+        for name, param in model.named_parameters():
+            fmt = formats[name]
+            np.testing.assert_allclose(param.data, fmt.quantize(param.data), atol=1e-12)
+
+    def test_quantizing_factory_end_to_end(self):
+        factory = QuantizingFactory(make_factory("proposed"), word_bits=8)
+        model = dn_ernet_pu(blocks=1, ratio=1, factory=factory, seed=0)
+        rng = np.random.default_rng(7)
+        for _, p in model.named_parameters():  # un-zero the tail so the
+            p.data[...] = 0.2 * rng.standard_normal(p.shape)  # net path is live
+        x = np.random.default_rng(1).random((2, 1, 8, 8))
+        calibrate(model, x)
+        out_q = model(Tensor(x)).data
+        set_quantization_enabled(model, False)
+        out_f = model(Tensor(x)).data
+        # Quantized output tracks float closely but not exactly.
+        assert np.sqrt(np.mean((out_q - out_f) ** 2)) < 0.1
+        assert not np.allclose(out_q, out_f)
+
+    def test_quantizing_factory_name(self):
+        factory = QuantizingFactory(make_factory("real"), word_bits=8)
+        assert "real@q8" in factory.name
+
+    def test_compression_passthrough(self):
+        factory = QuantizingFactory(make_factory("proposed"))
+        assert factory.weight_compression() == 4.0

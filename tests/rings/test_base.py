@@ -1,0 +1,205 @@
+"""Unit tests for the core ring machinery."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rings.base import (
+    Ring,
+    indexing_tensor_from_sp,
+    sp_from_indexing_tensor,
+)
+from repro.rings.catalog import get_ring, ring_names
+
+
+def _tuples(n, count=1):
+    return st.lists(
+        st.lists(st.floats(-8, 8, allow_nan=False), min_size=n, max_size=n),
+        min_size=count,
+        max_size=count,
+    ).map(np.array)
+
+
+class TestIndexingTensor:
+    def test_round_trip_sign_perm(self):
+        sign = np.array([[1, -1], [1, 1]], dtype=float)
+        perm = np.array([[0, 1], [1, 0]])
+        m_tensor = indexing_tensor_from_sp(sign, perm)
+        recovered = sp_from_indexing_tensor(m_tensor)
+        assert recovered is not None
+        np.testing.assert_array_equal(recovered[0], sign)
+        np.testing.assert_array_equal(recovered[1], perm)
+
+    def test_non_exclusive_tensor_returns_none(self):
+        m_tensor = np.zeros((2, 2, 2))
+        m_tensor[0, 0, 0] = 1.0
+        m_tensor[0, 1, 0] = 1.0  # two contributions to one fibre
+        assert sp_from_indexing_tensor(m_tensor) is None
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError):
+            indexing_tensor_from_sp(np.ones((2, 3)), np.zeros((2, 3), dtype=int))
+
+    def test_rejects_non_cubical_ring(self):
+        with pytest.raises(ValueError):
+            Ring("bad", np.zeros((2, 3, 2)))
+
+
+class TestIsomorphicMatrix:
+    @pytest.mark.parametrize("name", ring_names())
+    def test_multiply_matches_matrix_form(self, name):
+        spec = get_ring(name)
+        rng = np.random.default_rng(3)
+        g, x = rng.standard_normal((2, spec.n))
+        via_matrix = spec.ring.isomorphic_matrix(g) @ x
+        np.testing.assert_allclose(spec.ring.multiply(g, x), via_matrix, atol=1e-12)
+
+    def test_isomorphic_matrix_batched(self):
+        spec = get_ring("c")
+        rng = np.random.default_rng(0)
+        g = rng.standard_normal((5, 3, 2))
+        mats = spec.ring.isomorphic_matrix(g)
+        assert mats.shape == (5, 3, 2, 2)
+        np.testing.assert_allclose(mats[2, 1], spec.ring.isomorphic_matrix(g[2, 1]))
+
+    def test_complex_matrix_is_rotation_form(self):
+        spec = get_ring("c")
+        mat = spec.ring.isomorphic_matrix(np.array([3.0, 4.0]))
+        np.testing.assert_array_equal(mat, np.array([[3.0, -4.0], [4.0, 3.0]]))
+
+    def test_multiply_broadcasts_batches(self):
+        spec = get_ring("ri4")
+        rng = np.random.default_rng(1)
+        g = rng.standard_normal((7, 4))
+        x = rng.standard_normal((7, 4))
+        out = spec.ring.multiply(g, x)
+        np.testing.assert_allclose(out, g * x)  # identity ring: component-wise
+
+
+class TestUnity:
+    @pytest.mark.parametrize("name", ring_names())
+    def test_unity_exists(self, name):
+        spec = get_ring(name)
+        e = spec.ring.unity()
+        assert e is not None
+        if spec.family in ("identity", "real"):
+            # Component-wise product: unity is the all-ones tuple.
+            np.testing.assert_allclose(e, np.ones(spec.n), atol=1e-9)
+        else:
+            # Proper rings (condition C1): unity is e0.
+            np.testing.assert_allclose(e, np.eye(spec.n)[0], atol=1e-9)
+
+    @pytest.mark.parametrize("name", ["c", "h", "rh4", "ro4", "rh4i"])
+    def test_unity_acts_as_identity(self, name):
+        spec = get_ring(name)
+        rng = np.random.default_rng(5)
+        x = rng.standard_normal(spec.n)
+        e = spec.ring.unity()
+        np.testing.assert_allclose(spec.ring.multiply(e, x), x, atol=1e-12)
+        np.testing.assert_allclose(spec.ring.multiply(x, e), x, atol=1e-12)
+
+    def test_ring_without_unity(self):
+        m_tensor = np.zeros((2, 2, 2))  # zero multiplication: no unity
+        ring = Ring("zero", m_tensor)
+        assert ring.unity() is None
+
+
+class TestAlgebraicProperties:
+    @pytest.mark.parametrize("name", ring_names())
+    def test_distributive(self, name):
+        assert get_ring(name).ring.is_distributive()
+
+    @pytest.mark.parametrize("name", ring_names())
+    def test_associative(self, name):
+        assert get_ring(name).ring.is_associative()
+
+    def test_quaternion_not_commutative(self):
+        assert not get_ring("h").ring.is_commutative()
+
+    @pytest.mark.parametrize(
+        "name", [k for k in ring_names() if k != "h"]
+    )
+    def test_others_commutative(self, name):
+        assert get_ring(name).ring.is_commutative()
+
+    def test_quaternion_ij_equals_k(self):
+        ring = get_ring("h").ring
+        e = np.eye(4)
+        np.testing.assert_allclose(ring.multiply(e[1], e[2]), e[3])
+        np.testing.assert_allclose(ring.multiply(e[2], e[1]), -e[3])
+        np.testing.assert_allclose(ring.multiply(e[1], e[1]), -e[0])
+
+    def test_commutativity_equals_c2_for_exclusive_rings(self):
+        # Paper Section III-C: C2 is derived from g.x = x.g.
+        for name in ring_names():
+            ring = get_ring(name).ring
+            if not ring.is_exclusive() or name.startswith("ri") or name == "real":
+                continue
+            assert ring.is_commutative() == ring.satisfies_c2()
+
+    @pytest.mark.parametrize("name", ["c", "rh2", "rh4", "ro4", "rh4i", "rh4ii", "ro4i", "ro4ii", "h"])
+    def test_c1_satisfied_by_proper_rings(self, name):
+        assert get_ring(name).ring.satisfies_c1()
+
+    def test_basis_matrices_reconstruct_g(self):
+        spec = get_ring("rh4")
+        rng = np.random.default_rng(0)
+        g = rng.standard_normal(4)
+        basis = spec.ring.basis_matrices()
+        total = sum(g[k] * basis[k] for k in range(4))
+        np.testing.assert_allclose(total, spec.ring.isomorphic_matrix(g), atol=1e-12)
+
+    def test_permutation_matrices_commute_for_commutative_rings(self):
+        # Theorem B.3 condition (iii) holds for all the paper's proper rings.
+        for name in ("c", "rh2", "rh4", "ro4", "rh4i", "rh4ii", "ro4i", "ro4ii"):
+            assert get_ring(name).ring.permutation_matrices_commute(), name
+
+
+class TestDiagonalizability:
+    @pytest.mark.parametrize("name", ["ri2", "ri4", "rh2", "rh4", "ro4"])
+    def test_diagonalizable_rings(self, name):
+        spec = get_ring(name)
+        t_mat = spec.ring.real_diagonalizer()
+        assert t_mat is not None
+        rng = np.random.default_rng(2)
+        g = rng.standard_normal(spec.n)
+        conj = t_mat @ spec.ring.isomorphic_matrix(g) @ np.linalg.inv(t_mat)
+        np.testing.assert_allclose(conj, np.diag(np.diag(conj)), atol=1e-8)
+
+    @pytest.mark.parametrize("name", ["c", "h", "rh4i"])
+    def test_non_diagonalizable_rings(self, name):
+        assert get_ring(name).ring.real_diagonalizer() is None
+
+    @pytest.mark.parametrize("name", ring_names())
+    def test_full_rank_g(self, name):
+        spec = get_ring(name)
+        assert spec.ring.matrix_rank() == spec.n
+
+
+class TestHypothesisProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(data=st.data())
+    def test_bilinearity(self, data):
+        spec = get_ring(data.draw(st.sampled_from(["c", "rh4", "ro4", "h", "rh4i"])))
+        n = spec.n
+        g = np.array(data.draw(st.lists(st.floats(-4, 4, allow_nan=False), min_size=n, max_size=n)))
+        x = np.array(data.draw(st.lists(st.floats(-4, 4, allow_nan=False), min_size=n, max_size=n)))
+        y = np.array(data.draw(st.lists(st.floats(-4, 4, allow_nan=False), min_size=n, max_size=n)))
+        alpha = data.draw(st.floats(-3, 3, allow_nan=False))
+        lhs = spec.ring.multiply(g, alpha * x + y)
+        rhs = alpha * spec.ring.multiply(g, x) + spec.ring.multiply(g, y)
+        np.testing.assert_allclose(lhs, rhs, atol=1e-6)
+
+    @settings(max_examples=25, deadline=None)
+    @given(data=st.data())
+    def test_associativity_random(self, data):
+        spec = get_ring(data.draw(st.sampled_from(["c", "h", "rh4", "rh4i", "ro4i"])))
+        n = spec.n
+        draw = lambda: np.array(
+            data.draw(st.lists(st.floats(-3, 3, allow_nan=False), min_size=n, max_size=n))
+        )
+        a, b, c = draw(), draw(), draw()
+        lhs = spec.ring.multiply(spec.ring.multiply(a, b), c)
+        rhs = spec.ring.multiply(a, spec.ring.multiply(b, c))
+        np.testing.assert_allclose(lhs, rhs, atol=1e-5)

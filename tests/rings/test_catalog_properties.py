@@ -1,0 +1,141 @@
+"""Tests for the ring catalog and Table I resource analysis."""
+
+import numpy as np
+import pytest
+
+from repro.rings.catalog import (
+    get_ring,
+    proposed_pair,
+    proposed_pair_o4,
+    ring_names,
+    table1_rings,
+)
+from repro.rings.properties import (
+    analyze_ring,
+    format_table1,
+    product_bitwidths,
+    table1,
+)
+
+
+class TestCatalog:
+    def test_all_names_buildable(self):
+        for name in ring_names():
+            spec = get_ring(name)
+            assert spec.fast.verify(spec.ring, atol=1e-6)
+
+    def test_aliases_and_case_insensitivity(self):
+        assert get_ring("R_H4-I") is get_ring("rh4i")
+        assert get_ring("C") is get_ring("c")
+        assert get_ring("R_O4") is get_ring("ro4")
+
+    def test_unknown_ring_raises(self):
+        with pytest.raises(KeyError):
+            get_ring("nonexistent")
+
+    def test_table1_membership(self):
+        assert [s.key for s in table1_rings(2)] == ["ri2", "rh2", "c"]
+        keys4 = [s.key for s in table1_rings(4)]
+        assert keys4[0] == "ri4" and "h" in keys4 and len(keys4) == 8
+
+    def test_table1_rejects_other_n(self):
+        with pytest.raises(ValueError):
+            table1_rings(3)
+
+    def test_proposed_pair(self):
+        spec, nonlin = proposed_pair(4)
+        assert spec.key == "ri4"
+        assert nonlin.name == "f_H"
+        assert nonlin.mixes_components()
+
+    def test_proposed_pair_o4(self):
+        spec, nonlin = proposed_pair_o4()
+        assert spec.key == "ri4" and nonlin.name == "f_O4"
+
+    def test_default_nonlinearity_assignment(self):
+        assert get_ring("ri4").default_nonlinearity().name == "f_H"
+        assert get_ring("rh4").default_nonlinearity().name == "f_cw"
+        assert get_ring("real").default_nonlinearity().name == "f_cw"
+
+    def test_identity_rings_any_power(self):
+        for key, n in (("ri2", 2), ("ri4", 4), ("ri8", 8)):
+            spec = get_ring(key)
+            assert spec.n == n
+            rng = np.random.default_rng(0)
+            g, x = rng.standard_normal((2, n))
+            np.testing.assert_allclose(spec.ring.multiply(g, x), g * x)
+
+    def test_grank_metadata_consistency(self):
+        # The recorded grank equals the fast algorithm's product count for
+        # every catalog ring (all are grank-optimal).
+        for name in ring_names():
+            spec = get_ring(name)
+            assert spec.fast.num_products == spec.grank, name
+
+
+class TestTable1Analysis:
+    def test_dof_equals_n(self):
+        for row in table1():
+            assert row.dof == row.n
+
+    def test_storage_efficiency_is_n(self):
+        for row in table1():
+            assert row.storage_efficiency == row.n
+
+    def test_identity_rings_maximum_efficiency(self):
+        # Paper: "only R_I can reach the maximum efficiency".
+        rows = {r.key: r for r in table1()}
+        assert rows["ri2"].efficiency_8bit == pytest.approx(2.0)
+        assert rows["ri4"].efficiency_8bit == pytest.approx(4.0)
+        for row in table1():
+            assert row.efficiency_8bit <= row.n + 1e-9
+
+    def test_rh4_ro4_efficiency_matches_paper(self):
+        # Paper: "R_H4 and R_O4 merely achieve 2.6x ... 1.6x worse than R_I4".
+        rows = {r.key: r for r in table1()}
+        assert rows["rh4"].efficiency_8bit == pytest.approx(2.56, abs=0.1)
+        assert rows["ro4"].efficiency_8bit == pytest.approx(2.56, abs=0.1)
+        assert rows["ri4"].efficiency_8bit / rows["rh4"].efficiency_8bit == pytest.approx(
+            1.6, abs=0.1
+        )
+
+    def test_area_ratios_vs_circulant_and_hadanet(self):
+        # Paper Section VI-A: (R_I, f_H) provides 1.8x and 1.5x area
+        # efficiency over the CirCNN-alike R_H4-I and HadaNet-alike R_H4.
+        rows = {r.key: r for r in table1()}
+        assert rows["ri4"].efficiency_8bit / rows["rh4i"].efficiency_8bit == pytest.approx(
+            1.8, abs=0.1
+        )
+        assert rows["ri4"].efficiency_8bit / rows["rh4"].efficiency_8bit == pytest.approx(
+            1.5, abs=0.12
+        )
+
+    def test_mult_count_efficiencies(self):
+        rows = {r.key: r for r in table1()}
+        assert rows["c"].mult_efficiency == pytest.approx(4 / 3)
+        assert rows["h"].mult_efficiency == pytest.approx(2.0)
+        assert rows["rh4i"].mult_efficiency == pytest.approx(16 / 5)
+
+    def test_complex_complexity(self):
+        rows = {r.key: r for r in table1()}
+        # 3 products of 9x8 bits = 216 for 8-bit features/weights.
+        assert rows["c"].complexity_8bit == 216
+
+    def test_product_bitwidths_identity(self):
+        widths = product_bitwidths(get_ring("ri4"))
+        assert widths == [(8, 8)] * 4
+
+    def test_product_bitwidths_hadamard(self):
+        widths = product_bitwidths(get_ring("rh4"))
+        assert widths == [(10, 10)] * 4
+
+    def test_bitwidth_scaling_with_word_length(self):
+        row16 = analyze_ring(get_ring("rh4"), feature_bits=16, weight_bits=16)
+        # 4 products of 18x18 = 1296; baseline 16*256=4096 -> ~3.16x.
+        assert row16.complexity_8bit == 4 * 18 * 18
+        assert row16.efficiency_8bit == pytest.approx(4096 / 1296)
+
+    def test_format_table1_renders_all_rows(self):
+        text = format_table1()
+        for symbol in ("R_I2", "R_H2", "C", "R_I4", "R_H4", "R_O4", "R_H4-I", "H"):
+            assert symbol in text

@@ -1,0 +1,157 @@
+"""Tests for fast bilinear ring-multiplication algorithms."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rings.base import Ring, indexing_tensor_from_sp
+from repro.rings.catalog import get_ring, ring_names
+from repro.rings.fast import (
+    FastAlgorithm,
+    fast_from_cp,
+    fast_from_diagonalization,
+    identity_fast,
+    solve_reconstruction,
+    synthesize_fast,
+)
+
+
+class TestCatalogAlgorithms:
+    @pytest.mark.parametrize("name", ring_names())
+    def test_exact_against_indexing_tensor(self, name):
+        spec = get_ring(name)
+        assert spec.fast.verify(spec.ring, atol=1e-6)
+
+    @pytest.mark.parametrize("name", ring_names())
+    def test_apply_matches_direct_multiply(self, name):
+        spec = get_ring(name)
+        rng = np.random.default_rng(11)
+        g = rng.standard_normal((6, spec.n))
+        x = rng.standard_normal((6, spec.n))
+        # CP-synthesized algorithms (rh4ii/ro4ii) carry ~1e-7 numeric noise.
+        np.testing.assert_allclose(
+            spec.fast.apply(g, x), spec.ring.multiply(g, x), atol=1e-5
+        )
+
+    def test_paper_product_counts(self):
+        # Table I: m = n for R_I/R_H/R_O4, 3 for C, 5 for circulants, 8 for H.
+        expected = {
+            "ri2": 2, "rh2": 2, "c": 3,
+            "ri4": 4, "rh4": 4, "ro4": 4,
+            "rh4i": 5, "rh4ii": 5, "ro4i": 5, "ro4ii": 5,
+            "h": 8, "ri8": 8, "real": 1,
+        }
+        for key, m in expected.items():
+            assert get_ring(key).fast.num_products == m, key
+
+    def test_three_step_pipeline_composition(self):
+        spec = get_ring("rh4i")
+        rng = np.random.default_rng(1)
+        g, x = rng.standard_normal((2, 4))
+        g_t = spec.fast.transform_filter(g)
+        x_t = spec.fast.transform_data(x)
+        z = spec.fast.reconstruct(g_t * x_t)
+        np.testing.assert_allclose(z, spec.ring.multiply(g, x), atol=1e-10)
+
+
+class TestConstructors:
+    def test_identity_fast(self):
+        algo = identity_fast(4)
+        assert algo.num_products == 4
+        rng = np.random.default_rng(0)
+        g, x = rng.standard_normal((2, 4))
+        np.testing.assert_allclose(algo.apply(g, x), g * x)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            FastAlgorithm(tg=np.eye(3), tx=np.eye(3), tz=np.eye(3)[:2])
+
+    def test_solve_reconstruction_success(self):
+        spec = get_ring("c")
+        algo = solve_reconstruction(spec.ring, spec.fast.tg, spec.fast.tx)
+        assert algo is not None and algo.verify(spec.ring)
+
+    def test_solve_reconstruction_failure(self):
+        spec = get_ring("c")
+        # Identity transforms cannot realize the complex product.
+        assert solve_reconstruction(spec.ring, np.eye(2), np.eye(2)) is None
+
+    def test_diagonalization_gives_minimal_m(self):
+        spec = get_ring("rh4")
+        algo = fast_from_diagonalization(spec.ring)
+        assert algo is not None
+        assert algo.num_products == 4  # Theorem A.1(b): m = rank(G)
+        assert algo.verify(spec.ring)
+
+    def test_diagonalization_fails_for_complex(self):
+        assert fast_from_diagonalization(get_ring("c").ring) is None
+
+    def test_cp_synthesis_complex_rank3(self):
+        spec = get_ring("c")
+        algo = fast_from_cp(spec.ring, rank=3, seed=0)
+        assert algo is not None and algo.verify(spec.ring, atol=1e-6)
+
+    def test_cp_synthesis_impossible_rank(self):
+        spec = get_ring("c")
+        assert fast_from_cp(spec.ring, rank=2, seed=0, restarts=6) is None
+
+    @pytest.mark.parametrize("name", ["ri4", "rh4", "c", "rh4i"])
+    def test_synthesize_fast_any_ring(self, name):
+        spec = get_ring(name)
+        algo = synthesize_fast(spec.ring)
+        assert algo.verify(spec.ring, atol=1e-6)
+        assert algo.num_products <= spec.n * spec.n
+
+    def test_synthesize_fast_fallback_outer_product(self):
+        # A ring that CP at <= cap ranks cannot catch: force tiny cap.
+        spec = get_ring("h")
+        algo = synthesize_fast(spec.ring, max_rank=4)
+        assert algo.verify(spec.ring)
+        assert algo.num_products == 16  # fallback n^2
+
+    def test_fold_scale_into_filter_preserves_algorithm(self):
+        spec = get_ring("rh4i")
+        folded = spec.fast.fold_scale_into_filter()
+        assert folded.verify(spec.ring, atol=1e-8)
+        # Tz becomes pure +-1/0 adder pattern.
+        assert np.all(np.isin(folded.tz, [-1.0, 0.0, 1.0, 2.0, -2.0]))
+
+
+class TestBilinearTensor:
+    def test_bilinear_tensor_shape(self):
+        spec = get_ring("h")
+        assert spec.fast.bilinear_tensor().shape == (4, 4, 4)
+
+    def test_residual_zero_for_exact(self):
+        spec = get_ring("ro4")
+        assert spec.fast.residual(spec.ring) < 1e-10
+
+    def test_residual_positive_for_mismatch(self):
+        a, b = get_ring("rh4"), get_ring("ro4")
+        assert a.fast.residual(b.ring) > 0.5
+
+
+class TestHypothesisFast:
+    @settings(max_examples=30, deadline=None)
+    @given(data=st.data())
+    def test_fast_equals_direct_on_random_inputs(self, data):
+        name = data.draw(st.sampled_from(["c", "h", "rh4", "ro4", "rh4i", "ro4i", "rh4ii", "ro4ii"]))
+        spec = get_ring(name)
+        n = spec.n
+        g = np.array(data.draw(st.lists(st.floats(-8, 8, allow_nan=False), min_size=n, max_size=n)))
+        x = np.array(data.draw(st.lists(st.floats(-8, 8, allow_nan=False), min_size=n, max_size=n)))
+        np.testing.assert_allclose(
+            spec.fast.apply(g, x), spec.ring.multiply(g, x), atol=1e-5
+        )
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        s01=st.sampled_from([1.0, -1.0]),
+    )
+    def test_solve_reconstruction_on_generated_2tuple_rings(self, s01):
+        sign = np.array([[1.0, s01], [1.0, 1.0]])
+        perm = np.array([[0, 1], [1, 0]])
+        ring = Ring("gen", indexing_tensor_from_sp(sign, perm))
+        algo = synthesize_fast(ring)
+        assert algo.verify(ring, atol=1e-6)

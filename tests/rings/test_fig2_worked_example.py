@@ -1,0 +1,57 @@
+"""Paper Fig. 2: one layer computed in R, C, and the proposed 2-tuple ring.
+
+The figure's point: four real inputs (x0, x1, y0, y1) and two outputs can
+be computed as two 2-tuples through C or (R_I2, f_H2), with the weight
+DoF per sub-matrix dropping from four to two while the tensor
+formulation ``z = (g h)(x y)^t`` stays isomorphic to ``z = Gx + Hy``.
+"""
+
+import numpy as np
+
+from repro.rings.catalog import get_ring
+from repro.rings.nonlinearity import hadamard_relu
+
+
+class TestFig2:
+    def test_complex_layer_isomorphic_to_real(self):
+        spec = get_ring("c")
+        rng = np.random.default_rng(0)
+        g, h = rng.standard_normal((2, 2))  # two complex weights
+        x, y = rng.standard_normal((2, 2))  # two complex inputs
+        # Ring form: z = g.x + h.y
+        z_ring = spec.ring.multiply(g, x) + spec.ring.multiply(h, y)
+        # Real form: z = G x + H y with the isomorphic rotation matrices.
+        g_mat = spec.ring.isomorphic_matrix(g)
+        h_mat = spec.ring.isomorphic_matrix(h)
+        np.testing.assert_allclose(z_ring, g_mat @ x + h_mat @ y, atol=1e-12)
+
+    def test_dof_reduction_four_to_two(self):
+        # Each 2x2 sub-matrix G is described by 2 reals instead of 4.
+        spec = get_ring("c")
+        g = np.array([1.7, -0.3])
+        g_mat = spec.ring.isomorphic_matrix(g)
+        # Entries are +-g0 / +-g1 only: 2 degrees of freedom.
+        assert set(np.round(np.abs(g_mat).reshape(-1), 12)) == {1.7, 0.3}
+
+    def test_proposed_ring_layer_with_fh2(self):
+        # Bottom row of Fig. 2: (R_I2, f_H2) — component products plus the
+        # directional non-linearity.
+        spec = get_ring("ri2")
+        f_h = hadamard_relu(2)
+        rng = np.random.default_rng(1)
+        g, h, x, y = rng.standard_normal((4, 2))
+        pre = spec.ring.multiply(g, x) + spec.ring.multiply(h, y)
+        np.testing.assert_allclose(pre, g * x + h * y, atol=1e-12)  # diagonal G
+        out = f_h(pre)
+        # f_H mixes the two components: both outputs depend on both inputs.
+        bumped = pre + np.array([0.5, 0.0])
+        assert not np.allclose(f_h(bumped)[1], out[1])
+
+    def test_real_layer_has_double_weights(self):
+        # The real-valued layer of Fig. 2 needs 4 weights per sub-matrix,
+        # the algebra layers need 2: count through actual layers.
+        from repro.nn.layers import Conv2d, RingConv2d
+
+        real = Conv2d(2, 2, 1, bias=False, seed=0)
+        ring = RingConv2d(2, 2, 1, get_ring("ri2").ring, bias=False, seed=0)
+        assert real.num_parameters() == 2 * ring.num_parameters()

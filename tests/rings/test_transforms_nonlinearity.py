@@ -1,0 +1,157 @@
+"""Tests for transform matrices and ring non-linearities."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rings.nonlinearity import (
+    ComponentReLU,
+    DirectionalReLU,
+    component_relu,
+    hadamard_relu,
+    householder_relu,
+)
+from repro.rings.transforms import (
+    hadamard,
+    is_signed_matrix,
+    reflected_householder,
+    transform_bit_growth,
+)
+
+
+class TestHadamard:
+    @pytest.mark.parametrize("n", [1, 2, 4, 8, 16])
+    def test_orthogonality(self, n):
+        h_mat = hadamard(n)
+        np.testing.assert_allclose(h_mat @ h_mat.T, n * np.eye(n))
+
+    @pytest.mark.parametrize("n", [2, 4, 8])
+    def test_signed_entries(self, n):
+        assert is_signed_matrix(hadamard(n))
+
+    @pytest.mark.parametrize("n", [0, 3, 5, 6])
+    def test_rejects_non_power_of_two(self, n):
+        with pytest.raises(ValueError):
+            hadamard(n)
+
+    def test_sylvester_recursion(self):
+        h2 = hadamard(2)
+        h4 = hadamard(4)
+        np.testing.assert_array_equal(h4[:2, :2], h2)
+        np.testing.assert_array_equal(h4[2:, 2:], -h2)
+
+
+class TestHouseholder:
+    def test_entries_and_orthogonality(self):
+        o_mat = reflected_householder(4)
+        assert is_signed_matrix(o_mat)
+        np.testing.assert_allclose(o_mat @ o_mat.T, 4 * np.eye(4))
+
+    def test_first_row_matches_paper(self):
+        # O = 2 L1 (I - 2 v v^t): row 0 is (1, -1, -1, -1).
+        o_mat = reflected_householder(4)
+        np.testing.assert_array_equal(o_mat[0], [1, -1, -1, -1])
+
+    def test_not_a_signed_permutation_of_hadamard_rows(self):
+        o_mat = reflected_householder(4)
+        h_mat = hadamard(4)
+        for row in o_mat:
+            assert not any(
+                np.array_equal(row, s * hrow) for s in (1, -1) for hrow in h_mat
+            )
+
+    def test_only_n4_supported(self):
+        with pytest.raises(ValueError):
+            reflected_householder(8)
+
+
+class TestBitGrowth:
+    def test_identity_no_growth(self):
+        assert transform_bit_growth(np.eye(4)) == 0
+
+    def test_hadamard4_two_bits(self):
+        assert transform_bit_growth(hadamard(4)) == 2
+
+    def test_hadamard2_one_bit(self):
+        assert transform_bit_growth(hadamard(2)) == 1
+
+    def test_two_term_row_one_bit(self):
+        assert transform_bit_growth(np.array([[1.0, -1.0, 0.0]])) == 1
+
+    def test_fractional_entries_no_growth(self):
+        assert transform_bit_growth(np.array([[0.5, 0.5]])) == 0
+
+    def test_three_term_row_two_bits(self):
+        assert transform_bit_growth(np.array([[1.0, 1.0, 1.0]])) == 2
+
+
+class TestComponentReLU:
+    def test_matches_numpy_maximum(self):
+        y = np.array([[-1.0, 2.0], [3.0, -4.0]])
+        np.testing.assert_array_equal(component_relu(y), np.maximum(y, 0))
+
+    def test_object_form(self):
+        f = ComponentReLU(n=4)
+        assert not f.mixes_components()
+        y = np.array([-1.0, 1.0, -2.0, 2.0])
+        np.testing.assert_array_equal(f(y), [0, 1, 0, 2])
+
+
+class TestDirectionalReLU:
+    def test_fh_identity_on_positive_cone(self):
+        # If H y is componentwise positive, f_H(y) = (1/n) H H y = y.
+        f = hadamard_relu(4)
+        h_mat = hadamard(4)
+        u = np.array([1.0, 2.0, 0.5, 3.0])  # positive in H-domain
+        y = h_mat.T @ u / 4  # then H y = ... positive by construction
+        y = np.linalg.solve(h_mat, u)
+        np.testing.assert_allclose(f(y), y, atol=1e-12)
+
+    def test_fh_mixes_components(self):
+        f = hadamard_relu(2)
+        y = np.array([1.0, -3.0])  # H y = (-2, 4): mixing changes comp 0
+        out = f(y)
+        assert not np.allclose(out[0], max(y[0], 0.0))
+        assert f.mixes_components()
+
+    def test_fh_batched_shapes(self):
+        f = hadamard_relu(4)
+        y = np.random.default_rng(0).standard_normal((3, 5, 4))
+        assert f(y).shape == (3, 5, 4)
+
+    def test_unnormalized_scales_by_n(self):
+        f_norm = hadamard_relu(4, normalized=True)
+        f_raw = hadamard_relu(4, normalized=False)
+        y = np.random.default_rng(1).standard_normal(4)
+        np.testing.assert_allclose(f_raw(y), 4 * f_norm(y), atol=1e-12)
+
+    def test_householder_relu_identity_on_cone(self):
+        f = householder_relu()
+        o_mat = reflected_householder(4)
+        y = np.linalg.solve(o_mat, np.array([1.0, 0.5, 2.0, 1.5]))
+        np.testing.assert_allclose(f(y), y, atol=1e-12)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            DirectionalReLU(n=4, u_mat=np.eye(3), v_mat=np.eye(4))
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        y=st.lists(st.floats(-16, 16, allow_nan=False), min_size=4, max_size=4)
+    )
+    def test_fh_positive_homogeneous(self, y):
+        # ReLU is positively homogeneous, so f_H(a y) = a f_H(y) for a >= 0.
+        f = hadamard_relu(4)
+        y = np.array(y)
+        np.testing.assert_allclose(f(2.5 * y), 2.5 * f(y), atol=1e-6)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        y=st.lists(st.floats(-16, 16, allow_nan=False), min_size=2, max_size=2)
+    )
+    def test_fh_idempotent(self, y):
+        # f_H o f_H = f_H: after the first pass the H-domain is nonnegative.
+        f = hadamard_relu(2)
+        y = np.array(y)
+        np.testing.assert_allclose(f(f(y)), f(y), atol=1e-8)

@@ -1,0 +1,46 @@
+"""Smoke tests for the top-level public API surface."""
+
+import numpy as np
+
+
+def test_package_imports_and_version():
+    import repro
+
+    assert repro.__version__ == "1.0.0"
+    for sub in ("rings", "nn", "models", "quant", "pruning", "hardware", "imaging", "experiments"):
+        assert hasattr(repro, sub)
+
+
+def test_readme_quickstart_snippet():
+    from repro.nn.layers import RingConv2d
+    from repro.nn.tensor import Tensor
+    from repro.rings.catalog import get_ring, proposed_pair
+
+    spec = get_ring("C")
+    z = spec.fast.apply(np.array([3.0, 4.0]), np.array([1.0, 2.0]))
+    np.testing.assert_allclose(z, [-5.0, 10.0])  # (3+4i)(1+2i) = -5 + 10i
+
+    ri4, f_h = proposed_pair(4)
+    conv = RingConv2d(32, 32, 3, ri4.ring, seed=0)
+    out = conv(Tensor(np.random.default_rng(0).standard_normal((1, 32, 8, 8))))
+    assert out.shape == (1, 32, 8, 8)
+
+
+def test_rings_namespace_exports():
+    from repro import rings
+
+    assert rings.get_ring("rh4").n == 4
+    assert rings.hadamard(4).shape == (4, 4)
+    assert callable(rings.backprop.adjoint_weight)
+
+
+def test_experiment_modules_expose_run_and_format():
+    from repro import experiments
+
+    for name in (
+        "table1", "table2", "table4", "table5", "table6", "table7", "table8",
+        "fig01", "fig09", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "figc1",
+    ):
+        module = getattr(experiments, name)
+        assert callable(module.run)
+        assert callable(module.format_result)
