@@ -1,15 +1,21 @@
 """Denoising with a RingCNN DnERNet-PU (paper Fig. 9 top / Table IV).
 
-Trains a real-valued ERNet and its (R_I4, f_H) RingCNN counterpart on
-synthetic noisy images (sigma = 15/255) and compares PSNR and weight
-counts::
+Trains a real-valued ERNet and its (R_I, f_H) RingCNN counterparts on
+synthetic noisy images (sigma = 15/255), compares PSNR and weight
+counts, then serves a large image through the batched/tiled
+:class:`~repro.nn.inference.Predictor`::
 
     python examples/denoise_image.py
 """
 
+import numpy as np
+
 from repro.experiments.runner import make_task, run_quality
 from repro.experiments.settings import SMALL
-from repro.imaging.metrics import average_psnr
+from repro.imaging.degrade import add_gaussian_noise
+from repro.imaging.metrics import average_psnr, psnr
+from repro.imaging.synthetic import make_corpus
+from repro.nn.inference import Predictor, plan_for_model
 
 
 def main() -> None:
@@ -19,6 +25,7 @@ def main() -> None:
     print(f"{'model':<22} {'PSNR dB':>8} {'weights':>8} {'compression':>12}")
     real = run_quality("real", "denoise", SMALL, data=data)
     print(f"{'eCNN ERNet (real)':<22} {real.psnr_db:>8.2f} {real.parameters:>8} {'1x':>12}")
+    ring_model = None
     for n in (2, 4):
         res = run_quality(f"ri{n}+fh", "denoise", SMALL, data=data)
         ratio = real.parameters / res.parameters
@@ -26,9 +33,30 @@ def main() -> None:
             f"{f'eRingCNN-n{n} (R_I,f_H)':<22} {res.psnr_db:>8.2f} "
             f"{res.parameters:>8} {f'{ratio:.1f}x':>12}"
         )
+        ring_model = res.model
     print(
         "\nExpected shape (paper): n=2 matches or beats the real model; "
         "n=4 trails by ~0.1 dB with 4x fewer weights."
+    )
+
+    # ------------------------------------------------------------------
+    # Large-image service path: the Predictor tiles a 96x96 image (4x the
+    # 24x24 training tiles) with a receptive-field halo, keeping memory
+    # bounded while matching whole-image inference exactly.
+    clean = make_corpus(1, 96, seed=77)[:, None]
+    large_noisy = add_gaussian_noise(clean, 15.0 / 255.0, seed=78)
+    plan = plan_for_model(ring_model, tile=32)
+    predictor = Predictor(ring_model, batch_size=4, plan=plan)
+    denoised = predictor(large_noisy)
+    whole = Predictor(ring_model, batch_size=1, tile=96)(large_noisy)
+    print(
+        f"\ntiled 96x96 denoise: tile={plan.tile} halo={plan.halo} "
+        f"(crop {plan.crop}x{plan.crop})"
+    )
+    print(
+        f"  PSNR {psnr(large_noisy[0, 0], clean[0, 0]):.2f} dB -> "
+        f"{psnr(denoised[0, 0], clean[0, 0]):.2f} dB; "
+        f"max |tiled - whole| = {np.abs(denoised - whole).max():.2e}"
     )
 
 

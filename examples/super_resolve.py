@@ -1,15 +1,20 @@
 """Four-times super-resolution across ring algebras (paper Fig. 9 bottom).
 
-Trains SR4ERNet under several algebras and reports PSNR against the
-bicubic baseline::
+Trains SR4ERNet under several algebras, reports PSNR against the bicubic
+baseline, then upscales a larger frame through the batched/tiled
+:class:`~repro.nn.inference.Predictor`::
 
     python examples/super_resolve.py
 """
 
+import numpy as np
+
 from repro.experiments.runner import make_task, run_quality
 from repro.experiments.settings import SMALL
-from repro.imaging.degrade import bicubic_upsample
-from repro.imaging.metrics import average_psnr
+from repro.imaging.degrade import bicubic_downsample, bicubic_upsample
+from repro.imaging.metrics import average_psnr, psnr
+from repro.imaging.synthetic import make_corpus
+from repro.nn.inference import Predictor, plan_for_model
 
 
 def main() -> None:
@@ -25,14 +30,36 @@ def main() -> None:
         ("rh4+fcw", "R_H4 (HadaNet-alike)"),
         ("rh4i+fcw", "R_H4-I (CirCNN-alike)"),
         ("h+fcw", "quaternions H"),
-        ("ri4+fh", "proposed (R_I4, f_H)"),
     ]
     for kind, label in variants:
         res = run_quality(kind, "sr4", SMALL, data=data)
         print(f"{label:<28} {res.psnr_db:>8.2f} {res.parameters:>8}")
+    res = run_quality("ri4+fh", "sr4", SMALL, data=data)
+    proposed = res.model
+    print(f"{'proposed (R_I4, f_H)':<28} {res.psnr_db:>8.2f} {res.parameters:>8}")
     print(
         "\nExpected shape (paper Fig. 9): R_I4+f_cw is the weakest ring; "
         "the directional ReLU (R_I4, f_H) recovers quality."
+    )
+
+    # ------------------------------------------------------------------
+    # Large-frame service path: a 32x32 low-res frame (vs 6x6 training
+    # inputs) is upscaled to 128x128 tile by tile; the halo covers the
+    # conv stack plus the bicubic skip, so tiling is exact.
+    hires = make_corpus(1, 128, seed=99)[:, None]
+    lowres = bicubic_downsample(hires, 4)
+    plan = plan_for_model(proposed, tile=8)
+    predictor = Predictor(proposed, batch_size=4, plan=plan)
+    upscaled = predictor(lowres)
+    whole = Predictor(proposed, batch_size=1, tile=32)(lowres)
+    print(
+        f"\ntiled x4 SR of a 32x32 frame: tile={plan.tile} halo={plan.halo} "
+        f"(crop {plan.crop}x{plan.crop}) -> {upscaled.shape[-2]}x{upscaled.shape[-1]}"
+    )
+    print(
+        f"  PSNR vs bicubic: {psnr(bicubic_upsample(lowres, 4)[0, 0], hires[0, 0]):.2f} dB "
+        f"-> {psnr(upscaled[0, 0], hires[0, 0]):.2f} dB; "
+        f"max |tiled - whole| = {np.abs(upscaled - whole).max():.2e}"
     )
 
 

@@ -16,8 +16,8 @@ from ..imaging.metrics import average_psnr
 from ..models.ernet import dn_ernet_pu, sr4_ernet
 from ..models.factory import LayerFactory, make_factory
 from ..nn.data import ArrayDataset, DataLoader
+from ..nn.inference import Predictor
 from ..nn.module import Module
-from ..nn.tensor import Tensor, no_grad
 from ..nn.trainer import TrainConfig, train_model
 from .settings import QualityScale, SMALL
 
@@ -33,13 +33,19 @@ __all__ = [
 
 @dataclasses.dataclass(frozen=True)
 class QualityResult:
-    """Outcome of one train-and-evaluate run."""
+    """Outcome of one train-and-evaluate run.
+
+    ``model`` carries the trained network itself (excluded from
+    comparison/repr) so callers can keep serving it — e.g. through a
+    :class:`~repro.nn.inference.Predictor` — without retraining.
+    """
 
     label: str
     task: str
     psnr_db: float
     parameters: int
     final_train_loss: float
+    model: Module | None = dataclasses.field(default=None, compare=False, repr=False)
 
 
 def make_task(task: str, scale: QualityScale) -> TaskData:
@@ -73,11 +79,17 @@ def model_for_task(
     return sr4_ernet(blocks=scale.blocks, ratio=scale.ratio, factory=factory, seed=seed)
 
 
-def evaluate_psnr(model: Module, data: TaskData, shave: int = 2) -> float:
-    """Average test-set PSNR of a trained model."""
-    model.eval()
-    with no_grad():
-        pred = model(Tensor(data.test_inputs)).data
+def evaluate_psnr(
+    model: Module, data: TaskData, shave: int = 2, batch_size: int = 8
+) -> float:
+    """Average test-set PSNR of a trained model.
+
+    Evaluation runs through the batched/tiled :class:`Predictor`, so the
+    test set is processed in bounded-memory mini-batches (and oversized
+    images would be tiled with a receptive-field halo) while producing
+    the same pixels as one whole-set forward pass.
+    """
+    pred = Predictor(model, batch_size=batch_size)(data.test_inputs)
     return average_psnr(pred, data.test_targets, shave=shave)
 
 
@@ -98,6 +110,7 @@ def train_restoration(
         psnr_db=evaluate_psnr(model, data),
         parameters=model.num_parameters(),
         final_train_loss=result.final_loss,
+        model=model,
     )
 
 

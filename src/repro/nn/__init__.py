@@ -10,11 +10,13 @@ from .fastconv import FastRingConv2d, frconv2d
 from .functional import (
     avg_pool2d,
     conv2d,
+    conv2d_grouped,
     pixel_shuffle,
     pixel_unshuffle,
     ring_expand,
 )
 from .gradcheck import check_gradients, numeric_gradient
+from .inference import Predictor, TilingPlan, plan_for_model
 from .layers import (
     AvgPool2d,
     BatchNorm2d,
@@ -45,11 +47,15 @@ __all__ = [
     "frconv2d",
     "avg_pool2d",
     "conv2d",
+    "conv2d_grouped",
     "pixel_shuffle",
     "pixel_unshuffle",
     "ring_expand",
     "check_gradients",
     "numeric_gradient",
+    "Predictor",
+    "TilingPlan",
+    "plan_for_model",
     "AvgPool2d",
     "BatchNorm2d",
     "Conv2d",

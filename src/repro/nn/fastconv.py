@@ -2,12 +2,18 @@
 
 Implements the paper's eq. (12): transforms are applied once per weight,
 input and output ring element; the convolution itself runs as m
-component-wise (grouped) convolutions in the transformed domain.
+component-wise (grouped) convolutions in the transformed domain.  All m
+products execute as one :func:`~repro.nn.functional.conv2d_grouped` call
+— a single im2col plus one batched GEMM — rather than a Python loop of
+per-product convolutions.
 
 ``FastRingConv2d`` is numerically identical to :class:`RingConv2d` with
 the same ring weights (Section IV-C: "each RCONV layer can be efficiently
 implemented by applying FRCONV to its fixed-point model") and is the
 software model of the hardware engines in :mod:`repro.hardware.engine`.
+In eval mode the layer caches the transformed filter bank ``g~ = Tg g``
+(the paper's offline weight transform); the cache is dropped on
+``train()`` and on any mutation of the ring weights.
 """
 
 from __future__ import annotations
@@ -15,10 +21,10 @@ from __future__ import annotations
 import numpy as np
 
 from ..rings.catalog import RingSpec
-from .functional import conv2d
+from .functional import conv2d_grouped
 from .init import ring_kaiming_normal
-from .module import Module
-from .tensor import Parameter, Tensor, concat
+from .module import Module, weight_fingerprint
+from .tensor import Parameter, Tensor, is_grad_enabled
 
 __all__ = ["FastRingConv2d", "frconv2d"]
 
@@ -30,6 +36,7 @@ def frconv2d(
     bias: Tensor | None = None,
     stride: int = 1,
     padding: int = 0,
+    g_transformed: Tensor | None = None,
 ) -> Tensor:
     """Fast ring convolution (paper eq. 12).
 
@@ -37,13 +44,16 @@ def frconv2d(
         x: Features (N, Ci, H, W) with Ci a multiple of the ring's n.
         g: Ring weights (Co_t, Ci_t, n, kh, kw).
         spec: Catalog entry supplying the fast algorithm (Tg, Tx, Tz).
+        g_transformed: Optional precomputed ``Tg g`` of shape
+            (Co_t, Ci_t, m, kh, kw) — the eval-mode weight cache.  When
+            given, the filter transform is skipped (and gradients do not
+            flow to ``g``).
 
     Returns:
         (N, Co, Ho, Wo) — identical to the direct RCONV result.
     """
     algo = spec.fast
     n = spec.n
-    m = algo.num_products
     batch, ci, height, width = x.shape
     g = g if isinstance(g, Tensor) else Tensor(g)
     cot, cit, _, kh, kw = g.shape
@@ -52,21 +62,19 @@ def frconv2d(
 
     # Filter transform, applied once per weight element (offline in HW);
     # kept inside the graph so FRCONV is trainable end to end.
-    g_t = g.tuple_transform(algo.tg, axis=2)  # (Co_t, Ci_t, m, kh, kw)
+    if g_transformed is None:
+        g_transformed = g.tuple_transform(algo.tg, axis=2)  # (Co_t, Ci_t, m, kh, kw)
+    w_g = g_transformed.transpose(2, 0, 1, 3, 4)  # (m, Co_t, Ci_t, kh, kw)
 
     # Data transform, once per input ring element.
     x_tuples = x.reshape(batch, cit, n, height, width)
     x_t = x_tuples.tuple_transform(algo.tx, axis=2)  # (N, Ci_t, m, H, W)
+    x_g = x_t.transpose(0, 2, 1, 3, 4)  # (N, m, Ci_t, H, W)
 
-    # Component-wise products: one grouped convolution per product index.
-    product_maps = []
-    for p in range(m):
-        plane = x_t.select(axis=2, index=p)  # (N, Ci_t, H, W)
-        weight = g_t.select(axis=2, index=p)  # (Co_t, Ci_t, kh, kw)
-        z_p = conv2d(plane, weight, stride=stride, padding=padding)
-        ho, wo = z_p.shape[2], z_p.shape[3]
-        product_maps.append(z_p.reshape(batch, cot, 1, ho, wo))
-    z_t = concat(product_maps, axis=2)  # (N, Co_t, m, Ho, Wo)
+    # Component-wise products: all m grouped convolutions in one fused
+    # im2col + batched GEMM (no per-product Python loop).
+    z_g = conv2d_grouped(x_g, w_g, stride=stride, padding=padding)
+    z_t = z_g.transpose(0, 2, 1, 3, 4)  # (N, Co_t, m, Ho, Wo)
 
     # Reconstruction transform, once per output ring element.
     z = z_t.tuple_transform(algo.tz, axis=2)  # (N, Co_t, n, Ho, Wo)
@@ -81,7 +89,9 @@ class FastRingConv2d(Module):
 
     The parameter is the *untransformed* ring weight ``g`` (so trained
     RCONV weights load directly); all three transforms stay inside the
-    autodiff graph, making FRCONV trainable end to end as well.
+    autodiff graph, making FRCONV trainable end to end as well.  In eval
+    mode (with gradients disabled) the transformed bank ``g~`` is cached
+    across forwards instead of being recomputed per call.
     """
 
     def __init__(
@@ -113,10 +123,31 @@ class FastRingConv2d(Module):
             )
         )
         self.bias = Parameter(np.zeros(out_channels)) if bias else None
+        self._weight_cache: tuple[tuple, np.ndarray] | None = None
+
+    def _clear_weight_cache(self) -> None:
+        self._weight_cache = None
+
+    def _transformed_eval_weight(self) -> np.ndarray:
+        """The cached ``g~ = Tg g``, rebuilt when the weights changed."""
+        stamp = weight_fingerprint(self.g.data)
+        if self._weight_cache is None or self._weight_cache[0] != stamp:
+            g_t = self.g.detach().tuple_transform(self.spec.fast.tg, axis=2)
+            self._weight_cache = (stamp, g_t.data)
+        return self._weight_cache[1]
 
     def forward(self, x: Tensor) -> Tensor:
+        g_transformed = None
+        if not self.training and not is_grad_enabled():
+            g_transformed = Tensor(self._transformed_eval_weight())
         return frconv2d(
-            x, self.g, self.spec, bias=self.bias, stride=self.stride, padding=self.padding
+            x,
+            self.g,
+            self.spec,
+            bias=self.bias,
+            stride=self.stride,
+            padding=self.padding,
+            g_transformed=g_transformed,
         )
 
     def load_from_rconv(self, layer) -> None:
@@ -126,3 +157,4 @@ class FastRingConv2d(Module):
         self.g.data[...] = layer.g.data
         if self.bias is not None and layer.bias is not None:
             self.bias.data[...] = layer.bias.data
+        self._clear_weight_cache()

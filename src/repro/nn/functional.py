@@ -16,6 +16,7 @@ __all__ = [
     "im2col",
     "col2im",
     "conv2d",
+    "conv2d_grouped",
     "ring_expand",
     "pixel_shuffle",
     "pixel_unshuffle",
@@ -103,6 +104,57 @@ def conv2d(
             x._accumulate(col2im(dcols, x.shape, kh, kw, stride, padding, ho, wo))
         if bias is not None and bias.requires_grad:
             bias._accumulate(grad.sum(axis=(0, 2, 3)))
+
+    return Tensor._make(out, parents, backward)
+
+
+def conv2d_grouped(
+    x: Tensor,
+    weight: Tensor,
+    bias: Tensor | None = None,
+    stride: int = 1,
+    padding: int = 0,
+) -> Tensor:
+    """Independent per-group 2-D convolutions fused into one GEMM.
+
+    Convolves x (N, G, Ci, H, W) with weight (G, Co, Ci, kh, kw) to
+    produce (N, G, Co, Ho, Wo); group ``p`` of the output depends only on
+    group ``p`` of the input and weights.  The group axis is folded into
+    the im2col batch, so all G convolutions share a single window
+    extraction and a single batched matmul — this is the FRCONV engine's
+    hot path (the m component-wise products of paper eq. 12).
+    """
+    x = as_tensor(x)
+    weight = as_tensor(weight)
+    n, groups, ci, h, w = x.shape
+    gw, co, ciw, kh, kw = weight.shape
+    if gw != groups:
+        raise ValueError(f"group mismatch: input {groups}, weight {gw}")
+    if ciw != ci:
+        raise ValueError(f"channel mismatch: input {ci}, weight expects {ciw}")
+    cols, (hp, wp, ho, wo) = im2col(
+        x.data.reshape(n * groups, ci, h, w), kh, kw, stride, padding
+    )
+    cols = cols.reshape(n, groups, ci * kh * kw, ho * wo)
+    w_flat = weight.data.reshape(groups, co, ci * kh * kw)
+    out = (w_flat[None] @ cols).reshape(n, groups, co, ho, wo)
+    if bias is not None:
+        out = out + bias.data.reshape(1, groups, co, 1, 1)
+    parents = (x, weight) if bias is None else (x, weight, bias)
+
+    def backward(grad: np.ndarray) -> None:
+        grad_flat = grad.reshape(n, groups, co, ho * wo)
+        if weight.requires_grad:
+            dw = np.einsum("ngop,ngkp->gok", grad_flat, cols).reshape(weight.shape)
+            weight._accumulate(dw)
+        if x.requires_grad:
+            dcols = (np.swapaxes(w_flat, -1, -2)[None] @ grad_flat).reshape(
+                n * groups, ci * kh * kw, ho * wo
+            )
+            dx = col2im(dcols, (n * groups, ci, h, w), kh, kw, stride, padding, ho, wo)
+            x._accumulate(dx.reshape(x.shape))
+        if bias is not None and bias.requires_grad:
+            bias._accumulate(grad.sum(axis=(0, 3, 4)))
 
     return Tensor._make(out, parents, backward)
 

@@ -15,8 +15,8 @@ from ..rings.base import Ring
 from ..rings.nonlinearity import DirectionalReLU, RingNonlinearity
 from .functional import avg_pool2d, conv2d, pixel_shuffle, pixel_unshuffle, ring_expand
 from .init import kaiming_normal, ring_kaiming_normal
-from .module import Module
-from .tensor import Parameter, Tensor, as_tensor
+from .module import Module, weight_fingerprint
+from .tensor import Parameter, Tensor, as_tensor, is_grad_enabled
 
 __all__ = [
     "Conv2d",
@@ -111,9 +111,25 @@ class RingConv2d(Module):
             )
         )
         self.bias = Parameter(np.zeros(out_channels)) if bias else None
+        self._weight_cache: tuple[tuple, np.ndarray] | None = None
+
+    def _clear_weight_cache(self) -> None:
+        self._weight_cache = None
+
+    def _expanded_eval_weight(self) -> np.ndarray:
+        """The cached real filter bank, rebuilt when ``g`` changed."""
+        stamp = weight_fingerprint(self.g.data)
+        if self._weight_cache is None or self._weight_cache[0] != stamp:
+            self._weight_cache = (stamp, self.expanded_weight())
+        return self._weight_cache[1]
 
     def forward(self, x: Tensor) -> Tensor:
-        weight = ring_expand(self.g, self.ring.m_tensor)
+        if not self.training and not is_grad_enabled():
+            # Eval mode: reuse the expanded real bank across forwards
+            # instead of re-running ring_expand per call.
+            weight = Tensor(self._expanded_eval_weight())
+        else:
+            weight = ring_expand(self.g, self.ring.m_tensor)
         return conv2d(x, weight, self.bias, stride=self.stride, padding=self.padding)
 
     def expanded_weight(self) -> np.ndarray:

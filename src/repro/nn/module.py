@@ -8,7 +8,20 @@ import numpy as np
 
 from .tensor import Parameter, Tensor
 
-__all__ = ["Module"]
+__all__ = ["Module", "weight_fingerprint"]
+
+
+def weight_fingerprint(arr: np.ndarray) -> tuple:
+    """Content stamp of a weight array for eval-cache invalidation.
+
+    Hashes the raw bytes (plus buffer address and shape), so any
+    in-place mutation of the weights — optimizer step, quantization,
+    ``load_from_rconv``, even a value-permuting shuffle — changes the
+    stamp and a cache keyed on it can never serve stale weights.
+    O(size), but ring weights are small by design (the paper's n-times
+    DoF reduction), so this is negligible next to a convolution.
+    """
+    return (arr.ctypes.data, arr.shape, hash(arr.tobytes()))
 
 
 class Module:
@@ -77,10 +90,14 @@ class Module:
     def train(self, mode: bool = True) -> "Module":
         for module in self.modules():
             module.training = mode
+            module._clear_weight_cache()
         return self
 
     def eval(self) -> "Module":
         return self.train(False)
+
+    def _clear_weight_cache(self) -> None:
+        """Drop eval-mode cached weights; overridden by caching layers."""
 
     # ------------------------------------------------------------------
     def state_dict(self) -> dict[str, np.ndarray]:
@@ -98,3 +115,5 @@ class Module:
             if param.data.shape != state[name].shape:
                 raise ValueError(f"shape mismatch for {name}")
             param.data[...] = state[name]
+        for module in self.modules():
+            module._clear_weight_cache()

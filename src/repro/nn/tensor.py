@@ -16,7 +16,7 @@ from typing import Callable, Iterable
 
 import numpy as np
 
-__all__ = ["Tensor", "Parameter", "as_tensor", "no_grad", "is_grad_enabled"]
+__all__ = ["Tensor", "Parameter", "as_tensor", "concat", "no_grad", "is_grad_enabled"]
 
 _GRAD_ENABLED = True
 
@@ -239,6 +239,8 @@ class Tensor:
     def transpose(self, *axes) -> "Tensor":
         if len(axes) == 1 and isinstance(axes[0], (tuple, list)):
             axes = tuple(axes[0])
+        if not axes:
+            axes = tuple(range(self.ndim - 1, -1, -1))
         inverse = tuple(int(np.argsort(axes)[i]) for i in range(len(axes)))
 
         def backward(grad: np.ndarray) -> None:

@@ -55,7 +55,7 @@ def adjoint_weight(spec: RingSpec, g: np.ndarray, atol: float = 1e-9) -> np.ndar
     basis = spec.ring.basis_matrices()  # (n, n, n), E_k
     design = basis.reshape(n, n * n).T  # columns are vec(E_k)
     target = spec.ring.isomorphic_matrix(g).T.reshape(n * n)
-    h, *_ = np.linalg.lstsq(design, target)
+    h, *_ = np.linalg.lstsq(design, target, rcond=None)
     if np.max(np.abs(design @ h - target)) > atol:
         return None
     return h

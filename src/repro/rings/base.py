@@ -154,7 +154,7 @@ class Ring:
         # G(e) = I  <=>  sum_k M[i,k,j] e_k = delta_ij : n^2 equations.
         coeffs = self.m_tensor.transpose(0, 2, 1).reshape(n * n, n)
         rhs = np.eye(n).reshape(n * n)
-        e, *_ = np.linalg.lstsq(coeffs, rhs)
+        e, *_ = np.linalg.lstsq(coeffs, rhs, rcond=None)
         if not np.allclose(coeffs @ e, rhs, atol=1e-9):
             return None
         # Left unity as well: x . e == x  <=>  sum_j M[i,k,j] e_j = delta_ik.

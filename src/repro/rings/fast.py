@@ -138,7 +138,7 @@ def solve_reconstruction(
     tz = np.zeros((n, m))
     for i in range(n):
         target = ring.m_tensor[i].reshape(-1)
-        sol, *_ = np.linalg.lstsq(design, target)
+        sol, *_ = np.linalg.lstsq(design, target, rcond=None)
         if np.max(np.abs(design @ sol - target)) > atol:
             return None
         tz[i] = sol

@@ -50,7 +50,7 @@ def cp_als(
             # Khatri-Rao ordering must match the unfolding's column order.
             kr = _khatri_rao(others[0], others[1])
             unfolded = _unfold(tensor, mode)
-            sol, *_ = np.linalg.lstsq(kr, unfolded.T)
+            sol, *_ = np.linalg.lstsq(kr, unfolded.T, rcond=None)
             factors[mode] = sol.T
         approx = np.einsum("ip,kp,jp->ikj", *factors)
         err = float(np.sum((tensor - approx) ** 2) / norm_sq)

@@ -6,7 +6,7 @@ import pytest
 from repro.nn.fastconv import FastRingConv2d, frconv2d
 from repro.nn.gradcheck import check_gradients
 from repro.nn.layers import RingConv2d
-from repro.nn.tensor import Tensor
+from repro.nn.tensor import Tensor, no_grad
 from repro.rings.catalog import get_ring
 
 
@@ -80,6 +80,102 @@ class TestFrconvTraining:
         (rconv(Tensor(x)) ** 2).sum().backward()
         (frconv(Tensor(x)) ** 2).sum().backward()
         np.testing.assert_allclose(frconv.g.grad, rconv.g.grad, atol=1e-8)
+
+
+class TestEvalWeightCache:
+    @pytest.mark.parametrize("layer_cls", ["rconv", "frconv"])
+    def test_eval_cache_matches_train_forward(self, layer_cls):
+        spec = get_ring("rh4")
+        if layer_cls == "rconv":
+            layer = RingConv2d(4, 4, 3, spec.ring, seed=0)
+        else:
+            layer = FastRingConv2d(4, 4, 3, spec, seed=0)
+        x = Tensor(np.random.default_rng(7).standard_normal((2, 4, 6, 6)))
+        train_out = layer(x).data
+        layer.eval()
+        with no_grad():
+            first = layer(x).data
+            second = layer(x).data  # served from the cache
+        np.testing.assert_allclose(first, train_out, atol=1e-12)
+        np.testing.assert_allclose(second, train_out, atol=1e-12)
+        assert layer._weight_cache is not None
+
+    def test_cache_invalidated_by_weight_mutation(self):
+        spec = get_ring("ri4")
+        layer = FastRingConv2d(4, 4, 3, spec, seed=0)
+        x = Tensor(np.random.default_rng(8).standard_normal((1, 4, 5, 5)))
+        layer.eval()
+        with no_grad():
+            before = layer(x).data
+            layer.g.data[...] *= 2.0  # in-place mutation, no notification
+            after = layer(x).data
+        np.testing.assert_allclose(after, 2.0 * before, atol=1e-10)
+
+    def test_cache_invalidated_by_value_permuting_mutation(self):
+        # A swap of two weight slices preserves the abs-sum and the
+        # buffer address; only a content-exact fingerprint catches it.
+        spec = get_ring("rh4")
+        layer = FastRingConv2d(4, 4, 3, spec, seed=0)
+        x = Tensor(np.random.default_rng(11).standard_normal((1, 4, 5, 5)))
+        layer.eval()
+        with no_grad():
+            before = layer(x).data
+            a = layer.g.data[0, 0, 1].copy()
+            layer.g.data[0, 0, 1] = layer.g.data[0, 0, 2]
+            layer.g.data[0, 0, 2] = a
+            after = layer(x).data
+            fresh = FastRingConv2d(4, 4, 3, spec, seed=1)
+            fresh.g.data[...] = layer.g.data
+            fresh.eval()
+            expected = fresh(x).data
+        assert np.abs(after - before).max() > 1e-8
+        np.testing.assert_allclose(after, expected, atol=1e-12)
+
+    def test_cache_survives_repeated_predict_calls(self):
+        from repro.models.ernet import dn_ernet_pu
+        from repro.models.factory import make_factory
+        from repro.nn.inference import Predictor
+
+        model = dn_ernet_pu(blocks=1, ratio=1, factory=make_factory("ri4+fh"), seed=0)
+        predictor = Predictor(model)
+        x = np.random.default_rng(12).standard_normal((1, 1, 16, 16))
+        predictor(x)
+        assert not model.training
+        ring_layers = [m for m in model.modules() if hasattr(m, "_weight_cache")]
+        caches = [layer._weight_cache for layer in ring_layers]
+        assert ring_layers and all(c is not None for c in caches)
+        # A second predict must not wipe the caches by re-entering eval().
+        predictor(x)
+        for layer, cache in zip(ring_layers, caches):
+            assert layer._weight_cache is cache
+
+    def test_cache_cleared_by_train_and_load(self):
+        spec = get_ring("rh2")
+        layer = RingConv2d(2, 2, 3, spec.ring, seed=0)
+        x = Tensor(np.random.default_rng(9).standard_normal((1, 2, 4, 4)))
+        layer.eval()
+        with no_grad():
+            layer(x)
+        assert layer._weight_cache is not None
+        layer.train()
+        assert layer._weight_cache is None
+        layer.eval()
+        with no_grad():
+            layer(x)
+        assert layer._weight_cache is not None
+        state = {k: v * 3.0 for k, v in layer.state_dict().items()}
+        layer.load_state_dict(state)
+        assert layer._weight_cache is None
+
+    def test_gradients_still_flow_in_eval_without_no_grad(self):
+        # The cache must not swallow gradients when autograd is active.
+        spec = get_ring("rh4")
+        layer = FastRingConv2d(4, 4, 3, spec, seed=0)
+        layer.eval()
+        out = layer(Tensor(np.random.default_rng(10).standard_normal((1, 4, 5, 5))))
+        (out**2).sum().backward()
+        assert layer.g.grad is not None
+        assert np.abs(layer.g.grad).max() > 0
 
 
 class TestSelectOp:

@@ -8,6 +8,7 @@ from repro.nn.functional import (
     avg_pool2d,
     col2im,
     conv2d,
+    conv2d_grouped,
     im2col,
     pixel_shuffle,
     pixel_unshuffle,
@@ -106,6 +107,75 @@ class TestConvBackward:
         check_gradients(
             lambda t: (conv2d(t, Tensor(w), stride=2, padding=1) ** 2).sum(), x
         )
+
+
+class TestConvGrouped:
+    def test_matches_per_group_conv2d(self):
+        # The fused grouped conv equals G independent conv2d calls.
+        rng = np.random.default_rng(10)
+        x = rng.standard_normal((2, 3, 4, 8, 8))
+        w = rng.standard_normal((3, 5, 4, 3, 3))
+        out = conv2d_grouped(Tensor(x), Tensor(w), padding=1).data
+        for g in range(3):
+            ref = conv2d(Tensor(x[:, g]), Tensor(w[g]), padding=1).data
+            np.testing.assert_allclose(out[:, g], ref, atol=1e-10)
+
+    def test_stride_and_padding(self):
+        rng = np.random.default_rng(11)
+        x = rng.standard_normal((1, 2, 3, 9, 9))
+        w = rng.standard_normal((2, 4, 3, 3, 3))
+        out = conv2d_grouped(Tensor(x), Tensor(w), stride=2, padding=1).data
+        assert out.shape == (1, 2, 4, 5, 5)
+        for g in range(2):
+            ref = conv2d(Tensor(x[:, g]), Tensor(w[g]), stride=2, padding=1).data
+            np.testing.assert_allclose(out[:, g], ref, atol=1e-10)
+
+    def test_bias_added_per_group_channel(self):
+        x = Tensor(np.zeros((1, 2, 1, 3, 3)))
+        w = Tensor(np.zeros((2, 2, 1, 1, 1)))
+        b = Tensor(np.arange(4.0).reshape(2, 2))
+        out = conv2d_grouped(x, w, bias=b).data
+        np.testing.assert_allclose(out[0, :, :, 0, 0], np.arange(4.0).reshape(2, 2))
+
+    def test_shape_validation(self):
+        x = Tensor(np.zeros((1, 2, 3, 4, 4)))
+        with pytest.raises(ValueError):
+            conv2d_grouped(x, Tensor(np.zeros((3, 2, 3, 3, 3))))
+        with pytest.raises(ValueError):
+            conv2d_grouped(x, Tensor(np.zeros((2, 2, 4, 3, 3))))
+
+    def test_gradcheck_input(self):
+        rng = np.random.default_rng(12)
+        w = rng.standard_normal((2, 2, 2, 3, 3))
+
+        def build(t):
+            return (conv2d_grouped(t, Tensor(w), padding=1) ** 2).sum()
+
+        check_gradients(build, rng.standard_normal((1, 2, 2, 4, 4)))
+
+    def test_gradcheck_weight(self):
+        rng = np.random.default_rng(13)
+        x = rng.standard_normal((1, 2, 2, 4, 4))
+
+        def build(t):
+            return (conv2d_grouped(Tensor(x), t, padding=1) ** 2).sum()
+
+        check_gradients(build, rng.standard_normal((2, 2, 2, 3, 3)))
+
+    def test_gradcheck_strided_and_bias(self):
+        rng = np.random.default_rng(14)
+        x = rng.standard_normal((1, 2, 1, 5, 5))
+        w = rng.standard_normal((2, 2, 1, 3, 3))
+
+        def build_bias(t):
+            return (conv2d_grouped(Tensor(x), Tensor(w), bias=t, stride=2, padding=1) ** 2).sum()
+
+        check_gradients(build_bias, rng.standard_normal((2, 2)))
+
+        def build_x(t):
+            return (conv2d_grouped(t, Tensor(w), stride=2) ** 2).sum()
+
+        check_gradients(build_x, rng.standard_normal((1, 2, 1, 5, 5)))
 
 
 class TestRingExpand:

@@ -1,0 +1,121 @@
+"""Tests for the batched/tiled inference pipeline (repro.nn.inference)."""
+
+import numpy as np
+import pytest
+
+from repro.models.ernet import dn_ernet_pu, sr4_ernet
+from repro.models.factory import make_factory
+from repro.nn.inference import Predictor, TilingPlan, plan_for_model
+from repro.nn.layers import Conv2d, ReLU, Sequential
+
+
+def _randomize(model, seed=0):
+    """Give every parameter non-trivial values (the tail is zero-init)."""
+    rng = np.random.default_rng(seed)
+    for param in model.parameters():
+        param.data[...] += 0.05 * rng.standard_normal(param.shape)
+
+
+class TestTilingPlan:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TilingPlan(tile=0, halo=2)
+        with pytest.raises(ValueError):
+            TilingPlan(tile=8, halo=-1)
+        with pytest.raises(ValueError):
+            TilingPlan(tile=9, halo=2, divisor=2)
+        assert TilingPlan(tile=8, halo=4, divisor=2).crop == 16
+
+    def test_plan_for_denoise_ernet(self):
+        model = dn_ernet_pu(blocks=1, ratio=1)
+        plan = plan_for_model(model, tile=32)
+        assert plan.scale == 1 and plan.divisor == 2
+        # 4 same-padded 3x3 convs behind a pixel-unshuffle by 2.
+        assert plan.halo == 8
+        assert plan.tile % 2 == 0
+
+    def test_plan_for_sr_ernet(self):
+        model = sr4_ernet(blocks=1, ratio=1)
+        plan = plan_for_model(model, tile=8)
+        assert plan.scale == 4 and plan.divisor == 1
+        assert plan.halo == 6  # 4 convs + bicubic-skip support 2
+
+    def test_plan_generic_conv_stack(self):
+        model = Sequential(Conv2d(1, 4, 3, seed=0), ReLU(), Conv2d(4, 1, 3, seed=1))
+        plan = plan_for_model(model)
+        assert plan.scale == 1 and plan.divisor == 1 and plan.halo == 2
+
+
+class TestBatching:
+    def test_batched_equals_single_batch(self):
+        model = dn_ernet_pu(blocks=1, ratio=1, seed=3)
+        _randomize(model, seed=3)
+        x = np.random.default_rng(4).standard_normal((5, 1, 16, 16))
+        whole = Predictor(model, batch_size=16)(x)
+        chunked = Predictor(model, batch_size=2)(x)
+        np.testing.assert_allclose(chunked, whole, atol=1e-12)
+
+    def test_input_validation(self):
+        model = dn_ernet_pu(blocks=1, ratio=1)
+        with pytest.raises(ValueError):
+            Predictor(model, batch_size=0)
+        with pytest.raises(ValueError):
+            Predictor(model)(np.zeros((1, 16, 16)))
+        with pytest.raises(ValueError):
+            Predictor(model)(np.zeros((1, 1, 15, 16)))  # odd size vs divisor 2
+
+    def test_predict_image_convenience(self):
+        model = dn_ernet_pu(blocks=1, ratio=1, seed=5)
+        _randomize(model, seed=5)
+        img = np.random.default_rng(6).standard_normal((1, 16, 16))
+        out = Predictor(model).predict_image(img)
+        np.testing.assert_allclose(out, Predictor(model)(img[None])[0], atol=1e-12)
+
+
+class TestTiledEqualsWhole:
+    def test_denoise_tiled_equals_whole(self):
+        model = dn_ernet_pu(blocks=1, ratio=1, seed=0)
+        _randomize(model, seed=0)
+        x = np.random.default_rng(1).standard_normal((2, 1, 64, 48))
+        whole = Predictor(model, tile=64)(x)
+        tiled = Predictor(model, batch_size=1, tile=16)(x)
+        np.testing.assert_allclose(tiled, whole, atol=1e-10)
+
+    def test_denoise_ring_model_tiled(self):
+        model = dn_ernet_pu(blocks=1, ratio=1, factory=make_factory("ri4+fh"), seed=1)
+        _randomize(model, seed=1)
+        x = np.random.default_rng(2).standard_normal((1, 1, 48, 48))
+        whole = Predictor(model, tile=48)(x)
+        tiled = Predictor(model, tile=16)(x)
+        np.testing.assert_allclose(tiled, whole, atol=1e-10)
+
+    def test_sr_tiled_equals_whole(self):
+        # The x4-SR model's bicubic global skip replicates borders; the
+        # clamped-window tiling must still reproduce it exactly.
+        model = sr4_ernet(blocks=1, ratio=1, seed=2)
+        _randomize(model, seed=2)
+        x = np.random.default_rng(3).standard_normal((1, 1, 32, 24))
+        whole = Predictor(model, tile=32)(x)
+        assert whole.shape == (1, 1, 128, 96)
+        tiled = Predictor(model, tile=8)(x)
+        np.testing.assert_allclose(tiled, whole, atol=1e-10)
+
+    def test_image_larger_than_any_training_tile(self):
+        # Bounded-memory path: a 96x96 image through 16-pixel tiles.
+        model = dn_ernet_pu(blocks=1, ratio=1, seed=4)
+        _randomize(model, seed=4)
+        x = np.random.default_rng(5).standard_normal((1, 1, 96, 96))
+        plan = plan_for_model(model, tile=16)
+        out = Predictor(model, batch_size=1, plan=plan)(x)
+        assert out.shape == x.shape
+        whole = Predictor(model, tile=96)(x)
+        np.testing.assert_allclose(out, whole, atol=1e-10)
+
+    def test_non_tile_multiple_edges(self):
+        # Image size not a multiple of the tile: ragged last row/column.
+        model = dn_ernet_pu(blocks=1, ratio=1, seed=6)
+        _randomize(model, seed=6)
+        x = np.random.default_rng(7).standard_normal((1, 1, 44, 36))
+        whole = Predictor(model, tile=44)(x)
+        tiled = Predictor(model, tile=16)(x)
+        np.testing.assert_allclose(tiled, whole, atol=1e-10)

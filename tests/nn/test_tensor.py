@@ -34,6 +34,15 @@ class TestForward:
         assert a.reshape(6, 4).shape == (6, 4)
         assert a.transpose(2, 0, 1).shape == (4, 2, 3)
 
+    def test_transpose_no_args_reverses_axes(self):
+        # Regression: transpose() used to raise "axes don't match array".
+        a = Tensor(np.arange(24, dtype=float).reshape(2, 3, 4), requires_grad=True)
+        out = a.transpose()
+        assert out.shape == (4, 3, 2)
+        np.testing.assert_array_equal(out.data, a.data.transpose())
+        out.sum().backward()
+        np.testing.assert_array_equal(a.grad, np.ones((2, 3, 4)))
+
     def test_reductions(self):
         a = Tensor(np.ones((3, 4)))
         assert float(a.sum().data) == 12
