@@ -10,7 +10,7 @@ def test_ablation_drelu_pipeline(benchmark, record_result):
         rounds=1,
         iterations=1,
     )
-    record_result("ablation_drelu_pipeline", ablations.format_drelu(result))
+    record_result("ablation_drelu_pipeline", ablations.format_drelu(result), data=result)
     benchmark.extra_info["naive_penalty_db"] = result.naive_penalty_db
     # The on-the-fly pipeline never does worse than the MAC-based one.
     assert result.psnr_onthefly_db >= result.psnr_naive_db - 0.02
@@ -18,7 +18,7 @@ def test_ablation_drelu_pipeline(benchmark, record_result):
 
 def test_ablation_qformat(benchmark, record_result):
     result = benchmark(ablations.qformat_ablation)
-    record_result("ablation_qformat", ablations.format_qformat(result))
+    record_result("ablation_qformat", ablations.format_qformat(result), data=result)
     benchmark.extra_info["improvement"] = result.improvement
     # Component-wise Q-formats cut the quantization error substantially.
     assert result.improvement > 1.5

@@ -10,7 +10,7 @@ def test_fig01(benchmark, record_result):
         rounds=1,
         iterations=1,
     )
-    record_result("fig01_tradeoff", fig01.format_result(points))
+    record_result("fig01_tradeoff", fig01.format_result(points), data=points)
     by = {p.method: p for p in points}
     benchmark.extra_info["ring_n2_psnr"] = by["RingCNN n=2"].psnr_db
     benchmark.extra_info["baseline_psnr"] = by["SRResNet (1x)"].psnr_db

@@ -16,7 +16,7 @@ def test_fig09_denoise_n4(benchmark, record_result):
         rounds=1,
         iterations=1,
     )
-    record_result("fig09_denoise_n4", fig09.format_result(result))
+    record_result("fig09_denoise_n4", fig09.format_result(result), data=result)
     benchmark.extra_info["proposed_psnr"] = result.psnr_of("ri4+fh")
     benchmark.extra_info["fcw_psnr"] = result.psnr_of("ri4+fcw")
     # Paper: the directional ReLU recovers the capacity f_cw loses.
@@ -30,7 +30,7 @@ def test_fig09_denoise_n2(benchmark, record_result):
         rounds=1,
         iterations=1,
     )
-    record_result("fig09_denoise_n2", fig09.format_result(result))
+    record_result("fig09_denoise_n2", fig09.format_result(result), data=result)
     benchmark.extra_info["proposed_psnr"] = result.psnr_of("ri2+fh")
     # Paper: n=2 RingCNN is competitive with (here: within noise of) real.
     assert result.psnr_of("ri2+fh") > result.psnr_of("real") - 0.15
@@ -43,5 +43,5 @@ def test_fig09_sr4_n2(benchmark, record_result):
         rounds=1,
         iterations=1,
     )
-    record_result("fig09_sr4_n2", fig09.format_result(result))
+    record_result("fig09_sr4_n2", fig09.format_result(result), data=result)
     benchmark.extra_info["proposed_psnr"] = result.psnr_of("ri2+fh")

@@ -8,6 +8,6 @@ def test_fig10(benchmark, record_result):
     result = benchmark.pedantic(
         lambda: fig10.run("sr4", TINY), rounds=1, iterations=1
     )
-    record_result("fig10_ablation", fig10.format_result(result))
+    record_result("fig10_ablation", fig10.format_result(result), data=result)
     benchmark.extra_info["rh4_psnr"] = result.baseline.psnr_db
     benchmark.extra_info["modified_psnr"] = result.modified.psnr_db

@@ -10,7 +10,7 @@ def test_fig11(benchmark, record_result):
         rounds=1,
         iterations=1,
     )
-    record_result("fig11_pruning", fig11.format_result(points))
+    record_result("fig11_pruning", fig11.format_result(points), data=points)
     by = {(p.method, p.compression): p.psnr_db for p in points}
     benchmark.extra_info["ring_4x"] = by[("ring", 4.0)]
     benchmark.extra_info["pruning_4x"] = by[("pruning", 4.0)]

@@ -11,7 +11,7 @@ def test_fig12(benchmark, record_result):
     points = benchmark.pedantic(
         lambda: fig12.run("sr4", TINY, kinds=kinds, data=data), rounds=1, iterations=1
     )
-    record_result("fig12_area_quality", fig12.format_result(points))
+    record_result("fig12_area_quality", fig12.format_result(points), data=points)
     by = {p.kind: p for p in points}
     # Paper: (R_I, f_H) provides the best area efficiency of the rings.
     assert by["ri4+fh"].area_efficiency > by["rh4+fcw"].area_efficiency

@@ -14,5 +14,5 @@ def test_fig13(benchmark, record_result):
         rounds=1,
         iterations=1,
     )
-    record_result("fig13_quantization", fig13.format_result(rows))
+    record_result("fig13_quantization", fig13.format_result(rows), data=rows)
     benchmark.extra_info["mean_drop_db"] = sum(r.degradation_db for r in rows) / len(rows)

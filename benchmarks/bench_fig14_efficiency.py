@@ -5,7 +5,7 @@ from repro.experiments import fig14
 
 def test_fig14(benchmark, record_result):
     gains = benchmark(fig14.run)
-    record_result("fig14_efficiency", fig14.format_result(gains))
+    record_result("fig14_efficiency", fig14.format_result(gains), data=gains)
     by = {g.name: g for g in gains}
     benchmark.extra_info["n2_engine_area_gain"] = by["eRingCNN-n2"].engine_area_gain
     benchmark.extra_info["n4_engine_energy_gain"] = by["eRingCNN-n4"].engine_energy_gain

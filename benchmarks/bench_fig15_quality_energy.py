@@ -8,7 +8,7 @@ def test_fig15(benchmark, record_result):
     points = benchmark.pedantic(
         lambda: fig15.run("denoise", TINY, block_sweep=(1, 2)), rounds=1, iterations=1
     )
-    record_result("fig15_quality_energy", fig15.format_result(points))
+    record_result("fig15_quality_energy", fig15.format_result(points), data=points)
     by = {(p.accelerator, p.blocks): p for p in points}
     benchmark.extra_info["n4_energy_b1_nj"] = by[("eRingCNN-n4", 1)].energy_per_pixel_nj
     assert (

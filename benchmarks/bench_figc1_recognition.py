@@ -9,7 +9,7 @@ def test_figc1(benchmark, record_result):
         rounds=1,
         iterations=1,
     )
-    record_result("figc1_recognition", figc1.format_result(points))
+    record_result("figc1_recognition", figc1.format_result(points), data=points)
     by = {p.method: p.accuracy for p in points}
     benchmark.extra_info["ring_n4_accuracy"] = by["RingCNN n=4"]
     assert by["RingCNN n=4"] >= by["LeGR (2x)"]

@@ -5,7 +5,7 @@ from repro.experiments import table1
 
 def test_table1(benchmark, record_result):
     rows = benchmark(table1.run)
-    record_result("table1_rings", table1.format_result(rows))
+    record_result("table1_rings", table1.format_result(rows), data=rows)
     by = {r.key: r for r in rows}
     benchmark.extra_info["ri4_efficiency_8bit"] = by["ri4"].efficiency_8bit
     benchmark.extra_info["rh4_efficiency_8bit"] = by["rh4"].efficiency_8bit

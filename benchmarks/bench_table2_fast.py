@@ -5,6 +5,6 @@ from repro.experiments import table2
 
 def test_table2(benchmark, record_result):
     rows = benchmark(table2.run)
-    record_result("table2_fast", table2.format_result(rows))
+    record_result("table2_fast", table2.format_result(rows), data=rows)
     assert all(row.exact for row in rows)
     benchmark.extra_info["rings_verified"] = len(rows)

@@ -8,7 +8,7 @@ def test_table4(benchmark, record_result):
     rows = benchmark.pedantic(
         lambda: table4.run(TINY, targets=("UHD30",)), rounds=1, iterations=1
     )
-    record_result("table4_quality", table4.format_result(rows))
+    record_result("table4_quality", table4.format_result(rows), data=rows)
     by = {(r.task, r.method): r.psnr_db for r in rows}
     benchmark.extra_info["n2_denoise_psnr"] = by[("denoise", "eRingCNN-n2")]
     # CNN methods beat the classical baseline.

@@ -5,7 +5,7 @@ from repro.experiments import table5
 
 def test_table5(benchmark, record_result):
     rows = benchmark(table5.run)
-    record_result("table5_layout", table5.format_result(rows))
+    record_result("table5_layout", table5.format_result(rows), data=rows)
     by = {r.name: r for r in rows}
     benchmark.extra_info["n2_area_mm2"] = by["eRingCNN-n2"].area_mm2
     benchmark.extra_info["n2_power_w"] = by["eRingCNN-n2"].power_w

@@ -5,7 +5,7 @@ from repro.experiments import table6
 
 def test_table6(benchmark, record_result):
     rows = benchmark(table6.run)
-    record_result("table6_breakdown", table6.format_result(rows))
+    record_result("table6_breakdown", table6.format_result(rows), data=rows)
     by = {r.name: r for r in rows}
     benchmark.extra_info["n2_conv_area_frac"] = by["eRingCNN-n2"].conv_area_fraction
     benchmark.extra_info["n4_conv_power_frac"] = by["eRingCNN-n4"].conv_power_fraction

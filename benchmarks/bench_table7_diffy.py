@@ -5,7 +5,7 @@ from repro.experiments import table7
 
 def test_table7(benchmark, record_result):
     rows = benchmark(table7.run)
-    record_result("table7_diffy", table7.format_result(rows))
+    record_result("table7_diffy", table7.format_result(rows), data=rows)
     by = {r.name: r for r in rows}
     benchmark.extra_info["n2_gain"] = by["eRingCNN-n2"].gain_vs_reference
     benchmark.extra_info["n4_gain"] = by["eRingCNN-n4"].gain_vs_reference

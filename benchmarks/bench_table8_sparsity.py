@@ -5,7 +5,7 @@ from repro.experiments import table8
 
 def test_table8(benchmark, record_result):
     rows = benchmark(table8.run)
-    record_result("table8_sparsity", table8.format_result(rows))
+    record_result("table8_sparsity", table8.format_result(rows), data=rows)
     by = {r.name: r for r in rows}
     benchmark.extra_info["n2_tops_per_watt"] = by["eRingCNN-n2"].equivalent_tops_per_watt
     assert (

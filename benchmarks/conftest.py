@@ -3,26 +3,39 @@
 Each benchmark regenerates one table/figure of the paper and, besides
 the timing pytest-benchmark records, writes the formatted rows to
 ``benchmarks/results/<name>.txt`` so the reproduction output survives
-pytest's output capture.
+pytest's output capture.  A machine-readable ``<name>.json`` twin is
+written alongside (structured rows via the experiment artifact encoder)
+so CI can archive perf numbers as workflow artifacts.
 """
 
 from __future__ import annotations
 
+import json
 import pathlib
 
 import pytest
+
+from repro.experiments.artifacts import to_jsonable
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 
 @pytest.fixture()
 def record_result():
-    """Write a formatted experiment table to benchmarks/results/."""
+    """Write a formatted experiment table to benchmarks/results/.
 
-    def _record(name: str, text: str) -> pathlib.Path:
+    ``data``, when given, is the benchmark's structured result (the
+    experiment rows/points); it lands in ``<name>.json`` next to the
+    text rendering so downstream tooling never has to parse tables.
+    """
+
+    def _record(name: str, text: str, data: object = None) -> pathlib.Path:
         RESULTS_DIR.mkdir(exist_ok=True)
         path = RESULTS_DIR / f"{name}.txt"
         path.write_text(text + "\n")
+        payload = {"name": name, "text": text, "data": to_jsonable(data)}
+        json_path = RESULTS_DIR / f"{name}.json"
+        json_path.write_text(json.dumps(payload, sort_keys=True, indent=2) + "\n")
         return path
 
     return _record

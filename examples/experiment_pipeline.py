@@ -1,0 +1,52 @@
+"""Experiment orchestration: registry, artifact cache, and reports.
+
+The same machinery `python -m repro` uses, driven as a library.
+Runs in a few seconds::
+
+    python examples/experiment_pipeline.py
+"""
+
+import tempfile
+
+from repro.experiments import registry
+from repro.experiments.artifacts import Artifact, ArtifactStore
+from repro.experiments.cli import main, run_one
+
+
+def library_api(results_dir: str) -> None:
+    # --- 1. browse the registry ----------------------------------------------
+    print(f"{len(registry.names())} registered experiments:")
+    for experiment in registry.all_experiments()[:4]:
+        print(f"  {experiment.name:<8} {experiment.description}")
+    print("  ...")
+
+    # --- 2. run one experiment and cache its artifact ------------------------
+    store = ArtifactStore(results_dir)
+    artifact = Artifact.from_dict(run_one("table1", "small"))
+    path = store.save(artifact)
+    print(f"\ntable1 artifact ({artifact.fingerprint}) -> {path.name}")
+
+    # --- 3. a cache hit hands back the stored result -------------------------
+    cached = store.load("table1", "small", artifact.fingerprint)
+    assert cached == artifact
+    print("cache hit: rendered without recomputing\n")
+    print("\n".join(cached.formatted.splitlines()[:4]), "\n...")
+
+
+def cli_api(results_dir: str) -> None:
+    # --- 4. the same flow through the CLI entry point ------------------------
+    print("\n$ python -m repro run table1 table5 --scale small --jobs 2")
+    main(["run", "table1", "table5", "--scale", "small", "--jobs", "2",
+          "--results-dir", results_dir])
+    print("\n$ python -m repro report table5")
+    main(["report", "table5", "--scale", "small", "--results-dir", results_dir])
+
+
+def main_example() -> None:
+    with tempfile.TemporaryDirectory() as results_dir:
+        library_api(results_dir)
+        cli_api(results_dir)
+
+
+if __name__ == "__main__":
+    main_example()

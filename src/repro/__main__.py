@@ -1,0 +1,11 @@
+"""``python -m repro`` — experiment orchestration CLI.
+
+See :mod:`repro.experiments.cli` for the subcommands.
+"""
+
+import sys
+
+from repro.experiments.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,12 +1,17 @@
 """Experiment drivers — one module per table/figure of the paper.
 
-Each module exposes ``run(...)`` returning structured results and
-``format_result(...)`` rendering the paper's rows/series as text.
+Each module exposes ``run(...)`` returning structured results,
+``format_result(...)`` rendering the paper's rows/series as text, and a
+``to_jsonable(...)`` adapter for the artifact store; importing this
+package registers every experiment with :mod:`.registry`, which backs
+the ``python -m repro`` CLI (:mod:`.cli`) and the fingerprinted JSON
+artifact cache (:mod:`.artifacts`).
 See DESIGN.md section 4 for the experiment index.
 """
 
 from . import (
     ablations,
+    artifacts,
     fig01,
     fig09,
     fig10,
@@ -16,6 +21,7 @@ from . import (
     fig14,
     fig15,
     figc1,
+    registry,
     table1,
     table2,
     table4,
@@ -29,6 +35,7 @@ from .settings import MEDIUM, PAPER_TABLE3, SMALL, TINY, QualityScale
 
 __all__ = [
     "ablations",
+    "artifacts",
     "fig01",
     "fig09",
     "fig10",
@@ -38,6 +45,7 @@ __all__ = [
     "fig14",
     "fig15",
     "figc1",
+    "registry",
     "table1",
     "table2",
     "table4",

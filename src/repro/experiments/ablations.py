@@ -24,7 +24,9 @@ from ..quant.qformat import choose_qformat, componentwise_qformats
 from ..quant.quantize import QuantizingFactory, calibrate, quantize_weights
 from ..rings.nonlinearity import hadamard_relu
 from .runner import evaluate_psnr, make_task, model_for_task, train_restoration
-from .settings import SMALL, QualityScale
+from .settings import SMALL, QualityScale, get_scale
+from .artifacts import to_jsonable as _jsonable
+from .registry import register
 
 __all__ = [
     "DreluPipelineResult",
@@ -153,3 +155,49 @@ def format_qformat(result: QformatResult) -> str:
             "causes large saturation errors)",
         ]
     )
+
+
+@dataclasses.dataclass(frozen=True)
+class AblationResult:
+    """Both appendix ablations bundled into one artifact."""
+
+    drelu: DreluPipelineResult
+    qformat: QformatResult
+
+
+def run(
+    task: str = "denoise",
+    scale: QualityScale = SMALL,
+    n: int = 4,
+    word_bits: int = 8,
+    seed: int = 0,
+) -> AblationResult:
+    """Run the directional-ReLU pipeline and Q-format ablations together."""
+    return AblationResult(
+        drelu=drelu_pipeline_ablation(
+            task=task, scale=scale, n=n, word_bits=word_bits, seed=seed
+        ),
+        qformat=qformat_ablation(n=n, word_bits=word_bits, seed=seed),
+    )
+
+
+def format_result(result: AblationResult) -> str:
+    return format_drelu(result.drelu) + "\n\n" + format_qformat(result.qformat)
+
+
+def to_jsonable(result: AblationResult) -> dict:
+    """Artifact payload for both ablations."""
+    return _jsonable(result)
+
+
+register(
+    name="ablations",
+    description="Appendix ablations: directional-ReLU pipelines and Q-format choice",
+    run=run,
+    format_result=format_result,
+    to_jsonable=to_jsonable,
+    scales={
+        "small": {"task": "denoise", "scale": get_scale("small")},
+        "paper": {"task": "denoise", "scale": get_scale("paper")},
+    },
+)

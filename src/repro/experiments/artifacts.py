@@ -1,0 +1,245 @@
+"""Artifact store: fingerprinted JSON results under ``results/``.
+
+Every experiment run serializes to one JSON file keyed by a fingerprint
+of (experiment name, scale name, the scale's run kwargs, schema
+version).  Re-running with the same key is a cache hit — the stored
+artifact is returned without recomputation — while changing the scale
+or any registered setting changes the fingerprint and forces a miss.
+
+Artifacts are deliberately *deterministic*: no timestamps, hostnames or
+durations are stored inside the file, so a serial run and a
+``--jobs N`` run of the same experiments produce byte-identical
+artifacts (the acceptance test for the parallel executor).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import inspect
+import json
+import os
+import pathlib
+from typing import Any, Mapping
+
+import numpy as np
+
+from ..nn.module import Module
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "DEFAULT_RESULTS_DIR",
+    "to_jsonable",
+    "canonical_json",
+    "fingerprint",
+    "resolved_settings",
+    "settings_digest",
+    "Artifact",
+    "ArtifactStore",
+]
+
+#: Bump when the artifact layout changes; part of every fingerprint.
+SCHEMA_VERSION = 1
+
+#: Repo-root ``results/`` directory (``src/repro/experiments/`` -> root).
+DEFAULT_RESULTS_DIR = pathlib.Path(__file__).resolve().parents[3] / "results"
+
+
+def to_jsonable(obj: Any) -> Any:
+    """Recursively convert experiment results to JSON-serializable data.
+
+    Handles the types the experiment dataclasses actually carry:
+    dataclasses become dicts, NumPy arrays/scalars become lists/numbers,
+    tuples become lists, and trained :class:`Module` instances are
+    dropped (``None``) — weights belong in checkpoints, not result
+    artifacts.  Objects may override the conversion by defining their
+    own ``to_jsonable()`` method.
+    """
+    if obj is None or isinstance(obj, (bool, int, str)):
+        return obj
+    if isinstance(obj, float):
+        return obj
+    if hasattr(obj, "to_jsonable") and not isinstance(obj, type):
+        return obj.to_jsonable()
+    if isinstance(obj, Module):
+        return None
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {
+            field.name: to_jsonable(getattr(obj, field.name))
+            for field in dataclasses.fields(obj)
+        }
+    if isinstance(obj, np.ndarray):
+        return to_jsonable(obj.tolist())
+    if isinstance(obj, np.generic):
+        return obj.item()
+    if isinstance(obj, Mapping):
+        converted: dict[str, Any] = {}
+        for key, value in obj.items():
+            skey = str(key)
+            if skey in converted:
+                # Silent data loss (and fingerprint aliasing) otherwise.
+                raise ValueError(f"mapping keys collide after str(): {key!r}")
+            converted[skey] = to_jsonable(value)
+        return converted
+    if isinstance(obj, (list, tuple, set, frozenset)):
+        items = sorted(obj) if isinstance(obj, (set, frozenset)) else obj
+        return [to_jsonable(item) for item in items]
+    return str(obj)
+
+
+def canonical_json(obj: Any) -> str:
+    """Stable JSON encoding (sorted keys, no whitespace) for hashing."""
+    return json.dumps(to_jsonable(obj), sort_keys=True, separators=(",", ":"))
+
+
+def fingerprint(name: str, scale: str, settings: Mapping[str, Any]) -> str:
+    """Cache key of one (experiment, scale, settings) combination."""
+    payload = canonical_json(
+        {
+            "experiment": name,
+            "scale": scale,
+            "settings": settings,
+            "schema": SCHEMA_VERSION,
+        }
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+
+def resolved_settings(experiment: Any, scale: str) -> dict[str, Any]:
+    """Fully-resolved run kwargs for one (experiment, scale), in JSON form.
+
+    The experiment's ``run()`` signature defaults overlaid with the
+    registered scale preset — so the fingerprint shifts (forcing a cache
+    miss) when *any* run parameter changes, including defaults the
+    preset leaves untouched, not just the handful the preset pins.
+    """
+    settings: dict[str, Any] = {}
+    for name, param in inspect.signature(experiment.run).parameters.items():
+        if param.default is not inspect.Parameter.empty:
+            settings[name] = param.default
+    settings.update(experiment.kwargs_for(scale))
+    return to_jsonable(settings)
+
+
+def settings_digest(experiment: Any, scale: str) -> tuple[dict[str, Any], str]:
+    """The (settings, fingerprint) cache key for one (experiment, scale)."""
+    settings = resolved_settings(experiment, scale)
+    return settings, fingerprint(experiment.name, scale, settings)
+
+
+@dataclasses.dataclass(frozen=True)
+class Artifact:
+    """One cached experiment result.
+
+    ``result`` is the JSON form of the experiment's native return value
+    and ``formatted`` the paper-style text rendering, captured at run
+    time so ``report`` never needs to re-execute anything.
+    """
+
+    experiment: str
+    scale: str
+    fingerprint: str
+    settings: Mapping[str, Any]
+    result: Any
+    formatted: str
+    schema_version: int = SCHEMA_VERSION
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "experiment": self.experiment,
+            "scale": self.scale,
+            "fingerprint": self.fingerprint,
+            "settings": to_jsonable(self.settings),
+            "result": self.result,
+            "formatted": self.formatted,
+            "schema_version": self.schema_version,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Artifact":
+        return cls(
+            experiment=data["experiment"],
+            scale=data["scale"],
+            fingerprint=data["fingerprint"],
+            settings=data.get("settings", {}),
+            result=data.get("result"),
+            formatted=data.get("formatted", ""),
+            schema_version=data.get("schema_version", SCHEMA_VERSION),
+        )
+
+
+class ArtifactStore:
+    """Filesystem-backed cache of experiment artifacts.
+
+    Files live flat under ``root`` as
+    ``<experiment>--<scale>--<fingerprint>.json`` so humans can browse
+    them while lookups stay O(1) by key.
+    """
+
+    def __init__(self, root: str | pathlib.Path = DEFAULT_RESULTS_DIR):
+        self.root = pathlib.Path(root)
+
+    def path_for(self, artifact_or_key: "Artifact | tuple[str, str, str]") -> pathlib.Path:
+        if isinstance(artifact_or_key, Artifact):
+            key = (
+                artifact_or_key.experiment,
+                artifact_or_key.scale,
+                artifact_or_key.fingerprint,
+            )
+        else:
+            key = artifact_or_key
+        name, scale, digest = key
+        return self.root / f"{name}--{scale}--{digest}.json"
+
+    @staticmethod
+    def _read(path: pathlib.Path) -> Artifact | None:
+        """Parse one artifact file; corrupt or stale files are misses.
+
+        A run killed mid-write (or a stale schema) must degrade to a
+        recompute-and-overwrite, never crash every later command.
+        """
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return None
+        if data.get("schema_version") != SCHEMA_VERSION:
+            return None
+        return Artifact.from_dict(data)
+
+    def load(self, name: str, scale: str, digest: str) -> Artifact | None:
+        """The cached artifact for a fingerprint, or None on a miss."""
+        path = self.path_for((name, scale, digest))
+        if not path.exists():
+            return None
+        return self._read(path)
+
+    def save(self, artifact: Artifact) -> pathlib.Path:
+        """Serialize an artifact; deterministic bytes for identical runs.
+
+        Written to a temp file then atomically renamed, so an interrupt
+        can never leave a truncated artifact behind.
+        """
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self.path_for(artifact)
+        text = json.dumps(artifact.to_dict(), sort_keys=True, indent=2)
+        tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+        tmp.write_text(text + "\n")
+        os.replace(tmp, path)
+        return path
+
+    def latest(self, name: str, scale: str) -> Artifact | None:
+        """Any stored artifact for (experiment, scale), newest first.
+
+        Used by ``report`` so it can render results even after settings
+        drifted (it prefers the exact-fingerprint hit when one exists).
+        """
+        candidates = sorted(
+            self.root.glob(f"{name}--{scale}--*.json"),
+            key=lambda p: p.stat().st_mtime,
+            reverse=True,
+        )
+        for path in candidates:
+            artifact = self._read(path)
+            if artifact is not None:
+                return artifact
+        return None

@@ -1,0 +1,263 @@
+"""``python -m repro`` — orchestrate the paper's experiments.
+
+Subcommands:
+
+* ``list``   — show every registered experiment and its cache status.
+* ``run``    — execute experiments (``all`` or a subset) at a scale
+  preset, in parallel with ``--jobs N``, writing fingerprinted JSON
+  artifacts under ``results/``.  Re-runs are cache hits unless
+  ``--force``.
+* ``report`` — render the paper-style tables/figures from cached
+  artifacts without recomputing anything.
+
+Parallel runs use ``multiprocessing`` with the spawn start method and
+per-(experiment, scale) deterministic seeding, so ``--jobs N`` output
+is bit-identical to a serial run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import multiprocessing
+import os
+import sys
+import time
+from typing import Any, Sequence
+
+from . import artifacts, registry
+
+__all__ = ["build_parser", "run_one", "main"]
+
+
+def _ensure_registered() -> None:
+    """Import the experiment package so every module self-registers.
+
+    Needed explicitly in spawn workers, which start from a fresh
+    interpreter where only this module has been imported.
+    """
+    import repro.experiments  # noqa: F401
+
+
+def run_one(name: str, scale: str) -> dict[str, Any]:
+    """Execute one experiment and return its artifact as a plain dict.
+
+    Module-level (hence picklable) so it can serve as the worker for
+    ``multiprocessing.Pool``; the serial path calls the same function so
+    both paths produce identical artifacts.
+    """
+    _ensure_registered()
+    experiment = registry.get(name)
+    settings, digest = artifacts.settings_digest(experiment, scale)
+    result = experiment.execute(scale)
+    artifact = artifacts.Artifact(
+        experiment=name,
+        scale=scale,
+        fingerprint=digest,
+        settings=settings,
+        result=experiment.to_jsonable(result),
+        formatted=experiment.format_result(result),
+    )
+    return artifact.to_dict()
+
+
+def _run_one_task(task: tuple[str, str]) -> dict[str, Any]:
+    """Fault-isolating wrapper: one failure must not abort the batch.
+
+    Returns either a normal artifact dict or an ``{"error": ...}``
+    payload, so the parent can keep harvesting (and caching) the other
+    experiments' results instead of tearing the pool down.
+    """
+    name, scale = task
+    try:
+        return run_one(name, scale)
+    except Exception as exc:  # the boundary where worker faults become data
+        return {"experiment": name, "scale": scale, "error": f"{type(exc).__name__}: {exc}"}
+
+
+def _resolve_names(requested: Sequence[str]) -> list[str]:
+    known = registry.names()
+    if not requested or "all" in requested:
+        return known
+    unknown = [name for name in requested if name not in known]
+    if unknown:
+        raise SystemExit(
+            f"unknown experiment(s): {', '.join(unknown)}\n"
+            f"known: {', '.join(known)}"
+        )
+    # Preserve the user's order but drop duplicates.
+    seen: dict[str, None] = {}
+    for name in requested:
+        seen.setdefault(name)
+    return list(seen)
+
+
+def cmd_list(args: argparse.Namespace) -> int:
+    store = artifacts.ArtifactStore(args.results_dir)
+    rows = []
+    for experiment in registry.all_experiments():
+        cached = []
+        for scale in sorted(experiment.scales):
+            _, digest = artifacts.settings_digest(experiment, scale)
+            if store.load(experiment.name, scale, digest) is not None:
+                cached.append(scale)
+        rows.append((experiment.name, experiment.description, cached))
+    width = max(len(name) for name, _, _ in rows)
+    print(f"{len(rows)} experiments (artifacts under {store.root}):")
+    for name, description, cached in rows:
+        marker = f"  [cached: {', '.join(cached)}]" if cached else ""
+        print(f"  {name:<{width}}  {description}{marker}")
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    names = _resolve_names(args.experiments)
+    store = artifacts.ArtifactStore(args.results_dir)
+    jobs = max(1, args.jobs)
+
+    pending: list[str] = []
+    for name in names:
+        experiment = registry.get(name)
+        _, digest = artifacts.settings_digest(experiment, args.scale)
+        cached = None if args.force else store.load(name, args.scale, digest)
+        if cached is not None:
+            print(f"{name:<10} {args.scale:<6} cache hit   {digest}")
+        else:
+            pending.append(name)
+
+    if not pending:
+        print(f"all {len(names)} experiment(s) served from cache")
+        return 0
+
+    started = time.perf_counter()
+    computed = 0
+    failed: list[str] = []
+
+    def _store(payload: dict[str, Any], note: str) -> None:
+        # Save (or report) each result as it arrives, so completed work
+        # survives a failure or interrupt in another experiment.
+        nonlocal computed
+        name = payload["experiment"]
+        if "error" in payload:
+            failed.append(name)
+            print(f"{name:<10} {args.scale:<6} FAILED {payload['error']}")
+            return
+        print(f"{name:<10} {args.scale:<6} ran {note} {payload['fingerprint']}")
+        path = store.save(artifacts.Artifact.from_dict(payload))
+        computed += 1
+        print(f"{name:<10} {args.scale:<6} wrote {path}")
+
+    if jobs == 1 or len(pending) == 1:
+        for name in pending:
+            t0 = time.perf_counter()
+            payload = _run_one_task((name, args.scale))
+            _store(payload, f"{time.perf_counter() - t0:6.1f}s")
+    else:
+        # Spawn (not fork) so workers start from identical interpreter
+        # state on every platform; run_one reseeds deterministically.
+        context = multiprocessing.get_context("spawn")
+        with context.Pool(processes=min(jobs, len(pending))) as pool:
+            tasks = [(name, args.scale) for name in pending]
+            # Unordered: each artifact lands the moment its worker
+            # finishes, and faults come back as data, so one failing
+            # experiment can't discard the completed work of the others.
+            for payload in pool.imap_unordered(_run_one_task, tasks):
+                _store(payload, f"(jobs={jobs})")
+
+    print(
+        f"{computed}/{len(pending)} experiments computed in "
+        f"{time.perf_counter() - started:.1f}s "
+        f"({len(names) - len(pending)} served from cache"
+        + (f", {len(failed)} failed: {', '.join(failed)})" if failed else ")")
+    )
+    return 1 if failed else 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    names = _resolve_names(args.experiments)
+    store = artifacts.ArtifactStore(args.results_dir)
+    missing: list[str] = []
+    for name in names:
+        experiment = registry.get(name)
+        _, digest = artifacts.settings_digest(experiment, args.scale)
+        artifact = store.load(name, args.scale, digest) or store.latest(name, args.scale)
+        if artifact is None:
+            missing.append(name)
+            continue
+        print(f"== {name} ({args.scale}, {artifact.fingerprint}) ==")
+        print(f"   {experiment.description}")
+        print(artifact.formatted)
+        print()
+    if missing:
+        print(
+            f"no cached artifact for: {', '.join(missing)} "
+            f"(run `python -m repro run {' '.join(missing)} --scale {args.scale}` first)"
+        )
+        # Missing-by-request is an error; "report everything you have" is not.
+        if args.experiments and "all" not in args.experiments:
+            return 1
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Run and report the paper's experiments (registry-driven).",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--scale",
+            choices=registry.SCALE_NAMES,
+            default="small",
+            help="scale preset: 'small' smoke runs or the 'paper' recipe",
+        )
+        sub.add_argument(
+            "--results-dir",
+            default=str(artifacts.DEFAULT_RESULTS_DIR),
+            help="artifact directory (default: <repo>/results)",
+        )
+
+    sub_list = subparsers.add_parser("list", help="show registered experiments")
+    add_common(sub_list)
+    sub_list.set_defaults(func=cmd_list)
+
+    sub_run = subparsers.add_parser("run", help="execute experiments, cache artifacts")
+    sub_run.add_argument(
+        "experiments", nargs="+", help="experiment names, or 'all'"
+    )
+    sub_run.add_argument(
+        "--jobs", type=int, default=1, help="parallel worker processes (default 1)"
+    )
+    sub_run.add_argument(
+        "--force", action="store_true", help="recompute even on a cache hit"
+    )
+    add_common(sub_run)
+    sub_run.set_defaults(func=cmd_run)
+
+    sub_report = subparsers.add_parser(
+        "report", help="render cached artifacts as the paper's tables/figures"
+    )
+    sub_report.add_argument(
+        "experiments", nargs="*", help="experiment names (default: all)"
+    )
+    add_common(sub_report)
+    sub_report.set_defaults(func=cmd_report)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    _ensure_registered()
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe mid-print; swallow the
+        # noise (and keep Python's shutdown flush from re-raising).
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -25,9 +25,11 @@ from ..nn.module import Module
 from ..nn.trainer import TrainConfig, train_model
 from ..pruning.magnitude import finetune_pruned, prune_model
 from .runner import evaluate_psnr
-from .settings import SMALL, QualityScale
+from .settings import SMALL, QualityScale, get_scale
+from .artifacts import to_jsonable as _jsonable
+from .registry import register
 
-__all__ = ["Fig1Point", "run", "format_result", "count_macs"]
+__all__ = ["Fig1Point", "run", "format_result", "count_macs", "to_jsonable"]
 
 
 @dataclasses.dataclass(frozen=True)
@@ -151,3 +153,21 @@ def format_result(points: list[Fig1Point] | None = None, **kwargs) -> str:
             f"{p.method:<24} {p.computation_efficiency:>8.2f}x {p.psnr_db:>8.2f} {p.parameters:>8}"
         )
     return "\n".join(lines)
+
+
+def to_jsonable(points: list[Fig1Point]) -> list[dict]:
+    """Artifact points for the Fig. 1 JSON payload."""
+    return _jsonable(points)
+
+
+register(
+    name="fig01",
+    description="Fig. 1: computation efficiency versus image quality trade-off",
+    run=run,
+    format_result=format_result,
+    to_jsonable=to_jsonable,
+    scales={
+        "small": {"scale": get_scale("small"), "blocks": 1, "width": 8, "compressions": (2.0,)},
+        "paper": {"scale": get_scale("paper"), "blocks": 2, "width": 16, "compressions": (2.0, 4.0, 8.0)},
+    },
+)

@@ -15,9 +15,11 @@ import numpy as np
 
 from ..imaging.datasets import TaskData
 from .runner import QualityResult, make_task, run_quality
-from .settings import SMALL, QualityScale
+from .settings import SMALL, QualityScale, get_scale
+from .artifacts import to_jsonable as _jsonable
+from .registry import register
 
-__all__ = ["RING_SETS", "Fig9Result", "run", "format_result"]
+__all__ = ["RING_SETS", "Fig9Result", "run", "format_result", "to_jsonable"]
 
 # Factory keys per tuple dimension; mirrors the bars of Fig. 9.
 RING_SETS: dict[int, list[str]] = {
@@ -79,3 +81,21 @@ def format_result(result: Fig9Result) -> str:
         marker = " <= best" if r.psnr_db == best else ""
         lines.append(f"  {r.label:<10} {r.psnr_db:6.2f} dB  ({r.parameters} params){marker}")
     return "\n".join(lines)
+
+
+def to_jsonable(result: Fig9Result) -> dict:
+    """Artifact payload; each bar is a model-free QualityResult dict."""
+    return _jsonable(result)
+
+
+register(
+    name="fig09",
+    description="Fig. 9: ring-algebra quality comparison (one task panel)",
+    run=run,
+    format_result=format_result,
+    to_jsonable=to_jsonable,
+    scales={
+        "small": {"task": "denoise", "n": 2, "scale": get_scale("small"), "seeds": (0,)},
+        "paper": {"task": "denoise", "n": 4, "scale": get_scale("paper"), "seeds": (0, 1)},
+    },
+)

@@ -28,9 +28,11 @@ from ..nn.tensor import Parameter, Tensor
 from ..rings.catalog import RingSpec, get_ring
 from ..rings.nonlinearity import ComponentReLU
 from .runner import QualityResult, make_task, model_for_task, train_restoration
-from .settings import SMALL, QualityScale
+from .settings import SMALL, QualityScale, get_scale
+from .artifacts import to_jsonable as _jsonable
+from .registry import register
 
-__all__ = ["TransformedRingConv2d", "TransformedRingFactory", "run", "format_result"]
+__all__ = ["TransformedRingConv2d", "TransformedRingFactory", "run", "format_result", "to_jsonable"]
 
 
 class TransformedRingConv2d(Module):
@@ -148,3 +150,21 @@ def format_result(result: Fig10Result) -> str:
             f"  {result.modified.label:<14} {result.modified.psnr_db:6.2f} dB",
         ]
     )
+
+
+def to_jsonable(result: Fig10Result) -> dict:
+    """Artifact payload for the three ablation variants."""
+    return _jsonable(result)
+
+
+register(
+    name="fig10",
+    description="Fig. 10: structure-modification ablation (R_H vs g~ vs (R_I, f_H))",
+    run=run,
+    format_result=format_result,
+    to_jsonable=to_jsonable,
+    scales={
+        "small": {"task": "sr4", "scale": get_scale("small"), "ring": "rh2"},
+        "paper": {"task": "sr4", "scale": get_scale("paper"), "ring": "rh4"},
+    },
+)

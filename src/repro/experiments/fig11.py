@@ -16,9 +16,11 @@ from ..nn.data import ArrayDataset, DataLoader
 from ..nn.trainer import TrainConfig, train_model
 from ..pruning.magnitude import finetune_pruned, prune_model
 from .runner import evaluate_psnr, make_task, model_for_task, run_quality
-from .settings import SMALL, QualityScale
+from .settings import SMALL, QualityScale, get_scale
+from .artifacts import to_jsonable as _jsonable
+from .registry import register
 
-__all__ = ["Fig11Point", "run", "format_result"]
+__all__ = ["Fig11Point", "run", "format_result", "to_jsonable"]
 
 
 @dataclasses.dataclass(frozen=True)
@@ -75,3 +77,21 @@ def format_result(points: list[Fig11Point]) -> str:
     for p in sorted(points, key=lambda p: (p.compression, p.method)):
         lines.append(f"{p.method:<10} {p.compression:>10.0f}x {p.psnr_db:>8.2f}")
     return "\n".join(lines)
+
+
+def to_jsonable(points: list[Fig11Point]) -> list[dict]:
+    """Artifact points for the Fig. 11 JSON payload."""
+    return _jsonable(points)
+
+
+register(
+    name="fig11",
+    description="Fig. 11: compression-ratio sweep, ring algebra vs weight pruning",
+    run=run,
+    format_result=format_result,
+    to_jsonable=to_jsonable,
+    scales={
+        "small": {"task": "sr4", "scale": get_scale("small"), "compressions": (2.0,)},
+        "paper": {"task": "sr4", "scale": get_scale("paper"), "compressions": (2.0, 4.0, 8.0)},
+    },
+)

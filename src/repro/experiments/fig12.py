@@ -16,9 +16,11 @@ from ..imaging.datasets import TaskData
 from ..models.factory import make_factory
 from ..quant.quantize import QuantizingFactory, calibrate, quantize_weights
 from .runner import evaluate_psnr, make_task, model_for_task, train_restoration
-from .settings import SMALL, QualityScale
+from .settings import SMALL, QualityScale, get_scale
+from .artifacts import to_jsonable as _jsonable
+from .registry import register
 
-__all__ = ["Fig12Point", "run", "format_result", "quantized_psnr"]
+__all__ = ["Fig12Point", "run", "format_result", "quantized_psnr", "to_jsonable"]
 
 # Factory keys and the engine they map to.
 DEFAULT_RINGS = ["real", "ri4+fh", "rh4+fcw", "ro4+fcw", "rh4i+fcw", "h+fcw", "ri2+fh", "c"]
@@ -95,3 +97,21 @@ def format_result(points: list[Fig12Point]) -> str:
             f"{p.kind:<10} {p.area_efficiency:>8.2f}x {p.psnr_fixed_db:>9.2f} {p.psnr_float_db:>9.2f}"
         )
     return "\n".join(lines)
+
+
+def to_jsonable(points: list[Fig12Point]) -> list[dict]:
+    """Artifact points for the Fig. 12 JSON payload."""
+    return _jsonable(points)
+
+
+register(
+    name="fig12",
+    description="Fig. 12: engine area efficiency versus 8-bit quality",
+    run=run,
+    format_result=format_result,
+    to_jsonable=to_jsonable,
+    scales={
+        "small": {"task": "sr4", "scale": get_scale("small"), "kinds": ["real", "ri2+fh"]},
+        "paper": {"task": "sr4", "scale": get_scale("paper")},
+    },
+)

@@ -14,9 +14,11 @@ import numpy as np
 
 from .fig12 import quantized_psnr
 from .runner import make_task
-from .settings import SMALL, QualityScale
+from .settings import SMALL, QualityScale, get_scale
+from .artifacts import to_jsonable as _jsonable
+from .registry import register
 
-__all__ = ["Fig13Target", "Fig13Row", "run", "format_result", "DEFAULT_TARGETS"]
+__all__ = ["Fig13Target", "Fig13Row", "run", "format_result", "DEFAULT_TARGETS", "to_jsonable"]
 
 
 @dataclasses.dataclass(frozen=True)
@@ -97,3 +99,25 @@ def format_result(rows: list[Fig13Row]) -> str:
                 f"avg quantized delta {kind} vs real: {ring_vs_real_delta(rows, kind):+.3f} dB"
             )
     return "\n".join(lines)
+
+
+def to_jsonable(rows: list[Fig13Row]) -> list[dict]:
+    """Artifact rows including the derived per-row degradation."""
+    return [dict(_jsonable(row), degradation_db=row.degradation_db) for row in rows]
+
+
+register(
+    name="fig13",
+    description="Fig. 13: 8-bit quantization degradation per application target",
+    run=run,
+    format_result=format_result,
+    to_jsonable=to_jsonable,
+    scales={
+        "small": {
+            "scale": get_scale("small"),
+            "kinds": ("real", "ri2+fh"),
+            "targets": [Fig13Target("Dn-UHD30", "denoise", 1)],
+        },
+        "paper": {"scale": get_scale("paper")},
+    },
+)

@@ -3,8 +3,10 @@
 from __future__ import annotations
 
 from ..hardware.compare import EfficiencyGains, fig14_efficiencies
+from .artifacts import to_jsonable as _jsonable
+from .registry import register
 
-__all__ = ["run", "format_result", "PAPER_GAINS"]
+__all__ = ["run", "format_result", "PAPER_GAINS", "to_jsonable"]
 
 PAPER_GAINS = {
     "eRingCNN-n2": {"engine_area": 2.08, "engine_energy": 2.00, "chip_area": 1.64, "chip_energy": 1.85},
@@ -29,3 +31,18 @@ def format_result(gains: list[EfficiencyGains] | None = None) -> str:
             f"({p['engine_area']:.2f}/{p['engine_energy']:.2f}/{p['chip_area']:.2f}/{p['chip_energy']:.2f})"
         )
     return "\n".join(lines)
+
+
+def to_jsonable(gains: list[EfficiencyGains]) -> list[dict]:
+    """Artifact rows for the Fig. 14 JSON payload."""
+    return _jsonable(gains)
+
+
+register(
+    name="fig14",
+    description="Fig. 14: engine/chip area and energy efficiency gains",
+    run=run,
+    format_result=format_result,
+    to_jsonable=to_jsonable,
+    scales={"small": {}, "paper": {}},
+)

@@ -19,9 +19,11 @@ from ..hardware.accelerator import (
     model_accelerator,
 )
 from .runner import make_task, run_quality
-from .settings import SMALL, QualityScale
+from .settings import SMALL, QualityScale, get_scale
+from .artifacts import to_jsonable as _jsonable
+from .registry import register
 
-__all__ = ["Fig15Point", "run", "format_result"]
+__all__ = ["Fig15Point", "run", "format_result", "to_jsonable"]
 
 _TILE = 8  # output pixels per engine pass
 
@@ -76,3 +78,21 @@ def format_result(points: list[Fig15Point]) -> str:
             f"{p.accelerator:<13} {p.blocks:>6} {p.psnr_db:>8.2f} {p.energy_per_pixel_nj:>9.2f}"
         )
     return "\n".join(lines)
+
+
+def to_jsonable(points: list[Fig15Point]) -> list[dict]:
+    """Artifact points for the Fig. 15 JSON payload."""
+    return _jsonable(points)
+
+
+register(
+    name="fig15",
+    description="Fig. 15: quality versus energy-per-pixel operating curves",
+    run=run,
+    format_result=format_result,
+    to_jsonable=to_jsonable,
+    scales={
+        "small": {"task": "denoise", "scale": get_scale("small"), "block_sweep": (1,)},
+        "paper": {"task": "denoise", "scale": get_scale("paper"), "block_sweep": (1, 2, 3)},
+    },
+)

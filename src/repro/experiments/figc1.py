@@ -21,8 +21,10 @@ from ..nn.module import Module
 from ..nn.optim import Adam
 from ..nn.tensor import Tensor, no_grad
 from ..pruning.structured import apply_channel_masks, channel_sparsity, structured_masks
+from .artifacts import to_jsonable as _jsonable
+from .registry import register
 
-__all__ = ["make_classification_data", "FigC1Point", "run", "format_result"]
+__all__ = ["make_classification_data", "FigC1Point", "run", "format_result", "to_jsonable"]
 
 
 def make_classification_data(
@@ -116,3 +118,21 @@ def format_result(points: list[FigC1Point]) -> str:
     for p in points:
         lines.append(f"{p.method:<14} {p.computation_efficiency:>8.2f}x {p.accuracy:>8.1%}")
     return "\n".join(lines)
+
+
+def to_jsonable(points: list[FigC1Point]) -> list[dict]:
+    """Artifact points for the Fig. C1 JSON payload."""
+    return _jsonable(points)
+
+
+register(
+    name="figc1",
+    description="Fig. C1: recognition (classification) accuracy at compute budgets",
+    run=run,
+    format_result=format_result,
+    to_jsonable=to_jsonable,
+    scales={
+        "small": {"epochs": 3, "train_count": 60, "test_count": 24},
+        "paper": {},
+    },
+)

@@ -1,0 +1,157 @@
+"""Declarative registry of the paper's experiments.
+
+Every table/figure module self-registers here at import time with a
+name, a one-line description, per-scale keyword presets, a ``run``
+callable and adapters that turn its native result into JSON and into
+the formatted text the paper shows.  The registry is what the CLI
+(``python -m repro``), the artifact cache and CI enumerate — adding an
+experiment module with a ``register(...)`` call is all it takes to make
+it runnable, cacheable and reportable.
+
+Scales are *presets of run kwargs*, not global knobs: ``"small"`` is a
+seconds-scale smoke configuration, ``"paper"`` the full CPU-scale
+reproduction recipe.  Presets must stay JSON-serializable (via
+:func:`repro.experiments.artifacts.to_jsonable`) because they are
+hashed into the artifact fingerprint.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import re
+import zlib
+from typing import Any, Callable, Mapping
+
+import numpy as np
+
+__all__ = [
+    "Experiment",
+    "SCALE_NAMES",
+    "register",
+    "get",
+    "names",
+    "all_experiments",
+    "unregister",
+]
+
+#: The scale presets every experiment must provide.
+SCALE_NAMES = ("small", "paper")
+
+
+@dataclasses.dataclass(frozen=True)
+class Experiment:
+    """One registered table/figure experiment.
+
+    Attributes:
+        name: Registry key, e.g. ``"table1"`` or ``"fig09"``.
+        description: One line for ``python -m repro list``.
+        run: The experiment entry point; called as ``run(**scales[scale])``.
+        format_result: Renders a run's native result as the paper's text.
+        to_jsonable: Converts the native result to JSON-serializable data.
+        scales: Mapping of scale name to the kwargs ``run`` receives.
+    """
+
+    name: str
+    description: str
+    run: Callable[..., Any]
+    format_result: Callable[[Any], str]
+    to_jsonable: Callable[[Any], Any]
+    scales: Mapping[str, Mapping[str, Any]]
+
+    def kwargs_for(self, scale: str) -> Mapping[str, Any]:
+        """The run kwargs behind a scale preset."""
+        try:
+            return self.scales[scale]
+        except KeyError:
+            known = ", ".join(sorted(self.scales))
+            raise KeyError(
+                f"experiment {self.name!r} has no scale {scale!r} (known: {known})"
+            ) from None
+
+    def seed_for(self, scale: str) -> int:
+        """Deterministic global-RNG seed for one (experiment, scale) run.
+
+        Derived from stable string hashes only, so serial and parallel
+        executions (and re-runs in fresh processes) start from the same
+        NumPy global state and produce bit-identical results.
+        """
+        return zlib.crc32(f"{self.name}:{scale}".encode()) & 0x7FFFFFFF
+
+    def execute(self, scale: str) -> Any:
+        """Run at a scale preset with deterministic global seeding."""
+        kwargs = self.kwargs_for(scale)
+        np.random.seed(self.seed_for(scale))
+        return self.run(**kwargs)
+
+
+_REGISTRY: dict[str, Experiment] = {}
+
+
+def register(
+    name: str,
+    description: str,
+    run: Callable[..., Any],
+    format_result: Callable[[Any], str],
+    scales: Mapping[str, Mapping[str, Any]],
+    to_jsonable: Callable[[Any], Any] | None = None,
+) -> Experiment:
+    """Add an experiment to the registry (idempotent per name).
+
+    ``to_jsonable`` defaults to the generic artifact encoder
+    (:func:`repro.experiments.artifacts.to_jsonable`); pass an adapter
+    only when the result needs custom serialization (cf. ``fig13``).
+
+    Re-registering the same name replaces the entry — this keeps module
+    reloads (pytest importmode quirks, ``importlib.reload``) harmless.
+    """
+    if to_jsonable is None:
+        from .artifacts import to_jsonable as generic_to_jsonable
+
+        to_jsonable = generic_to_jsonable
+    missing = [s for s in SCALE_NAMES if s not in scales]
+    if missing:
+        raise ValueError(f"experiment {name!r} is missing scale presets: {missing}")
+    experiment = Experiment(
+        name=name,
+        description=description,
+        run=run,
+        format_result=format_result,
+        to_jsonable=to_jsonable,
+        scales={k: dict(v) for k, v in scales.items()},
+    )
+    _REGISTRY[name] = experiment
+    return experiment
+
+
+def unregister(name: str) -> None:
+    """Remove an entry (used by tests to keep the registry pristine)."""
+    _REGISTRY.pop(name, None)
+
+
+def get(name: str) -> Experiment:
+    """Look up one experiment; KeyError lists valid names."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {name!r}; choose from: {', '.join(names())}"
+        ) from None
+
+
+def _order_key(name: str) -> tuple:
+    """Tables first, then figures, then the rest — each numerically."""
+    match = re.fullmatch(r"(table|fig|figc)(\d+)", name)
+    if match:
+        group = {"table": 0, "fig": 1, "figc": 2}[match.group(1)]
+        return (group, int(match.group(2)), name)
+    return (3, 0, name)
+
+
+def names() -> list[str]:
+    """All registered names in paper order (tables, figures, extras)."""
+    return sorted(_REGISTRY, key=_order_key)
+
+
+def all_experiments() -> list[Experiment]:
+    """All registered experiments in paper order."""
+    return [_REGISTRY[name] for name in names()]

@@ -9,8 +9,6 @@ from __future__ import annotations
 
 import dataclasses
 
-import numpy as np
-
 from ..imaging.datasets import TaskData, make_denoising_task, make_sr_task
 from ..imaging.metrics import average_psnr
 from ..models.ernet import dn_ernet_pu, sr4_ernet
@@ -46,6 +44,17 @@ class QualityResult:
     parameters: int
     final_train_loss: float
     model: Module | None = dataclasses.field(default=None, compare=False, repr=False)
+
+    def to_jsonable(self) -> dict:
+        """Artifact-ready dict; the trained model itself is not serialized
+        (weights belong in checkpoints, not result artifacts)."""
+        return {
+            "label": self.label,
+            "task": self.task,
+            "psnr_db": float(self.psnr_db),
+            "parameters": int(self.parameters),
+            "final_train_loss": float(self.final_train_loss),
+        }
 
 
 def make_task(task: str, scale: QualityScale) -> TaskData:

@@ -11,7 +11,16 @@ from __future__ import annotations
 
 import dataclasses
 
-__all__ = ["PaperSetting", "PAPER_TABLE3", "QualityScale", "TINY", "SMALL", "MEDIUM"]
+__all__ = [
+    "PaperSetting",
+    "PAPER_TABLE3",
+    "QualityScale",
+    "TINY",
+    "SMALL",
+    "MEDIUM",
+    "SCALES",
+    "get_scale",
+]
 
 
 @dataclasses.dataclass(frozen=True)
@@ -84,3 +93,23 @@ MEDIUM = QualityScale(
     name="medium", train_count=48, test_count=8, size=24, epochs=80, lr=3e-3,
     batch_size=8, blocks=2, ratio=2,
 )
+
+#: Named presets, including the CLI's vocabulary: ``"small"`` smoke runs
+#: use the TINY recipe, ``"paper"`` uses SMALL — the CPU-scale stand-in
+#: for the paper's Table III settings (see module docstring).
+SCALES: dict[str, QualityScale] = {
+    "tiny": TINY,
+    "small": TINY,
+    "medium": MEDIUM,
+    "paper": SMALL,
+}
+
+
+def get_scale(name: str) -> QualityScale:
+    """Look up a :class:`QualityScale` preset by CLI name."""
+    try:
+        return SCALES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scale {name!r}; choose from: {', '.join(sorted(SCALES))}"
+        ) from None

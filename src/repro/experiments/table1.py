@@ -3,8 +3,10 @@
 from __future__ import annotations
 
 from ..rings.properties import RingProperties, format_table1, table1
+from .artifacts import to_jsonable as _jsonable
+from .registry import register
 
-__all__ = ["run", "format_result"]
+__all__ = ["run", "format_result", "to_jsonable"]
 
 
 def run(feature_bits: int = 8, weight_bits: int = 8) -> list[RingProperties]:
@@ -15,3 +17,18 @@ def run(feature_bits: int = 8, weight_bits: int = 8) -> list[RingProperties]:
 def format_result(rows: list[RingProperties] | None = None) -> str:
     """Printable reproduction of Table I."""
     return format_table1(rows)
+
+
+def to_jsonable(rows: list[RingProperties]) -> list[dict]:
+    """Artifact rows for the Table I JSON payload."""
+    return _jsonable(rows)
+
+
+register(
+    name="table1",
+    description="Table I: ring-algebra properties and multiplication efficiency",
+    run=run,
+    format_result=format_result,
+    to_jsonable=to_jsonable,
+    scales={"small": {}, "paper": {}},
+)

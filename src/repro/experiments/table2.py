@@ -11,9 +11,11 @@ import dataclasses
 
 import numpy as np
 
-from ..rings.catalog import RingSpec, get_ring, table1_rings
+from ..rings.catalog import RingSpec, table1_rings
+from .artifacts import to_jsonable as _jsonable
+from .registry import register
 
-__all__ = ["Table2Row", "run", "format_result"]
+__all__ = ["Table2Row", "run", "format_result", "to_jsonable"]
 
 
 @dataclasses.dataclass(frozen=True)
@@ -63,3 +65,18 @@ def format_result(rows: list[Table2Row] | None = None) -> str:
             lines.append(f"   S = {row.sign.astype(int).tolist()}")
         lines.append(f"   residual(M - Tz(Tg x Tx)) = {row.residual:.2e}")
     return "\n".join(lines)
+
+
+def to_jsonable(rows: list[Table2Row]) -> list[dict]:
+    """Artifact rows; the CP factors serialize as nested lists."""
+    return _jsonable(rows)
+
+
+register(
+    name="table2",
+    description="Table II: CP-synthesized fast algorithms for every tabulated ring",
+    run=run,
+    format_result=format_result,
+    to_jsonable=to_jsonable,
+    scales={"small": {}, "paper": {}},
+)

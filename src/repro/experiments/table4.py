@@ -19,9 +19,11 @@ from ..imaging.degrade import bicubic_upsample
 from ..imaging.metrics import average_psnr
 from ..models.baselines import FFDNet, SRResNet
 from .runner import make_task, run_quality, train_restoration
-from .settings import SMALL, QualityScale
+from .settings import SMALL, QualityScale, get_scale
+from .artifacts import to_jsonable as _jsonable
+from .registry import register
 
-__all__ = ["Table4Row", "run", "format_result", "classical_denoise"]
+__all__ = ["Table4Row", "run", "format_result", "classical_denoise", "to_jsonable"]
 
 
 def classical_denoise(noisy: np.ndarray, sigma: float = 15.0 / 255.0) -> np.ndarray:
@@ -103,3 +105,21 @@ def format_result(rows: list[Table4Row]) -> str:
     for row in rows:
         lines.append(f"{row.task:<8} {row.target:<7} {row.method:<18} {row.psnr_db:>8.2f}")
     return "\n".join(lines)
+
+
+def to_jsonable(rows: list[Table4Row]) -> list[dict]:
+    """Artifact rows for the Table IV JSON payload."""
+    return _jsonable(rows)
+
+
+register(
+    name="table4",
+    description="Table IV: PSNR of classical/CNN/eRingCNN methods per throughput target",
+    run=run,
+    format_result=format_result,
+    to_jsonable=to_jsonable,
+    scales={
+        "small": {"scale": get_scale("small"), "targets": ("HD30",), "tasks": ("denoise",)},
+        "paper": {"scale": get_scale("paper")},
+    },
+)

@@ -12,8 +12,10 @@ from ..hardware.accelerator import (
     dram_bandwidth_gbps,
     model_accelerator,
 )
+from .artifacts import to_jsonable as _jsonable
+from .registry import register
 
-__all__ = ["Table5Row", "run", "format_result", "PAPER_VALUES"]
+__all__ = ["Table5Row", "run", "format_result", "PAPER_VALUES", "to_jsonable"]
 
 # Published anchors (paper Table V) for side-by-side reporting.
 PAPER_VALUES = {
@@ -78,3 +80,18 @@ def format_result(rows: list[Table5Row] | None = None) -> str:
         )
     lines.append(f"DRAM bandwidth at UHD30: {rows[0].dram_gbps:.2f} GB/s (paper: 1.93)")
     return "\n".join(lines)
+
+
+def to_jsonable(rows: list[Table5Row]) -> list[dict]:
+    """Artifact rows; the nested accelerator report serializes too."""
+    return _jsonable(rows)
+
+
+register(
+    name="table5",
+    description="Table V: accelerator configurations and modeled layout figures",
+    run=run,
+    format_result=format_result,
+    to_jsonable=to_jsonable,
+    scales={"small": {}, "paper": {}},
+)

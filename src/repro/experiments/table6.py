@@ -5,8 +5,10 @@ from __future__ import annotations
 import dataclasses
 
 from ..hardware.accelerator import ERINGCNN_N2, ERINGCNN_N4, model_accelerator
+from .artifacts import to_jsonable as _jsonable
+from .registry import register
 
-__all__ = ["Table6Row", "run", "format_result", "PAPER_FRACTIONS"]
+__all__ = ["Table6Row", "run", "format_result", "PAPER_FRACTIONS", "to_jsonable"]
 
 # Paper Table VI: conv-engine shares of total area / power.
 PAPER_FRACTIONS = {
@@ -64,3 +66,18 @@ def format_result(rows: list[Table6Row] | None = None) -> str:
             f"f_H block = {row.drelu_share_3x3:.1%} of the 3x3 engine"
         )
     return "\n".join(lines)
+
+
+def to_jsonable(rows: list[Table6Row]) -> list[dict]:
+    """Artifact rows for the Table VI JSON payload."""
+    return _jsonable(rows)
+
+
+register(
+    name="table6",
+    description="Table VI: area/power breakdown of the eRingCNN accelerators",
+    run=run,
+    format_result=format_result,
+    to_jsonable=to_jsonable,
+    scales={"small": {}, "paper": {}},
+)

@@ -3,8 +3,10 @@
 from __future__ import annotations
 
 from ..hardware.compare import ComparisonRow, diffy_comparison
+from .artifacts import to_jsonable as _jsonable
+from .registry import register
 
-__all__ = ["run", "format_result", "PAPER_GAINS"]
+__all__ = ["run", "format_result", "PAPER_GAINS", "to_jsonable"]
 
 # Paper: energy-efficiency gains over Diffy at FFDNet-level Full-HD 20 fps.
 PAPER_GAINS = {"eRingCNN-n2": 2.71, "eRingCNN-n4": 4.59}
@@ -25,3 +27,18 @@ def format_result(rows: list[ComparisonRow] | None = None) -> str:
             f"{row.name:<20} {row.equivalent_tops_per_watt:>10.1f} {gain:>14}   {paper_txt}"
         )
     return "\n".join(lines)
+
+
+def to_jsonable(rows: list[ComparisonRow]) -> list[dict]:
+    """Artifact rows for the Table VII JSON payload."""
+    return _jsonable(rows)
+
+
+register(
+    name="table7",
+    description="Table VII: equivalent-TOPS/W comparison against Diffy",
+    run=run,
+    format_result=format_result,
+    to_jsonable=to_jsonable,
+    scales={"small": {}, "paper": {}},
+)

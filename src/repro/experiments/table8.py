@@ -3,8 +3,10 @@
 from __future__ import annotations
 
 from ..hardware.compare import ComparisonRow, table8_comparison
+from .artifacts import to_jsonable as _jsonable
+from .registry import register
 
-__all__ = ["run", "format_result", "PAPER_BAND"]
+__all__ = ["run", "format_result", "PAPER_BAND", "to_jsonable"]
 
 # Paper: eRingCNN provides "equivalent 19.1-28.4 TOPS/W" at synthesis level.
 PAPER_BAND = (19.1, 28.4)
@@ -24,3 +26,18 @@ def format_result(rows: list[ComparisonRow] | None = None) -> str:
         )
     lines.append(f"(paper band for eRingCNN: {PAPER_BAND[0]}-{PAPER_BAND[1]} eq.TOPS/W)")
     return "\n".join(lines)
+
+
+def to_jsonable(rows: list[ComparisonRow]) -> list[dict]:
+    """Artifact rows for the Table VIII JSON payload."""
+    return _jsonable(rows)
+
+
+register(
+    name="table8",
+    description="Table VIII: sparsity-style comparison of accelerator designs",
+    run=run,
+    format_result=format_result,
+    to_jsonable=to_jsonable,
+    scales={"small": {}, "paper": {}},
+)

@@ -17,7 +17,7 @@ import math
 
 from ..rings.catalog import get_ring
 from .calibration import CALIBRATED_COST, SYNTHESIS_POWER_FACTOR
-from .cost import CostModel, Resource
+from .cost import CostModel
 from .engine import EngineConfig, EngineReport, model_engine
 
 __all__ = [
@@ -141,7 +141,7 @@ def model_accelerator(
     n = spec.n
     route = config.skip_relu_units * 8 * cost.register(config.feature_bits * 32)
     if directional:
-        from .engine import _accumulator_width, _directional_relu_unit
+        from .engine import _directional_relu_unit
 
         widths = [(config.feature_bits, config.feature_bits)]
         acc_width = config.feature_bits * 2 + 6

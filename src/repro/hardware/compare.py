@@ -16,7 +16,6 @@ from .accelerator import (
     ERINGCNN_N2,
     ERINGCNN_N4,
     AcceleratorConfig,
-    AcceleratorReport,
     HD30,
     ThroughputTarget,
     model_accelerator,

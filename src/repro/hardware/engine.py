@@ -18,7 +18,7 @@ import dataclasses
 import math
 
 from ..rings.catalog import RingSpec, get_ring
-from ..rings.properties import product_bitwidths, row_bit_growth
+from ..rings.properties import product_bitwidths
 from .cost import CostModel, Resource
 
 __all__ = ["EngineConfig", "EngineReport", "model_engine", "real_engine", "engine_for_ring"]

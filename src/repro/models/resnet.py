@@ -9,7 +9,6 @@ Appendix C setup.
 
 from __future__ import annotations
 
-from ..nn.functional import avg_pool2d
 from ..nn.layers import BatchNorm2d, Conv2d, GlobalAvgPool, Linear, Sequential
 from ..nn.module import Module
 from ..nn.tensor import Tensor

@@ -16,7 +16,7 @@ from ..models.factory import LayerFactory
 from ..nn.layers import DirectionalReLU2d, Sequential
 from ..nn.module import Module
 from ..nn.tensor import Tensor, no_grad
-from .qformat import QFormat, choose_qformat, componentwise_qformats
+from .qformat import QFormat, choose_qformat
 
 __all__ = [
     "Quantize",

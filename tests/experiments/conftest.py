@@ -1,0 +1,49 @@
+"""Shared fixtures for the orchestration-layer tests."""
+
+import dataclasses
+
+import pytest
+
+from repro.experiments import artifacts, registry
+
+
+@dataclasses.dataclass(frozen=True)
+class FakeRow:
+    """Tiny deterministic result row for registry/CLI tests."""
+
+    label: str
+    value: float
+
+
+@pytest.fixture()
+def fake_experiment():
+    """Register a cheap counting experiment; unregister on teardown.
+
+    Yields ``(experiment, calls)`` where ``calls`` is a list that grows
+    by one entry per actual execution — the probe the cache-hit tests
+    use to prove nothing was recomputed.
+    """
+    calls: list[tuple] = []
+
+    def run(rows: int = 2, offset: float = 0.0) -> list[FakeRow]:
+        calls.append((rows, offset))
+        return [FakeRow(label=f"row{i}", value=i + offset) for i in range(rows)]
+
+    def format_result(result: list[FakeRow]) -> str:
+        return "\n".join(f"{r.label}: {r.value:.1f}" for r in result)
+
+    experiment = registry.register(
+        name="fake-exp",
+        description="synthetic experiment for tests",
+        run=run,
+        format_result=format_result,
+        to_jsonable=artifacts.to_jsonable,
+        scales={
+            "small": {"rows": 2, "offset": 0.0},
+            "paper": {"rows": 3, "offset": 0.5},
+        },
+    )
+    try:
+        yield experiment, calls
+    finally:
+        registry.unregister("fake-exp")

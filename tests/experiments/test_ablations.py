@@ -7,6 +7,7 @@ from repro.experiments.settings import TINY
 
 
 class TestDreluPipeline:
+    @pytest.mark.smoke
     def test_runs_and_orders(self):
         result = ablations.drelu_pipeline_ablation("denoise", TINY)
         # On-the-fly never does worse (paper Section V).

@@ -1,0 +1,237 @@
+"""Tests for the artifact store (`repro.experiments.artifacts`)."""
+
+import dataclasses
+import json
+
+import numpy as np
+import pytest
+
+from repro.experiments import artifacts
+from repro.experiments.artifacts import (
+    Artifact,
+    ArtifactStore,
+    canonical_json,
+    fingerprint,
+    resolved_settings,
+    settings_digest,
+    to_jsonable,
+)
+from repro.experiments.runner import QualityResult
+from repro.nn.layers import Conv2d
+
+
+@dataclasses.dataclass(frozen=True)
+class Sample:
+    name: str
+    values: tuple[float, ...]
+    matrix: np.ndarray
+
+
+@pytest.mark.smoke
+class TestToJsonable:
+    def test_primitives_pass_through(self):
+        assert to_jsonable({"a": 1, "b": [True, None, "x", 2.5]}) == {
+            "a": 1,
+            "b": [True, None, "x", 2.5],
+        }
+
+    def test_numpy_arrays_and_scalars(self):
+        out = to_jsonable({"m": np.arange(4).reshape(2, 2), "s": np.float64(1.5)})
+        assert out == {"m": [[0, 1], [2, 3]], "s": 1.5}
+
+    def test_dataclasses_recurse(self):
+        sample = Sample(name="s", values=(1.0, 2.0), matrix=np.eye(2))
+        assert to_jsonable(sample) == {
+            "name": "s",
+            "values": [1.0, 2.0],
+            "matrix": [[1.0, 0.0], [0.0, 1.0]],
+        }
+
+    def test_modules_are_dropped(self):
+        assert to_jsonable(Conv2d(2, 2, 3, seed=0)) is None
+
+    def test_quality_result_adapter_drops_model(self):
+        result = QualityResult(
+            label="real",
+            task="denoise",
+            psnr_db=30.0,
+            parameters=10,
+            final_train_loss=0.5,
+            model=Conv2d(2, 2, 3, seed=0),
+        )
+        out = to_jsonable(result)
+        assert "model" not in out
+        assert out["psnr_db"] == 30.0
+
+    def test_result_is_json_serializable(self):
+        payload = to_jsonable({"rows": [Sample("a", (0.5,), np.zeros(2))]})
+        json.dumps(payload)  # must not raise
+
+    def test_colliding_mapping_keys_raise(self):
+        # {1: ..., "1": ...} would silently drop an entry (and alias
+        # fingerprints) if keys were coerced blindly.
+        with pytest.raises(ValueError, match="collide"):
+            to_jsonable({1: "a", "1": "b"})
+
+
+class TestFingerprint:
+    def test_stable_across_calls_and_key_order(self):
+        a = fingerprint("fig01", "small", {"blocks": 1, "width": 8})
+        b = fingerprint("fig01", "small", {"width": 8, "blocks": 1})
+        assert a == b
+        assert len(a) == 16
+
+    def test_changed_scale_changes_fingerprint(self):
+        settings = {"blocks": 1}
+        assert fingerprint("fig01", "small", settings) != fingerprint(
+            "fig01", "paper", settings
+        )
+
+    def test_changed_settings_change_fingerprint(self):
+        assert fingerprint("fig01", "small", {"blocks": 1}) != fingerprint(
+            "fig01", "small", {"blocks": 2}
+        )
+
+    def test_changed_experiment_changes_fingerprint(self):
+        assert fingerprint("fig01", "small", {}) != fingerprint("fig09", "small", {})
+
+    def test_canonical_json_is_sorted_and_compact(self):
+        assert canonical_json({"b": 1, "a": (2,)}) == '{"a":[2],"b":1}'
+
+
+class TestResolvedSettings:
+    @staticmethod
+    def _experiment(run, preset=None):
+        class _Stub:
+            name = "stub"
+
+            def __init__(self):
+                self.run = run
+
+            def kwargs_for(self, scale):
+                return dict(preset or {})
+
+        return _Stub()
+
+    def test_includes_run_signature_defaults(self):
+        exp = self._experiment(lambda rows=2, offset=0.0: None)
+        assert resolved_settings(exp, "small") == {"rows": 2, "offset": 0.0}
+
+    def test_preset_overrides_default(self):
+        exp = self._experiment(lambda rows=2: None, preset={"rows": 5})
+        assert resolved_settings(exp, "small") == {"rows": 5}
+
+    def test_changed_default_changes_fingerprint(self):
+        # A code edit to a run() default must be a cache miss even when
+        # the registered preset doesn't pin that parameter.
+        _, a = settings_digest(self._experiment(lambda rows=2: None), "small")
+        _, b = settings_digest(self._experiment(lambda rows=3: None), "small")
+        assert a != b
+
+
+class TestArtifactStore:
+    def _artifact(self, **overrides):
+        base = dict(
+            experiment="fake-exp",
+            scale="small",
+            fingerprint=fingerprint("fake-exp", "small", {"rows": 2}),
+            settings={"rows": 2},
+            result=[{"label": "row0", "value": 0.0}],
+            formatted="row0: 0.0",
+        )
+        base.update(overrides)
+        return Artifact(**base)
+
+    def test_roundtrip(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        artifact = self._artifact()
+        path = store.save(artifact)
+        assert path.exists()
+        loaded = store.load("fake-exp", "small", artifact.fingerprint)
+        assert loaded == artifact
+
+    def test_miss_returns_none(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        assert store.load("fake-exp", "small", "0" * 16) is None
+
+    def test_schema_version_mismatch_is_a_miss(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        artifact = self._artifact()
+        path = store.save(artifact)
+        data = json.loads(path.read_text())
+        data["schema_version"] = -1
+        path.write_text(json.dumps(data))
+        assert store.load("fake-exp", "small", artifact.fingerprint) is None
+
+    def test_latest_prefers_valid_artifacts(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        artifact = self._artifact()
+        store.save(artifact)
+        assert store.latest("fake-exp", "small") == artifact
+        assert store.latest("fake-exp", "paper") is None
+
+    def test_corrupt_artifact_file_is_a_miss(self, tmp_path):
+        # A run killed mid-write must degrade to recompute, not crash.
+        store = ArtifactStore(tmp_path)
+        artifact = self._artifact()
+        path = store.save(artifact)
+        path.write_text('{"experiment": "fake-exp", "truncat')
+        assert store.load("fake-exp", "small", artifact.fingerprint) is None
+        assert store.latest("fake-exp", "small") is None
+
+    def test_save_is_atomic_and_leaves_no_temp_files(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        store.save(self._artifact())
+        assert not list(tmp_path.glob("*.tmp"))
+
+    def test_save_bytes_are_deterministic(self, tmp_path):
+        store_a = ArtifactStore(tmp_path / "a")
+        store_b = ArtifactStore(tmp_path / "b")
+        artifact = self._artifact()
+        text_a = store_a.save(artifact).read_text()
+        text_b = store_b.save(artifact).read_text()
+        assert text_a == text_b
+
+
+class TestCacheSemantics:
+    """The registry+store contract the CLI relies on."""
+
+    def test_same_fingerprint_is_a_cache_hit_without_recompute(
+        self, tmp_path, fake_experiment
+    ):
+        from repro.experiments.cli import main
+
+        _, calls = fake_experiment
+        argv = ["run", "fake-exp", "--scale", "small", "--results-dir", str(tmp_path)]
+        assert main(argv) == 0
+        assert len(calls) == 1
+        assert main(argv) == 0  # second invocation: artifact already stored
+        assert len(calls) == 1, "cache hit must not re-execute the experiment"
+
+    def test_changed_scale_is_a_cache_miss(self, tmp_path, fake_experiment):
+        from repro.experiments.cli import main
+
+        _, calls = fake_experiment
+        base = ["run", "fake-exp", "--results-dir", str(tmp_path)]
+        assert main(base + ["--scale", "small"]) == 0
+        assert main(base + ["--scale", "paper"]) == 0
+        assert len(calls) == 2, "a different scale preset must recompute"
+
+    def test_force_recomputes(self, tmp_path, fake_experiment):
+        from repro.experiments.cli import main
+
+        _, calls = fake_experiment
+        argv = ["run", "fake-exp", "--scale", "small", "--results-dir", str(tmp_path)]
+        assert main(argv) == 0
+        assert main(argv + ["--force"]) == 0
+        assert len(calls) == 2
+
+    def test_changed_settings_change_the_artifact_file(self, tmp_path, fake_experiment):
+        experiment, _ = fake_experiment
+        small = artifacts.fingerprint(
+            "fake-exp", "small", to_jsonable(experiment.kwargs_for("small"))
+        )
+        paper = artifacts.fingerprint(
+            "fake-exp", "paper", to_jsonable(experiment.kwargs_for("paper"))
+        )
+        assert small != paper

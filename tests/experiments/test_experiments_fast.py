@@ -16,6 +16,7 @@ from repro.experiments.settings import PAPER_TABLE3, SMALL, TINY
 
 
 class TestTable1Experiment:
+    @pytest.mark.smoke
     def test_rows_cover_both_n(self):
         rows = table1.run()
         assert {r.n for r in rows} == {2, 4}

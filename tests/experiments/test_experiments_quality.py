@@ -5,8 +5,6 @@ is needed.  The assertions check the *shape* of the paper's findings —
 who wins, not absolute dB.
 """
 
-import dataclasses
-
 import numpy as np
 import pytest
 
@@ -17,6 +15,7 @@ from repro.imaging.metrics import average_psnr
 
 
 class TestRunner:
+    @pytest.mark.smoke
     def test_denoise_model_beats_noisy_input(self):
         data = make_task("denoise", SMALL)
         noisy_psnr = average_psnr(data.test_inputs, data.test_targets, shave=2)

@@ -1,0 +1,97 @@
+"""Tests for the experiment registry (`repro.experiments.registry`)."""
+
+import pytest
+
+import repro.experiments  # noqa: F401  (imports trigger self-registration)
+from repro.experiments import registry
+from repro.experiments.settings import SMALL, TINY, get_scale
+
+EXPECTED = [
+    "table1",
+    "table2",
+    "table4",
+    "table5",
+    "table6",
+    "table7",
+    "table8",
+    "fig01",
+    "fig09",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "fig15",
+    "figc1",
+    "ablations",
+]
+
+
+@pytest.mark.smoke
+class TestRegistryContents:
+    def test_every_experiment_module_registered_in_paper_order(self):
+        assert registry.names() == EXPECTED
+
+    def test_every_experiment_has_required_scales(self):
+        for experiment in registry.all_experiments():
+            for scale in registry.SCALE_NAMES:
+                assert scale in experiment.scales, (experiment.name, scale)
+
+    def test_descriptions_are_one_line(self):
+        for experiment in registry.all_experiments():
+            assert experiment.description
+            assert "\n" not in experiment.description
+
+    def test_get_unknown_name_lists_choices(self):
+        with pytest.raises(KeyError, match="table1"):
+            registry.get("table99")
+
+
+class TestRegistryBehaviour:
+    def test_register_rejects_missing_scale_presets(self):
+        with pytest.raises(ValueError, match="missing scale presets"):
+            registry.register(
+                name="broken",
+                description="no paper preset",
+                run=lambda: None,
+                format_result=str,
+                to_jsonable=lambda r: r,
+                scales={"small": {}},
+            )
+        assert "broken" not in registry.names()
+
+    def test_register_unregister_roundtrip(self, fake_experiment):
+        experiment, _ = fake_experiment
+        assert registry.get("fake-exp") is experiment
+        registry.unregister("fake-exp")
+        assert "fake-exp" not in registry.names()
+
+    def test_kwargs_for_unknown_scale_raises(self):
+        with pytest.raises(KeyError, match="no scale"):
+            registry.get("table1").kwargs_for("huge")
+
+    def test_seed_is_stable_and_scale_dependent(self):
+        experiment = registry.get("fig01")
+        assert experiment.seed_for("small") == experiment.seed_for("small")
+        assert experiment.seed_for("small") != experiment.seed_for("paper")
+        assert experiment.seed_for("small") != registry.get("fig09").seed_for("small")
+
+    def test_execute_runs_scale_preset(self, fake_experiment):
+        experiment, calls = fake_experiment
+        result = experiment.execute("paper")
+        assert calls == [(3, 0.5)]
+        assert [row.value for row in result] == [0.5, 1.5, 2.5]
+
+    def test_small_presets_use_tiny_training_scale(self):
+        # Smoke scale must stay seconds-cheap: every training experiment's
+        # "small" preset that carries a QualityScale carries TINY.
+        for experiment in registry.all_experiments():
+            scale = experiment.kwargs_for("small").get("scale")
+            if scale is not None:
+                assert scale == TINY, experiment.name
+
+    def test_scale_lookup_helper(self):
+        assert get_scale("paper") == SMALL
+        assert get_scale("small") == TINY
+        with pytest.raises(KeyError, match="unknown scale"):
+            get_scale("galactic")

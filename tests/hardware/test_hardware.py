@@ -1,6 +1,5 @@
 """Tests for the analytical hardware model against the paper's anchors."""
 
-import numpy as np
 import pytest
 
 from repro.hardware.accelerator import (
@@ -19,11 +18,11 @@ from repro.hardware.compare import (
     table8_comparison,
 )
 from repro.hardware.cost import CostModel, Resource
-from repro.hardware.engine import EngineConfig, engine_for_ring, model_engine, real_engine
-from repro.rings.catalog import get_ring
+from repro.hardware.engine import engine_for_ring, real_engine
 
 
 class TestCostPrimitives:
+    @pytest.mark.smoke
     def test_resource_arithmetic(self):
         a = Resource(10.0, 1.0)
         b = Resource(5.0, 0.5)

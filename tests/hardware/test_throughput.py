@@ -16,6 +16,7 @@ from repro.models.ernet import sr4_ernet
 
 
 class TestLayerShape:
+    @pytest.mark.smoke
     def test_folds_exact_fit(self):
         assert LayerShape(32, 32, 3).folds() == 1
 

@@ -31,6 +31,7 @@ from repro.imaging.synthetic import (
 
 
 class TestSynthetic:
+    @pytest.mark.smoke
     def test_generators_in_range(self):
         rng = np.random.default_rng(0)
         for gen in (band_limited_texture, oriented_grating, checkerboard, smooth_gradient):

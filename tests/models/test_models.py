@@ -20,6 +20,7 @@ from repro.rings.nonlinearity import ComponentReLU, hadamard_relu
 
 
 class TestFactories:
+    @pytest.mark.smoke
     def test_real_factory(self):
         f = RealFactory()
         assert isinstance(f.conv(4, 4, 3, seed=0), Conv2d)
@@ -174,8 +175,6 @@ class TestResNet:
 
     def test_ring_factory_keeps_bn_real(self):
         # Appendix C: convolutions use (R_I, f_H); BN stays real-valued.
-        from repro.nn.layers import BatchNorm2d
-
         model = resnet_small(
             blocks_per_stage=1, base_width=4, factory=make_factory("proposed"), seed=0
         )

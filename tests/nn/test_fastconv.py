@@ -11,6 +11,7 @@ from repro.rings.catalog import get_ring
 
 
 class TestFrconvEquivalence:
+    @pytest.mark.smoke
     @pytest.mark.parametrize("name", ["ri2", "ri4", "c", "rh2", "rh4", "ro4", "rh4i", "h"])
     def test_matches_direct_rconv(self, name):
         # FRCONV(g) == RCONV(g) for identical ring weights (Section IV-C).

@@ -21,6 +21,7 @@ from repro.rings.catalog import get_ring
 
 
 class TestConvForward:
+    @pytest.mark.smoke
     def test_against_scipy_correlate(self):
         rng = np.random.default_rng(0)
         x = rng.standard_normal((1, 1, 8, 8))

@@ -17,6 +17,7 @@ def _randomize(model, seed=0):
 
 
 class TestTilingPlan:
+    @pytest.mark.smoke
     def test_validation(self):
         with pytest.raises(ValueError):
             TilingPlan(tile=0, halo=2)

@@ -26,6 +26,7 @@ from repro.rings.nonlinearity import ComponentReLU, hadamard_relu
 
 
 class TestConv2dLayer:
+    @pytest.mark.smoke
     def test_shapes_and_param_count(self):
         layer = Conv2d(3, 8, 3, seed=0)
         assert layer.weight.shape == (8, 3, 3, 3)

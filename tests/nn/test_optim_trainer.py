@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.nn.data import ArrayDataset, DataLoader
-from repro.nn.layers import Conv2d, ReLU, RingConv2d, Sequential
+from repro.nn.layers import Conv2d, RingConv2d, Sequential
 from repro.nn.loss import charbonnier_loss, l1_loss, mse_loss
 from repro.nn.optim import SGD, Adam, CosineLR, StepLR, clip_grad_norm
 from repro.nn.tensor import Parameter, Tensor
@@ -16,6 +16,7 @@ class TestOptimizers:
     def _quadratic_param(self):
         return Parameter(np.array([4.0, -2.0]))
 
+    @pytest.mark.smoke
     def test_sgd_descends_quadratic(self):
         p = self._quadratic_param()
         opt = SGD([p], lr=0.1)

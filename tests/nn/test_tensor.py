@@ -10,6 +10,7 @@ from repro.nn.tensor import Tensor, as_tensor, concat, no_grad
 
 
 class TestForward:
+    @pytest.mark.smoke
     def test_arithmetic_values(self):
         a, b = Tensor([1.0, 2.0]), Tensor([3.0, 4.0])
         np.testing.assert_array_equal((a + b).data, [4, 6])

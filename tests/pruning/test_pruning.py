@@ -25,6 +25,7 @@ from repro.pruning.structured import (
 
 
 class TestMagnitudePruning:
+    @pytest.mark.smoke
     def test_prunable_excludes_biases(self):
         model = dn_ernet_pu(blocks=1, ratio=1, seed=0)
         params = prunable_parameters(model)

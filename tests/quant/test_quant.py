@@ -27,6 +27,7 @@ from repro.rings.nonlinearity import hadamard_relu
 
 
 class TestQFormat:
+    @pytest.mark.smoke
     def test_step_and_range(self):
         fmt = QFormat(frac_bits=6, word_bits=8)
         assert fmt.step == pytest.approx(1 / 64)

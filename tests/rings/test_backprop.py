@@ -14,6 +14,7 @@ from repro.rings.catalog import get_ring, ring_names
 
 
 class TestAdjointWeights:
+    @pytest.mark.smoke
     @pytest.mark.parametrize("name", ["ri2", "ri4", "rh2", "rh4", "ro4"])
     def test_symmetric_rings_self_adjoint(self, name):
         # Paper: "grad_x L = g . grad_z L for R_I, R_H, R_O4 since G is

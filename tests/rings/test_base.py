@@ -22,6 +22,7 @@ def _tuples(n, count=1):
 
 
 class TestIndexingTensor:
+    @pytest.mark.smoke
     def test_round_trip_sign_perm(self):
         sign = np.array([[1, -1], [1, 1]], dtype=float)
         perm = np.array([[0, 1], [1, 0]])
@@ -196,9 +197,12 @@ class TestHypothesisProperties:
     def test_associativity_random(self, data):
         spec = get_ring(data.draw(st.sampled_from(["c", "h", "rh4", "rh4i", "ro4i"])))
         n = spec.n
-        draw = lambda: np.array(
-            data.draw(st.lists(st.floats(-3, 3, allow_nan=False), min_size=n, max_size=n))
-        )
+        def draw():
+            return np.array(
+                data.draw(
+                    st.lists(st.floats(-3, 3, allow_nan=False), min_size=n, max_size=n)
+                )
+            )
         a, b, c = draw(), draw(), draw()
         lhs = spec.ring.multiply(spec.ring.multiply(a, b), c)
         rhs = spec.ring.multiply(a, spec.ring.multiply(b, c))

@@ -19,6 +19,7 @@ from repro.rings.properties import (
 
 
 class TestCatalog:
+    @pytest.mark.smoke
     def test_all_names_buildable(self):
         for name in ring_names():
             spec = get_ring(name)

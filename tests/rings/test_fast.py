@@ -18,6 +18,7 @@ from repro.rings.fast import (
 
 
 class TestCatalogAlgorithms:
+    @pytest.mark.smoke
     @pytest.mark.parametrize("name", ring_names())
     def test_exact_against_indexing_tensor(self, name):
         spec = get_ring(name)

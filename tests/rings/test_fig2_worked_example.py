@@ -7,12 +7,14 @@ formulation ``z = (g h)(x y)^t`` stays isomorphic to ``z = Gx + Hy``.
 """
 
 import numpy as np
+import pytest
 
 from repro.rings.catalog import get_ring
 from repro.rings.nonlinearity import hadamard_relu
 
 
 class TestFig2:
+    @pytest.mark.smoke
     def test_complex_layer_isomorphic_to_real(self):
         spec = get_ring("c")
         rng = np.random.default_rng(0)

@@ -34,6 +34,7 @@ _CIRC_RINGS = _commutative_rings(_P_CIRC)
 
 
 class TestGeneratedRingAxioms:
+    @pytest.mark.smoke
     def test_population_sizes(self):
         # 8 associative rings per permutation class (search scratch result,
         # stable because enumeration is exhaustive).
@@ -68,8 +69,6 @@ class TestGeneratedRingAxioms:
     @pytest.mark.parametrize("idx", range(8))
     def test_backprop_adjoint_exists(self, idx):
         # Gradient flow stays a ring multiplication for the whole family.
-        from repro.rings.backprop import adjoint_weight
-
         ring = _XOR_RINGS[idx]
         g = np.random.default_rng(idx).standard_normal(4)
         basis = ring.basis_matrices()

@@ -15,6 +15,7 @@ from repro.rings.search import (
 
 
 class TestGrank:
+    @pytest.mark.smoke
     def test_rank_one_tensor(self):
         a, b, c = np.array([1.0, 2.0]), np.array([3.0, -1.0]), np.array([0.5, 2.0])
         tensor = np.einsum("i,k,j->ikj", a, b, c)

@@ -21,6 +21,7 @@ from repro.rings.transforms import (
 
 
 class TestHadamard:
+    @pytest.mark.smoke
     @pytest.mark.parametrize("n", [1, 2, 4, 8, 16])
     def test_orthogonality(self, n):
         h_mat = hadamard(n)

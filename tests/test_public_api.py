@@ -1,8 +1,10 @@
 """Smoke tests for the top-level public API surface."""
 
 import numpy as np
+import pytest
 
 
+@pytest.mark.smoke
 def test_package_imports_and_version():
     import repro
 
