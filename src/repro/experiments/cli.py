@@ -13,6 +13,11 @@ Subcommands:
 Parallel runs use ``multiprocessing`` with the spawn start method and
 per-(experiment, scale) deterministic seeding, so ``--jobs N`` output
 is bit-identical to a serial run.
+
+``--backend NAME[:ARG]`` selects the :mod:`repro.nn.backend` kernel
+backend for the nn hot path (e.g. ``threaded:4``); every registered
+backend produces bit-identical numbers, so artifacts and cache
+fingerprints are backend-invariant.
 """
 
 from __future__ import annotations
@@ -23,6 +28,8 @@ import os
 import sys
 import time
 from typing import Any, Sequence
+
+from repro.nn import backend as nn_backend
 
 from . import artifacts, registry
 
@@ -217,6 +224,17 @@ def build_parser() -> argparse.ArgumentParser:
             default=str(artifacts.DEFAULT_RESULTS_DIR),
             help="artifact directory (default: <repo>/results)",
         )
+        sub.add_argument(
+            "--backend",
+            default=None,
+            metavar="NAME[:ARG]",
+            help=(
+                "kernel backend for the nn hot path "
+                f"({', '.join(nn_backend.available_backends())}; e.g. threaded:4). "
+                f"Exported as {nn_backend.BACKEND_ENV_VAR} so --jobs workers "
+                "inherit it."
+            ),
+        )
 
     sub_list = subparsers.add_parser("list", help="show registered experiments")
     add_common(sub_list)
@@ -250,6 +268,15 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Sequence[str] | None = None) -> int:
     _ensure_registered()
     args = build_parser().parse_args(argv)
+    if getattr(args, "backend", None):
+        try:
+            nn_backend.make_backend(args.backend)  # validate before exporting
+        except ValueError as exc:
+            raise SystemExit(str(exc))
+        # Environment (not a context manager) so multiprocessing spawn
+        # workers pick the same backend up; precedence stays with any
+        # use_backend context active inside the experiment code itself.
+        os.environ[nn_backend.BACKEND_ENV_VAR] = args.backend
     try:
         return args.func(args)
     except BrokenPipeError:

@@ -89,16 +89,23 @@ def model_for_task(
 
 
 def evaluate_psnr(
-    model: Module, data: TaskData, shave: int = 2, batch_size: int = 8
+    model: Module,
+    data: TaskData,
+    shave: int = 2,
+    batch_size: int = 8,
+    backend: str | None = None,
 ) -> float:
     """Average test-set PSNR of a trained model.
 
     Evaluation runs through the batched/tiled :class:`Predictor`, so the
     test set is processed in bounded-memory mini-batches (and oversized
     images would be tiled with a receptive-field halo) while producing
-    the same pixels as one whole-set forward pass.
+    the same pixels as one whole-set forward pass.  ``backend`` selects
+    the kernel backend for those forwards (every backend is
+    bit-identical, so reported PSNR never depends on it); by default the
+    ambient :func:`repro.nn.backend.current_backend` applies.
     """
-    pred = Predictor(model, batch_size=batch_size)(data.test_inputs)
+    pred = Predictor(model, batch_size=batch_size, backend=backend)(data.test_inputs)
     return average_psnr(pred, data.test_targets, shave=shave)
 
 

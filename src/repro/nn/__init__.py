@@ -5,6 +5,17 @@ tape-based :class:`Tensor`, conv/ring-conv layers, optimizers, losses and
 a shared training loop.
 """
 
+from . import backend
+from .backend import (
+    Backend,
+    BlockedBackend,
+    NumpyBackend,
+    ThreadedBackend,
+    available_backends,
+    current_backend,
+    get_backend,
+    use_backend,
+)
 from .data import ArrayDataset, DataLoader
 from .fastconv import FastRingConv2d, frconv2d
 from .functional import (
@@ -41,6 +52,15 @@ from .tensor import Parameter, Tensor, as_tensor, concat, no_grad
 from .trainer import TrainConfig, TrainResult, evaluate_mse, train_model
 
 __all__ = [
+    "backend",
+    "Backend",
+    "BlockedBackend",
+    "NumpyBackend",
+    "ThreadedBackend",
+    "available_backends",
+    "current_backend",
+    "get_backend",
+    "use_backend",
     "ArrayDataset",
     "DataLoader",
     "FastRingConv2d",

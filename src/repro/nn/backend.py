@@ -1,0 +1,809 @@
+"""Pluggable kernel backends for the nn hot path.
+
+The paper's central performance claim (Section IV-C) is that FRCONV's
+grouped component-wise products map onto different execution substrates
+with very different cost profiles.  This module is the software seam for
+that claim: a :class:`Backend` owns the hot array primitives — ``conv2d``
+and ``conv2d_grouped`` (forward, inference and VJP pieces), ``matmul``,
+``im2col``/``col2im`` and pooling — and everything above it
+(:mod:`repro.nn.functional`, :mod:`repro.nn.fastconv`, the layers and
+:class:`repro.nn.inference.Predictor`) dispatches through the *active*
+backend instead of calling kernels directly.
+
+Three implementations ship:
+
+* :class:`NumpyBackend` — the reference single-call im2col + GEMM path
+  (the seed implementation, moved behind the protocol).
+* :class:`ThreadedBackend` — tiles the batch/group axis across a thread
+  pool.  numpy releases the GIL inside BLAS and large copies, so this
+  gives real multi-core speedup while staying **bit-identical**: work is
+  split only along axes that are embarrassingly parallel (each output
+  element is still produced by one GEMM over the full reduction axis),
+  and cross-batch reductions (the weight gradient) deliberately stay on
+  the single-call reference path.
+* :class:`BlockedBackend` — blocked inference GEMMs: the im2col matrix
+  is materialized a batch-block at a time into a preallocated scratch
+  buffer that is recycled across blocks and calls, so peak im2col
+  memory is ``O(block)`` samples instead of ``O(N)`` and steady-state
+  serving performs no large allocations.  Batch-blocking runs the very
+  same per-slice BLAS GEMMs, so results are bit-identical too.
+
+Selection precedence (first match wins):
+
+1. the innermost active :func:`use_backend` context on this thread;
+2. the ``REPRO_BACKEND`` environment variable (e.g. ``threaded:4``);
+3. the process default (:class:`NumpyBackend`).
+
+Backends are addressed by a spec string ``name[:arg]`` — ``numpy``,
+``threaded``, ``threaded:8`` (worker count), ``blocked``, ``blocked:4``
+(samples per GEMM block).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "BACKEND_ENV_VAR",
+    "Backend",
+    "NumpyBackend",
+    "ThreadedBackend",
+    "BlockedBackend",
+    "available_backends",
+    "conv_geometry",
+    "current_backend",
+    "default_backend",
+    "get_backend",
+    "make_backend",
+    "register_backend",
+    "use_backend",
+]
+
+BACKEND_ENV_VAR = "REPRO_BACKEND"
+
+
+def conv_geometry(
+    h: int, w: int, kh: int, kw: int, stride: int, padding: int
+) -> tuple[int, int, int, int]:
+    """Padded and output spatial extents of a 2-D convolution."""
+    hp, wp = h + 2 * padding, w + 2 * padding
+    ho = (hp - kh) // stride + 1
+    wo = (wp - kw) // stride + 1
+    return hp, wp, ho, wo
+
+
+class Backend:
+    """Reference implementation and protocol of the kernel primitives.
+
+    All methods take and return plain numpy arrays — backends know
+    nothing about the autodiff :class:`~repro.nn.tensor.Tensor`; the
+    graph wiring stays in :mod:`repro.nn.functional`.  Subclasses
+    override whichever primitives they can accelerate; anything not
+    overridden falls back to this single-call numpy path, which is the
+    parity baseline every backend must reproduce bit-for-bit.
+
+    The ``*_infer`` variants are the no-grad fast path: they need not
+    retain (or even fully materialize) the im2col matrix, which is what
+    lets backends trade memory and parallelism freely during inference.
+    """
+
+    name = "numpy"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+    # ------------------------------------------------------------------
+    # im2col / col2im
+    # ------------------------------------------------------------------
+    def im2col(
+        self, x: np.ndarray, kh: int, kw: int, stride: int, padding: int
+    ) -> tuple[np.ndarray, tuple[int, int, int, int]]:
+        """Unfold sliding windows into columns.
+
+        Returns:
+            cols of shape (N, C*kh*kw, Ho*Wo) and (Hp, Wp, Ho, Wo).
+        """
+        if padding:
+            x = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+        n, c, hp, wp = x.shape
+        ho = (hp - kh) // stride + 1
+        wo = (wp - kw) // stride + 1
+        s0, s1, s2, s3 = x.strides
+        windows = np.lib.stride_tricks.as_strided(
+            x,
+            shape=(n, c, kh, kw, ho, wo),
+            strides=(s0, s1, s2, s3, s2 * stride, s3 * stride),
+            writeable=False,
+        )
+        cols = np.ascontiguousarray(windows).reshape(n, c * kh * kw, ho * wo)
+        return cols, (hp, wp, ho, wo)
+
+    def col2im(
+        self,
+        dcols: np.ndarray,
+        x_shape: tuple[int, int, int, int],
+        kh: int,
+        kw: int,
+        stride: int,
+        padding: int,
+        ho: int,
+        wo: int,
+    ) -> np.ndarray:
+        """Adjoint of im2col: scatter-add column gradients back to the input."""
+        n, c, h, w = x_shape
+        hp, wp = h + 2 * padding, w + 2 * padding
+        dxp = np.zeros((n, c, hp, wp))
+        dcols = dcols.reshape(n, c, kh, kw, ho, wo)
+        for i in range(kh):
+            for j in range(kw):
+                dxp[:, :, i : i + stride * ho : stride, j : j + stride * wo : stride] += dcols[
+                    :, :, i, j
+                ]
+        if padding:
+            return dxp[:, :, padding:-padding, padding:-padding]
+        return dxp
+
+    # ------------------------------------------------------------------
+    # matmul
+    # ------------------------------------------------------------------
+    def matmul(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Matrix product with numpy broadcasting semantics."""
+        return np.matmul(a, b)
+
+    # ------------------------------------------------------------------
+    # conv2d
+    # ------------------------------------------------------------------
+    def conv2d(
+        self, x: np.ndarray, w_mat: np.ndarray, kh: int, kw: int, stride: int, padding: int
+    ) -> tuple[np.ndarray, np.ndarray, tuple[int, int, int, int]]:
+        """Training-path forward: returns (out, cols, dims).
+
+        ``cols`` is retained by the caller for the weight VJP, so every
+        backend must hand back the full im2col matrix here; memory
+        tricks belong in :meth:`conv2d_infer`.
+        """
+        n = x.shape[0]
+        co = w_mat.shape[0]
+        cols, dims = self.im2col(x, kh, kw, stride, padding)
+        ho, wo = dims[2], dims[3]
+        out = (w_mat @ cols).reshape(n, co, ho, wo)
+        return out, cols, dims
+
+    def conv2d_infer(
+        self, x: np.ndarray, w_mat: np.ndarray, kh: int, kw: int, stride: int, padding: int
+    ) -> np.ndarray:
+        """Inference forward: same values as :meth:`conv2d`, cols discarded."""
+        out, _, _ = self.conv2d(x, w_mat, kh, kw, stride, padding)
+        return out
+
+    def conv2d_grad_weight(self, grad_flat: np.ndarray, cols: np.ndarray) -> np.ndarray:
+        """dL/dW_mat from grad (N, Co, P) and cols (N, K, P) -> (Co, K).
+
+        Reduces over batch *and* pixels; kept as one einsum call in every
+        backend so the floating-point reduction order (and therefore the
+        result) is identical across them.
+        """
+        return np.einsum("nop,nkp->ok", grad_flat, cols)
+
+    def conv2d_grad_input(
+        self,
+        w_mat: np.ndarray,
+        grad_flat: np.ndarray,
+        x_shape: tuple[int, int, int, int],
+        kh: int,
+        kw: int,
+        stride: int,
+        padding: int,
+        ho: int,
+        wo: int,
+    ) -> np.ndarray:
+        """dL/dx: backproject grad (N, Co, P) through the filter and col2im."""
+        dcols = np.einsum("ok,nop->nkp", w_mat, grad_flat)
+        return self.col2im(dcols, x_shape, kh, kw, stride, padding, ho, wo)
+
+    # ------------------------------------------------------------------
+    # conv2d_grouped (the FRCONV engine's hot path)
+    # ------------------------------------------------------------------
+    def conv2d_grouped(
+        self,
+        x: np.ndarray,
+        w_flat: np.ndarray,
+        kh: int,
+        kw: int,
+        stride: int,
+        padding: int,
+    ) -> tuple[np.ndarray, np.ndarray, tuple[int, int, int, int]]:
+        """Grouped training-path forward.
+
+        x is (N, G, Ci, H, W), w_flat is (G, Co, Ci*kh*kw); returns
+        (out (N, G, Co, Ho, Wo), cols (N, G, K, P), dims).
+        """
+        n, groups, ci, h, w = x.shape
+        co = w_flat.shape[1]
+        cols, dims = self.im2col(x.reshape(n * groups, ci, h, w), kh, kw, stride, padding)
+        ho, wo = dims[2], dims[3]
+        cols = cols.reshape(n, groups, ci * kh * kw, ho * wo)
+        out = (w_flat[None] @ cols).reshape(n, groups, co, ho, wo)
+        return out, cols, dims
+
+    def conv2d_grouped_infer(
+        self,
+        x: np.ndarray,
+        w_flat: np.ndarray,
+        kh: int,
+        kw: int,
+        stride: int,
+        padding: int,
+    ) -> np.ndarray:
+        out, _, _ = self.conv2d_grouped(x, w_flat, kh, kw, stride, padding)
+        return out
+
+    def conv2d_grouped_grad_weight(
+        self, grad_flat: np.ndarray, cols: np.ndarray
+    ) -> np.ndarray:
+        """dL/dW from grad (N, G, Co, P) and cols (N, G, K, P) -> (G, Co, K)."""
+        return np.einsum("ngop,ngkp->gok", grad_flat, cols)
+
+    def conv2d_grouped_grad_input(
+        self,
+        w_flat: np.ndarray,
+        grad_flat: np.ndarray,
+        x_shape: tuple[int, int, int, int, int],
+        kh: int,
+        kw: int,
+        stride: int,
+        padding: int,
+        ho: int,
+        wo: int,
+    ) -> np.ndarray:
+        n, groups, ci, h, w = x_shape
+        dcols = (np.swapaxes(w_flat, -1, -2)[None] @ grad_flat).reshape(
+            n * groups, ci * kh * kw, ho * wo
+        )
+        dx = self.col2im(dcols, (n * groups, ci, h, w), kh, kw, stride, padding, ho, wo)
+        return dx.reshape(x_shape)
+
+    # ------------------------------------------------------------------
+    # pooling
+    # ------------------------------------------------------------------
+    def avg_pool2d(self, x: np.ndarray, kernel: int) -> np.ndarray:
+        """Non-overlapping average pooling with stride = kernel."""
+        n, c, h, w = x.shape
+        k = kernel
+        return x.reshape(n, c, h // k, k, w // k, k).mean(axis=(3, 5))
+
+    def avg_pool2d_grad(self, grad: np.ndarray, kernel: int) -> np.ndarray:
+        """VJP of :meth:`avg_pool2d`: spread each cell over its window."""
+        k = kernel
+        return np.repeat(np.repeat(grad, k, axis=2), k, axis=3) / (k * k)
+
+
+class NumpyBackend(Backend):
+    """The reference single-call numpy/BLAS backend (seed behavior)."""
+
+    name = "numpy"
+
+
+class ThreadedBackend(Backend):
+    """Tiles the batch/group axis of the hot primitives across threads.
+
+    Each worker computes a contiguous batch span with the *reference*
+    kernels into a disjoint slice of a preallocated output, so the split
+    never changes any element's floating-point reduction order — outputs
+    and input gradients are bit-identical to :class:`NumpyBackend`.  The
+    weight gradient reduces across the batch and is therefore left on
+    the single-call reference path (see
+    :meth:`Backend.conv2d_grad_weight`).
+
+    Args:
+        jobs: Worker threads; defaults to the usable CPU count.
+    """
+
+    name = "threaded"
+
+    # Below this many output elements a primitive runs serially — thread
+    # handoff costs more than the GEMM it would hide.
+    MIN_PARALLEL_ELEMENTS = 1 << 14
+
+    def __init__(self, jobs: int | None = None) -> None:
+        if jobs is None:
+            try:
+                jobs = len(os.sched_getaffinity(0))
+            except AttributeError:  # pragma: no cover - non-Linux
+                jobs = os.cpu_count() or 1
+        if jobs < 1:
+            raise ValueError(f"jobs must be a positive integer, got {jobs}")
+        self.jobs = int(jobs)
+        self._pool: ThreadPoolExecutor | None = None
+        self._pool_lock = threading.Lock()
+        # Set inside pool workers: primitives re-entered from a worker
+        # (the reference implementations dispatch virtually, e.g.
+        # conv2d_grouped -> self.im2col) must run serially, or they
+        # would submit sub-tasks to the very pool whose workers are
+        # blocked waiting on them — a starvation deadlock.
+        self._in_worker = threading.local()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ThreadedBackend(jobs={self.jobs})"
+
+    # -- worker plumbing ------------------------------------------------
+    def _spans(self, n: int, work: int) -> list[tuple[int, int]]:
+        """Split range(n) into near-equal contiguous spans, or one span
+        when the job is too small for threading to pay off."""
+        if (
+            self.jobs == 1
+            or n <= 1
+            or work < self.MIN_PARALLEL_ELEMENTS
+            or getattr(self._in_worker, "active", False)
+        ):
+            return [(0, n)]
+        parts = min(self.jobs, n)
+        bounds = np.linspace(0, n, parts + 1, dtype=int)
+        return [(int(a), int(b)) for a, b in zip(bounds[:-1], bounds[1:]) if a < b]
+
+    def _run(self, fn: Callable[[tuple[int, int]], None], spans: Sequence[tuple[int, int]]) -> None:
+        if len(spans) == 1:
+            fn(spans[0])
+            return
+        if self._pool is None:
+            with self._pool_lock:
+                if self._pool is None:
+                    self._pool = ThreadPoolExecutor(
+                        max_workers=self.jobs, thread_name_prefix="repro-backend"
+                    )
+
+        def in_worker(span: tuple[int, int]) -> None:
+            self._in_worker.active = True
+            try:
+                fn(span)
+            finally:
+                self._in_worker.active = False
+
+        # list() propagates the first worker exception, if any.
+        list(self._pool.map(in_worker, spans))
+
+    # -- primitives -----------------------------------------------------
+    def im2col(self, x, kh, kw, stride, padding):
+        n, c, h, w = x.shape
+        dims = conv_geometry(h, w, kh, kw, stride, padding)
+        ho, wo = dims[2], dims[3]
+        spans = self._spans(n, n * c * kh * kw * ho * wo)
+        if len(spans) == 1:
+            return Backend.im2col(self, x, kh, kw, stride, padding)
+        cols = np.empty((n, c * kh * kw, ho * wo), dtype=x.dtype)
+
+        def fill(span: tuple[int, int]) -> None:
+            i0, i1 = span
+            cols[i0:i1] = Backend.im2col(self, x[i0:i1], kh, kw, stride, padding)[0]
+
+        self._run(fill, spans)
+        return cols, dims
+
+    def col2im(self, dcols, x_shape, kh, kw, stride, padding, ho, wo):
+        n = x_shape[0]
+        spans = self._spans(n, int(np.prod(x_shape)))
+        if len(spans) == 1:
+            return Backend.col2im(self, dcols, x_shape, kh, kw, stride, padding, ho, wo)
+        dx = np.empty(x_shape)
+
+        def fill(span: tuple[int, int]) -> None:
+            i0, i1 = span
+            dx[i0:i1] = Backend.col2im(
+                self, dcols[i0:i1], (i1 - i0, *x_shape[1:]), kh, kw, stride, padding, ho, wo
+            )
+
+        self._run(fill, spans)
+        return dx
+
+    def matmul(self, a, b):
+        if a.ndim == 2 and b.ndim == 2:
+            spans = self._spans(a.shape[0], a.shape[0] * b.shape[1])
+            if len(spans) == 1:
+                return np.matmul(a, b)
+            out = np.empty((a.shape[0], b.shape[1]), dtype=np.result_type(a, b))
+
+            def fill(span: tuple[int, int]) -> None:
+                i0, i1 = span
+                np.matmul(a[i0:i1], b, out=out[i0:i1])
+
+            self._run(fill, spans)
+            return out
+        if a.ndim >= 3 and (b.ndim < 3 or b.shape[:-2] in ((1,), a.shape[:-2])):
+            # b is either unbatched/broadcast (shared by every span) or
+            # batched exactly like a (sliced alongside it).
+            sliced_b = b.ndim == a.ndim and b.shape[:-2] == a.shape[:-2]
+            lead = int(np.prod(a.shape[:-2]))
+            spans = self._spans(a.shape[0], lead * a.shape[-2] * b.shape[-1])
+            if len(spans) > 1:
+                out = np.empty((*a.shape[:-1], b.shape[-1]), dtype=np.result_type(a, b))
+
+                def fill(span: tuple[int, int]) -> None:
+                    i0, i1 = span
+                    np.matmul(a[i0:i1], b[i0:i1] if sliced_b else b, out=out[i0:i1])
+
+                self._run(fill, spans)
+                return out
+        return np.matmul(a, b)
+
+    def conv2d(self, x, w_mat, kh, kw, stride, padding):
+        n, c, h, w = x.shape
+        co = w_mat.shape[0]
+        dims = conv_geometry(h, w, kh, kw, stride, padding)
+        ho, wo = dims[2], dims[3]
+        spans = self._spans(n, n * co * ho * wo)
+        if len(spans) == 1:
+            return Backend.conv2d(self, x, w_mat, kh, kw, stride, padding)
+        cols = np.empty((n, c * kh * kw, ho * wo), dtype=x.dtype)
+        out = np.empty((n, co, ho, wo), dtype=np.result_type(x, w_mat))
+
+        def work(span: tuple[int, int]) -> None:
+            i0, i1 = span
+            part, _ = Backend.im2col(self, x[i0:i1], kh, kw, stride, padding)
+            cols[i0:i1] = part
+            out[i0:i1] = (w_mat @ part).reshape(i1 - i0, co, ho, wo)
+
+        self._run(work, spans)
+        return out, cols, dims
+
+    def conv2d_infer(self, x, w_mat, kh, kw, stride, padding):
+        n, c, h, w = x.shape
+        co = w_mat.shape[0]
+        dims = conv_geometry(h, w, kh, kw, stride, padding)
+        ho, wo = dims[2], dims[3]
+        spans = self._spans(n, n * co * ho * wo)
+        if len(spans) == 1:
+            return Backend.conv2d_infer(self, x, w_mat, kh, kw, stride, padding)
+        out = np.empty((n, co, ho, wo), dtype=np.result_type(x, w_mat))
+
+        def work(span: tuple[int, int]) -> None:
+            i0, i1 = span
+            out[i0:i1] = Backend.conv2d_infer(self, x[i0:i1], w_mat, kh, kw, stride, padding)
+
+        self._run(work, spans)
+        return out
+
+    def conv2d_grad_input(self, w_mat, grad_flat, x_shape, kh, kw, stride, padding, ho, wo):
+        n = x_shape[0]
+        spans = self._spans(n, int(np.prod(x_shape)))
+        if len(spans) == 1:
+            return Backend.conv2d_grad_input(
+                self, w_mat, grad_flat, x_shape, kh, kw, stride, padding, ho, wo
+            )
+        dx = np.empty(x_shape)
+
+        def work(span: tuple[int, int]) -> None:
+            i0, i1 = span
+            dx[i0:i1] = Backend.conv2d_grad_input(
+                self,
+                w_mat,
+                grad_flat[i0:i1],
+                (i1 - i0, *x_shape[1:]),
+                kh,
+                kw,
+                stride,
+                padding,
+                ho,
+                wo,
+            )
+
+        self._run(work, spans)
+        return dx
+
+    def _grouped_spans(
+        self, n: int, groups: int, work: int
+    ) -> tuple[int, list[tuple[int, int]]]:
+        """(axis, spans) for grouped primitives: prefer the batch axis,
+        fall back to the group axis when the batch is too short to split
+        (so batch-1 FRCONV inference still parallelizes its m products)."""
+        if n > 1 or groups <= 1:
+            return 0, self._spans(n, work)
+        return 1, self._spans(groups, work)
+
+    def conv2d_grouped(self, x, w_flat, kh, kw, stride, padding):
+        n, groups, ci, h, w = x.shape
+        co = w_flat.shape[1]
+        dims = conv_geometry(h, w, kh, kw, stride, padding)
+        ho, wo = dims[2], dims[3]
+        axis, spans = self._grouped_spans(n, groups, n * groups * co * ho * wo)
+        if len(spans) == 1:
+            return Backend.conv2d_grouped(self, x, w_flat, kh, kw, stride, padding)
+        cols = np.empty((n, groups, ci * kh * kw, ho * wo), dtype=x.dtype)
+        out = np.empty((n, groups, co, ho, wo), dtype=np.result_type(x, w_flat))
+
+        def work(span: tuple[int, int]) -> None:
+            i0, i1 = span
+            xs = x[i0:i1] if axis == 0 else x[:, i0:i1]
+            ws = w_flat if axis == 0 else w_flat[i0:i1]
+            part_out, part_cols, _ = Backend.conv2d_grouped(
+                self, xs, ws, kh, kw, stride, padding
+            )
+            if axis == 0:
+                cols[i0:i1], out[i0:i1] = part_cols, part_out
+            else:
+                cols[:, i0:i1], out[:, i0:i1] = part_cols, part_out
+
+        self._run(work, spans)
+        return out, cols, dims
+
+    def conv2d_grouped_infer(self, x, w_flat, kh, kw, stride, padding):
+        n, groups, ci, h, w = x.shape
+        co = w_flat.shape[1]
+        dims = conv_geometry(h, w, kh, kw, stride, padding)
+        ho, wo = dims[2], dims[3]
+        axis, spans = self._grouped_spans(n, groups, n * groups * co * ho * wo)
+        if len(spans) == 1:
+            return Backend.conv2d_grouped_infer(self, x, w_flat, kh, kw, stride, padding)
+        out = np.empty((n, groups, co, ho, wo), dtype=np.result_type(x, w_flat))
+
+        def work(span: tuple[int, int]) -> None:
+            i0, i1 = span
+            xs = x[i0:i1] if axis == 0 else x[:, i0:i1]
+            ws = w_flat if axis == 0 else w_flat[i0:i1]
+            part = Backend.conv2d_grouped_infer(self, xs, ws, kh, kw, stride, padding)
+            if axis == 0:
+                out[i0:i1] = part
+            else:
+                out[:, i0:i1] = part
+
+        self._run(work, spans)
+        return out
+
+    def conv2d_grouped_grad_input(
+        self, w_flat, grad_flat, x_shape, kh, kw, stride, padding, ho, wo
+    ):
+        n, groups = x_shape[0], x_shape[1]
+        axis, spans = self._grouped_spans(n, groups, int(np.prod(x_shape)))
+        if len(spans) == 1:
+            return Backend.conv2d_grouped_grad_input(
+                self, w_flat, grad_flat, x_shape, kh, kw, stride, padding, ho, wo
+            )
+        dx = np.empty(x_shape)
+
+        def work(span: tuple[int, int]) -> None:
+            i0, i1 = span
+            if axis == 0:
+                dx[i0:i1] = Backend.conv2d_grouped_grad_input(
+                    self, w_flat, grad_flat[i0:i1], (i1 - i0, *x_shape[1:]),
+                    kh, kw, stride, padding, ho, wo,
+                )
+            else:
+                dx[:, i0:i1] = Backend.conv2d_grouped_grad_input(
+                    self, w_flat[i0:i1], grad_flat[:, i0:i1],
+                    (n, i1 - i0, *x_shape[2:]), kh, kw, stride, padding, ho, wo,
+                )
+
+        self._run(work, spans)
+        return dx
+
+
+class BlockedBackend(Backend):
+    """Batch-blocked inference GEMMs with preallocated im2col scratch.
+
+    The no-grad convolutions never materialize the full im2col matrix:
+    the batch (times groups, for grouped conv) is processed ``block``
+    samples at a time, each block's windows are copied into a reused
+    scratch buffer, and one GEMM writes that block of the output.  Peak
+    im2col memory drops from ``N*K*Ho*Wo`` to ``block*K*Ho*Wo`` doubles,
+    and the scratch is allocated once and recycled across blocks *and*
+    calls, so steady-state serving does no large allocations at all.
+
+    Numpy's batched matmul runs one BLAS GEMM per 2-D batch slice, so
+    slicing the batch axis leaves every GEMM call — and therefore every
+    output bit — identical to :class:`NumpyBackend`.  (Column-blocking
+    was rejected here: tiny GEMMs can take a different BLAS micro-kernel
+    with a different accumulation order.)
+
+    Training-path calls need the full column matrix alive for the weight
+    VJP and therefore fall back to the reference path unchanged.
+
+    Args:
+        block: Samples per GEMM block (default 1 — minimum memory).
+    """
+
+    name = "blocked"
+
+    def __init__(self, block: int = 1) -> None:
+        if block < 1:
+            raise ValueError(f"block must be a positive integer, got {block}")
+        self.block = int(block)
+        # Scratch is per thread: one shared instance (e.g. selected via
+        # REPRO_BACKEND) may serve concurrent Predictors, and a shared
+        # buffer would let one thread overwrite windows another thread's
+        # GEMM is still reading.
+        self._local = threading.local()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"BlockedBackend(block={self.block})"
+
+    def _scratch(self, shape: tuple[int, ...], dtype: np.dtype) -> np.ndarray:
+        """A reusable uninitialized buffer; one live per (shape, dtype)
+        per thread."""
+        buffers: dict = getattr(self._local, "buffers", None)
+        if buffers is None:
+            buffers = self._local.buffers = {}
+        key = (shape, np.dtype(dtype).str)
+        buf = buffers.get(key)
+        if buf is None:
+            if len(buffers) >= 16:  # bound the pool across model shapes
+                buffers.clear()
+            buf = np.empty(shape, dtype=dtype)
+            buffers[key] = buf
+        return buf
+
+    def _block_cols(
+        self, xp: np.ndarray, kh: int, kw: int, stride: int, ho: int, wo: int
+    ) -> np.ndarray:
+        """im2col of a padded input block into the scratch pool."""
+        n, c = xp.shape[0], xp.shape[1]
+        s0, s1, s2, s3 = xp.strides
+        windows = np.lib.stride_tricks.as_strided(
+            xp,
+            shape=(n, c, kh, kw, ho, wo),
+            strides=(s0, s1, s2, s3, s2 * stride, s3 * stride),
+            writeable=False,
+        )
+        buf = self._scratch((n, c, kh, kw, ho, wo), xp.dtype)
+        np.copyto(buf, windows)
+        return buf.reshape(n, c * kh * kw, ho * wo)
+
+    def conv2d_infer(self, x, w_mat, kh, kw, stride, padding):
+        n, c, h, w = x.shape
+        if n <= self.block:
+            return Backend.conv2d_infer(self, x, w_mat, kh, kw, stride, padding)
+        co = w_mat.shape[0]
+        _, _, ho, wo = conv_geometry(h, w, kh, kw, stride, padding)
+        pad = ((0, 0), (0, 0), (padding, padding), (padding, padding))
+        out = np.empty((n, co, ho, wo), dtype=np.result_type(x, w_mat))
+        for i0 in range(0, n, self.block):
+            i1 = min(n, i0 + self.block)
+            xb = np.pad(x[i0:i1], pad) if padding else x[i0:i1]
+            cols = self._block_cols(xb, kh, kw, stride, ho, wo)
+            out[i0:i1] = (w_mat @ cols).reshape(i1 - i0, co, ho, wo)
+        return out
+
+    def conv2d_grouped_infer(self, x, w_flat, kh, kw, stride, padding):
+        n, groups, ci, h, w = x.shape
+        if n <= self.block:
+            return Backend.conv2d_grouped_infer(self, x, w_flat, kh, kw, stride, padding)
+        co = w_flat.shape[1]
+        _, _, ho, wo = conv_geometry(h, w, kh, kw, stride, padding)
+        pad = ((0, 0), (0, 0), (padding, padding), (padding, padding))
+        k = ci * kh * kw
+        out = np.empty((n, groups, co, ho, wo), dtype=np.result_type(x, w_flat))
+        for i0 in range(0, n, self.block):
+            i1 = min(n, i0 + self.block)
+            xb = x[i0:i1].reshape((i1 - i0) * groups, ci, h, w)
+            xb = np.pad(xb, pad) if padding else xb
+            cols = self._block_cols(xb, kh, kw, stride, ho, wo)
+            cols = cols.reshape(i1 - i0, groups, k, ho * wo)
+            out[i0:i1] = (w_flat[None] @ cols).reshape(i1 - i0, groups, co, ho, wo)
+        return out
+
+
+# ----------------------------------------------------------------------
+# Registry and selection
+# ----------------------------------------------------------------------
+_REGISTRY: dict[str, Callable[[str | None], Backend]] = {}
+
+
+def register_backend(name: str, factory: Callable[[str | None], Backend]) -> None:
+    """Register a backend factory under ``name``.
+
+    ``factory(arg)`` receives the text after ``:`` in a spec string
+    (``None`` when absent) and returns a :class:`Backend` instance.
+    """
+    _REGISTRY[name.lower()] = factory
+
+
+def available_backends() -> list[str]:
+    """Registered backend names, sorted."""
+    return sorted(_REGISTRY)
+
+
+def make_backend(spec: "Backend | str") -> Backend:
+    """Build a backend from a ``name[:arg]`` spec (pass-through for instances)."""
+    if isinstance(spec, Backend):
+        return spec
+    name, sep, arg = str(spec).partition(":")
+    name = name.strip().lower()
+    factory = _REGISTRY.get(name)
+    if factory is None:
+        raise ValueError(
+            f"unknown backend {name!r}; available: {', '.join(available_backends())}"
+        )
+    try:
+        return factory(arg.strip() if sep else None)
+    except ValueError as exc:
+        raise ValueError(f"bad backend spec {spec!r}: {exc}") from None
+
+
+register_backend("numpy", lambda arg: NumpyBackend())
+register_backend(
+    "threaded", lambda arg: ThreadedBackend(jobs=int(arg)) if arg else ThreadedBackend()
+)
+register_backend(
+    "blocked", lambda arg: BlockedBackend(block=int(arg)) if arg else BlockedBackend()
+)
+
+
+_DEFAULT = NumpyBackend()
+_SPEC_INSTANCES: dict[str, Backend] = {}
+_SPEC_LOCK = threading.Lock()
+
+
+def get_backend(spec: "Backend | str") -> Backend:
+    """Like :func:`make_backend`, but returns one shared instance per
+    spec string — so repeated lookups (the env-var path, Predictors
+    constructed per request) reuse the same thread pool / scratch state
+    instead of rebuilding them.  Backends are thread-safe, so sharing
+    is sound; call :func:`make_backend` when isolation is wanted.
+    """
+    if isinstance(spec, Backend):
+        return spec
+    with _SPEC_LOCK:
+        backend = _SPEC_INSTANCES.get(spec)
+        if backend is None:
+            backend = make_backend(spec)
+            _SPEC_INSTANCES[spec] = backend
+    return backend
+
+
+class _ActiveStack(threading.local):
+    def __init__(self) -> None:
+        self.stack: list[Backend] = []
+
+
+_ACTIVE = _ActiveStack()
+
+
+def default_backend() -> Backend:
+    """The process-wide fallback backend (:class:`NumpyBackend`)."""
+    return _DEFAULT
+
+
+def current_backend() -> Backend:
+    """The active backend on this thread.
+
+    Precedence: innermost :func:`use_backend` context > the
+    ``REPRO_BACKEND`` environment variable > :func:`default_backend`.
+    """
+    if _ACTIVE.stack:
+        return _ACTIVE.stack[-1]
+    spec = os.environ.get(BACKEND_ENV_VAR)
+    if spec:
+        try:
+            return get_backend(spec)
+        except ValueError as exc:
+            raise ValueError(f"invalid {BACKEND_ENV_VAR}: {exc}") from None
+    return _DEFAULT
+
+
+class use_backend:
+    """Thread-locally activate a backend for a ``with`` block.
+
+    Accepts an instance or a spec string::
+
+        with use_backend(ThreadedBackend(jobs=4)):
+            predictor(images)
+        with use_backend("blocked:2048"):
+            model(x)
+
+    Nested contexts shadow outer ones; the context object is reusable
+    but not reentrant-safe across threads (each thread keeps its own
+    stack, so contexts opened on one thread never leak into another).
+    """
+
+    def __init__(self, backend: "Backend | str") -> None:
+        self.backend = get_backend(backend)
+
+    def __enter__(self) -> Backend:
+        _ACTIVE.stack.append(self.backend)
+        return self.backend
+
+    def __exit__(self, *exc) -> None:
+        _ACTIVE.stack.pop()

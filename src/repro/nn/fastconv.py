@@ -5,7 +5,11 @@ input and output ring element; the convolution itself runs as m
 component-wise (grouped) convolutions in the transformed domain.  All m
 products execute as one :func:`~repro.nn.functional.conv2d_grouped` call
 — a single im2col plus one batched GEMM — rather than a Python loop of
-per-product convolutions.
+per-product convolutions.  That call dispatches through the active
+:mod:`repro.nn.backend`, so the same FRCONV graph runs on the serial
+numpy path, the thread-tiled path or the cache-blocked path unchanged
+(the paper's point that eq. 12 maps onto different execution
+substrates).
 
 ``FastRingConv2d`` is numerically identical to :class:`RingConv2d` with
 the same ring weights (Section IV-C: "each RCONV layer can be efficiently

@@ -1,16 +1,20 @@
 """Convolution and pixel-(un)shuffle primitives with hand-written VJPs.
 
-The 2-D convolution uses im2col with numpy stride tricks; its backward
-pass is a col2im scatter-add.  These are the workhorses of the training
-substrate — everything else composes from :class:`~repro.nn.tensor.Tensor`
-primitives.
+The heavy array kernels (im2col/col2im, the convolution GEMMs, pooling)
+live behind the pluggable :mod:`repro.nn.backend` protocol; this module
+owns the autodiff wiring.  Every call dispatches to the backend that is
+active *at forward time* (see :func:`repro.nn.backend.current_backend`),
+and the backward closure captures that same backend so a graph built
+under ``use_backend(...)`` backpropagates consistently even after the
+context has exited.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from .tensor import Tensor, as_tensor
+from .backend import current_backend
+from .tensor import Tensor, as_tensor, is_grad_enabled
 
 __all__ = [
     "im2col",
@@ -28,25 +32,12 @@ __all__ = [
 def im2col(
     x: np.ndarray, kh: int, kw: int, stride: int, padding: int
 ) -> tuple[np.ndarray, tuple[int, int, int, int]]:
-    """Unfold sliding windows into columns.
+    """Unfold sliding windows into columns (active-backend dispatch).
 
     Returns:
         cols of shape (N, C*kh*kw, Ho*Wo) and (Hp, Wp, Ho, Wo).
     """
-    if padding:
-        x = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
-    n, c, hp, wp = x.shape
-    ho = (hp - kh) // stride + 1
-    wo = (wp - kw) // stride + 1
-    s0, s1, s2, s3 = x.strides
-    windows = np.lib.stride_tricks.as_strided(
-        x,
-        shape=(n, c, kh, kw, ho, wo),
-        strides=(s0, s1, s2, s3, s2 * stride, s3 * stride),
-        writeable=False,
-    )
-    cols = np.ascontiguousarray(windows).reshape(n, c * kh * kw, ho * wo)
-    return cols, (hp, wp, ho, wo)
+    return current_backend().im2col(x, kh, kw, stride, padding)
 
 
 def col2im(
@@ -60,18 +51,27 @@ def col2im(
     wo: int,
 ) -> np.ndarray:
     """Adjoint of im2col: scatter-add column gradients back to the input."""
-    n, c, h, w = x_shape
-    hp, wp = h + 2 * padding, w + 2 * padding
-    dxp = np.zeros((n, c, hp, wp))
-    dcols = dcols.reshape(n, c, kh, kw, ho, wo)
-    for i in range(kh):
-        for j in range(kw):
-            dxp[:, :, i : i + stride * ho : stride, j : j + stride * wo : stride] += dcols[
-                :, :, i, j
-            ]
-    if padding:
-        return dxp[:, :, padding:-padding, padding:-padding]
-    return dxp
+    return current_backend().col2im(dcols, x_shape, kh, kw, stride, padding, ho, wo)
+
+
+def _check_conv_geometry(
+    name: str, h: int, w: int, kh: int, kw: int, stride: int, padding: int
+) -> None:
+    """Reject bad stride/padding/kernel-vs-input combinations by name."""
+    if not isinstance(stride, (int, np.integer)) or stride < 1:
+        raise ValueError(f"{name}: stride must be a positive integer, got {stride!r}")
+    if not isinstance(padding, (int, np.integer)) or padding < 0:
+        raise ValueError(f"{name}: padding must be a non-negative integer, got {padding!r}")
+    if kh > h + 2 * padding:
+        raise ValueError(
+            f"{name}: kernel height {kh} exceeds padded input height "
+            f"{h + 2 * padding} (H={h} + 2*padding={padding})"
+        )
+    if kw > w + 2 * padding:
+        raise ValueError(
+            f"{name}: kernel width {kw} exceeds padded input width "
+            f"{w + 2 * padding} (W={w} + 2*padding={padding})"
+        )
 
 
 def conv2d(
@@ -84,24 +84,52 @@ def conv2d(
     """2-D cross-correlation: x (N,C,H,W) * weight (Co,Ci,kh,kw) -> (N,Co,Ho,Wo)."""
     x = as_tensor(x)
     weight = as_tensor(weight)
+    if x.ndim != 4:
+        raise ValueError(
+            f"conv2d: input must be 4-D (N, C, H, W), got {x.ndim}-D shape {x.shape}"
+        )
+    if weight.ndim != 4:
+        raise ValueError(
+            f"conv2d: weight must be 4-D (Co, Ci, kh, kw), got {weight.ndim}-D "
+            f"shape {weight.shape}"
+        )
     n, c, h, w = x.shape
     co, ci, kh, kw = weight.shape
     if ci != c:
-        raise ValueError(f"channel mismatch: input {c}, weight expects {ci}")
-    cols, (hp, wp, ho, wo) = im2col(x.data, kh, kw, stride, padding)
-    out = (weight.data.reshape(co, -1) @ cols).reshape(n, co, ho, wo)
+        raise ValueError(
+            f"conv2d: input has {c} channels but weight expects Ci={ci} "
+            f"(input {x.shape}, weight {weight.shape})"
+        )
+    _check_conv_geometry("conv2d", h, w, kh, kw, stride, padding)
+    if bias is not None and bias.size != co:
+        raise ValueError(
+            f"conv2d: bias has {bias.size} entries but the convolution produces "
+            f"Co={co} output channels"
+        )
+    backend = current_backend()
+    w_mat = weight.data.reshape(co, -1)
+    parents = (x, weight) if bias is None else (x, weight, bias)
+    if not (is_grad_enabled() and any(p.requires_grad for p in parents)):
+        out = backend.conv2d_infer(x.data, w_mat, kh, kw, stride, padding)
+        if bias is not None:
+            out = out + bias.data.reshape(1, co, 1, 1)
+        return Tensor(out)
+
+    out, cols, (hp, wp, ho, wo) = backend.conv2d(x.data, w_mat, kh, kw, stride, padding)
     if bias is not None:
         out = out + bias.data.reshape(1, co, 1, 1)
-    parents = (x, weight) if bias is None else (x, weight, bias)
 
     def backward(grad: np.ndarray) -> None:
         grad_flat = grad.reshape(n, co, ho * wo)
         if weight.requires_grad:
-            dw = np.einsum("nop,nkp->ok", grad_flat, cols).reshape(weight.shape)
+            dw = backend.conv2d_grad_weight(grad_flat, cols).reshape(weight.shape)
             weight._accumulate(dw)
         if x.requires_grad:
-            dcols = np.einsum("ok,nop->nkp", weight.data.reshape(co, -1), grad_flat)
-            x._accumulate(col2im(dcols, x.shape, kh, kw, stride, padding, ho, wo))
+            x._accumulate(
+                backend.conv2d_grad_input(
+                    w_mat, grad_flat, x.shape, kh, kw, stride, padding, ho, wo
+                )
+            )
         if bias is not None and bias.requires_grad:
             bias._accumulate(grad.sum(axis=(0, 2, 3)))
 
@@ -122,37 +150,64 @@ def conv2d_grouped(
     group ``p`` of the input and weights.  The group axis is folded into
     the im2col batch, so all G convolutions share a single window
     extraction and a single batched matmul — this is the FRCONV engine's
-    hot path (the m component-wise products of paper eq. 12).
+    hot path (the m component-wise products of paper eq. 12), and the
+    primitive every :class:`~repro.nn.backend.Backend` accelerates.
     """
     x = as_tensor(x)
     weight = as_tensor(weight)
+    if x.ndim != 5:
+        raise ValueError(
+            f"conv2d_grouped: input must be 5-D (N, G, Ci, H, W), got {x.ndim}-D "
+            f"shape {x.shape}"
+        )
+    if weight.ndim != 5:
+        raise ValueError(
+            f"conv2d_grouped: weight must be 5-D (G, Co, Ci, kh, kw), got "
+            f"{weight.ndim}-D shape {weight.shape}"
+        )
     n, groups, ci, h, w = x.shape
     gw, co, ciw, kh, kw = weight.shape
     if gw != groups:
-        raise ValueError(f"group mismatch: input {groups}, weight {gw}")
+        raise ValueError(
+            f"conv2d_grouped: input has {groups} groups but weight has G={gw}"
+        )
     if ciw != ci:
-        raise ValueError(f"channel mismatch: input {ci}, weight expects {ciw}")
-    cols, (hp, wp, ho, wo) = im2col(
-        x.data.reshape(n * groups, ci, h, w), kh, kw, stride, padding
-    )
-    cols = cols.reshape(n, groups, ci * kh * kw, ho * wo)
+        raise ValueError(
+            f"conv2d_grouped: input has {ci} channels per group but weight "
+            f"expects Ci={ciw}"
+        )
+    _check_conv_geometry("conv2d_grouped", h, w, kh, kw, stride, padding)
+    if bias is not None and bias.size != groups * co:
+        raise ValueError(
+            f"conv2d_grouped: bias has {bias.size} entries but the convolution "
+            f"produces G*Co={groups * co} output channels"
+        )
+    backend = current_backend()
     w_flat = weight.data.reshape(groups, co, ci * kh * kw)
-    out = (w_flat[None] @ cols).reshape(n, groups, co, ho, wo)
+    parents = (x, weight) if bias is None else (x, weight, bias)
+    if not (is_grad_enabled() and any(p.requires_grad for p in parents)):
+        out = backend.conv2d_grouped_infer(x.data, w_flat, kh, kw, stride, padding)
+        if bias is not None:
+            out = out + bias.data.reshape(1, groups, co, 1, 1)
+        return Tensor(out)
+
+    out, cols, (hp, wp, ho, wo) = backend.conv2d_grouped(
+        x.data, w_flat, kh, kw, stride, padding
+    )
     if bias is not None:
         out = out + bias.data.reshape(1, groups, co, 1, 1)
-    parents = (x, weight) if bias is None else (x, weight, bias)
 
     def backward(grad: np.ndarray) -> None:
         grad_flat = grad.reshape(n, groups, co, ho * wo)
         if weight.requires_grad:
-            dw = np.einsum("ngop,ngkp->gok", grad_flat, cols).reshape(weight.shape)
+            dw = backend.conv2d_grouped_grad_weight(grad_flat, cols).reshape(weight.shape)
             weight._accumulate(dw)
         if x.requires_grad:
-            dcols = (np.swapaxes(w_flat, -1, -2)[None] @ grad_flat).reshape(
-                n * groups, ci * kh * kw, ho * wo
+            x._accumulate(
+                backend.conv2d_grouped_grad_input(
+                    w_flat, grad_flat, x.shape, kh, kw, stride, padding, ho, wo
+                )
             )
-            dx = col2im(dcols, (n * groups, ci, h, w), kh, kw, stride, padding, ho, wo)
-            x._accumulate(dx.reshape(x.shape))
         if bias is not None and bias.requires_grad:
             bias._accumulate(grad.sum(axis=(0, 3, 4)))
 
@@ -252,13 +307,12 @@ def avg_pool2d(x: Tensor, kernel: int) -> Tensor:
     k = kernel
     if h % k or w % k:
         raise ValueError("spatial dims must be divisible by the kernel")
-    ho, wo = h // k, w // k
-    out = x.data.reshape(n, c, ho, k, wo, k).mean(axis=(3, 5))
+    backend = current_backend()
+    out = backend.avg_pool2d(x.data, k)
 
     def backward(grad: np.ndarray) -> None:
         if x.requires_grad:
-            g = np.repeat(np.repeat(grad, k, axis=2), k, axis=3) / (k * k)
-            x._accumulate(g)
+            x._accumulate(backend.avg_pool2d_grad(grad, k))
 
     return Tensor._make(out, (x,), backward)
 

@@ -18,10 +18,12 @@ bicubic skip) applies unchanged.
 
 from __future__ import annotations
 
+import contextlib
 import dataclasses
 
 import numpy as np
 
+from .backend import Backend, get_backend, use_backend
 from .module import Module
 from .tensor import Tensor, no_grad
 
@@ -107,6 +109,11 @@ class Predictor:
         plan: Tiling geometry; derived via :func:`plan_for_model` when
             omitted.
         tile: Convenience override for the derived plan's tile size.
+        backend: Kernel backend (instance or ``name[:arg]`` spec string)
+            activated around every forward pass.  When omitted, forwards
+            run on whatever backend is ambient at call time (the
+            ``use_backend`` context / ``REPRO_BACKEND`` precedence of
+            :mod:`repro.nn.backend`).
     """
 
     def __init__(
@@ -115,12 +122,17 @@ class Predictor:
         batch_size: int = 8,
         plan: TilingPlan | None = None,
         tile: int | None = None,
+        backend: Backend | str | None = None,
     ) -> None:
         if batch_size <= 0:
             raise ValueError("batch_size must be positive")
         self.model = model
         self.batch_size = batch_size
         self.plan = plan if plan is not None else plan_for_model(model, tile=tile or 48)
+        # get_backend: spec strings resolve to one shared instance, so
+        # per-request Predictors reuse thread pools instead of spawning
+        # new ones.
+        self.backend = get_backend(backend) if backend is not None else None
 
     # ------------------------------------------------------------------
     def __call__(self, inputs: np.ndarray) -> np.ndarray:
@@ -149,7 +161,10 @@ class Predictor:
 
     # ------------------------------------------------------------------
     def _forward(self, arr: np.ndarray) -> np.ndarray:
-        with no_grad():
+        activate = (
+            use_backend(self.backend) if self.backend is not None else contextlib.nullcontext()
+        )
+        with activate, no_grad():
             return self.model(Tensor(arr)).data
 
     def _predict_batched(self, inputs: np.ndarray) -> np.ndarray:

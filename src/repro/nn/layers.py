@@ -5,6 +5,11 @@ reduction) and expands them to the isomorphic real filter bank on the
 forward pass, so Backprop needs no special treatment (Section IV-B).
 ``DirectionalReLU2d`` applies the paper's f_dir = U f_cw(V .) along the
 channel-tuple axis (Section III-E).
+
+All convolution/pooling layers (and ``Linear``'s matmul) execute through
+:mod:`repro.nn.functional`, which dispatches to the active
+:mod:`repro.nn.backend` — no layer calls a kernel directly, so swapping
+``use_backend(...)`` swaps the execution substrate for a whole model.
 """
 
 from __future__ import annotations

@@ -16,6 +16,8 @@ from typing import Callable, Iterable
 
 import numpy as np
 
+from . import backend as backend_module
+
 __all__ = ["Tensor", "Parameter", "as_tensor", "concat", "no_grad", "is_grad_enabled"]
 
 _GRAD_ENABLED = True
@@ -209,6 +211,14 @@ class Tensor:
 
     def __matmul__(self, other) -> "Tensor":
         other = as_tensor(other)
+        # The forward product dispatches through the active kernel
+        # backend (1-D operands keep plain numpy semantics); the VJPs
+        # stay on np.matmul so gradients are backend-invariant by
+        # construction.
+        if self.ndim >= 2 and other.ndim >= 2:
+            out_data = backend_module.current_backend().matmul(self.data, other.data)
+        else:
+            out_data = self.data @ other.data
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
@@ -220,7 +230,7 @@ class Tensor:
                     _unbroadcast(np.swapaxes(self.data, -1, -2) @ grad, other.shape)
                 )
 
-        return Tensor._make(self.data @ other.data, (self, other), backward)
+        return Tensor._make(out_data, (self, other), backward)
 
     # ------------------------------------------------------------------
     # shape ops

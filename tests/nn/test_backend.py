@@ -1,0 +1,328 @@
+"""Backend protocol tests: selection precedence and bit-exact parity.
+
+Every registered backend must produce **bit-identical** outputs and
+gradients to the reference :class:`NumpyBackend` — the acceptance bar
+for the pluggable-kernel API, since experiment artifacts and cache
+fingerprints must never depend on the execution substrate.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.nn.backend import (
+    BACKEND_ENV_VAR,
+    Backend,
+    BlockedBackend,
+    NumpyBackend,
+    ThreadedBackend,
+    available_backends,
+    current_backend,
+    default_backend,
+    get_backend,
+    make_backend,
+    use_backend,
+)
+from repro.nn.fastconv import FastRingConv2d
+from repro.nn.functional import avg_pool2d, conv2d, conv2d_grouped
+from repro.nn.inference import Predictor
+from repro.nn.tensor import Tensor, no_grad
+from repro.rings.catalog import get_ring
+
+
+def _threaded_forced() -> ThreadedBackend:
+    """A ThreadedBackend that parallelizes even tiny test problems."""
+    backend = ThreadedBackend(jobs=3)
+    backend.MIN_PARALLEL_ELEMENTS = 0
+    return backend
+
+
+def _alternative_backends() -> list[Backend]:
+    """Every non-reference backend, configured so its special path runs."""
+    return [_threaded_forced(), BlockedBackend(block=1), BlockedBackend(block=2)]
+
+
+def _alt_ids() -> list[str]:
+    return ["threaded:3", "blocked:1", "blocked:2"]
+
+
+# ----------------------------------------------------------------------
+# selection
+# ----------------------------------------------------------------------
+class TestSelection:
+    @pytest.mark.smoke
+    def test_default_is_numpy_and_context_overrides(self, monkeypatch):
+        # CI runs this suite under a REPRO_BACKEND matrix; neutralize it
+        # here — this test pins down the *no-environment* precedence.
+        monkeypatch.delenv(BACKEND_ENV_VAR, raising=False)
+        assert isinstance(current_backend(), NumpyBackend)
+        assert current_backend() is default_backend()
+        threaded = ThreadedBackend(jobs=2)
+        with use_backend(threaded):
+            assert current_backend() is threaded
+            with use_backend("blocked"):
+                assert isinstance(current_backend(), BlockedBackend)
+            assert current_backend() is threaded
+        assert current_backend() is default_backend()
+
+    def test_env_var_between_default_and_context(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "threaded:2")
+        env_backend = current_backend()
+        assert isinstance(env_backend, ThreadedBackend) and env_backend.jobs == 2
+        assert current_backend() is env_backend  # instance cached per spec
+        with use_backend("numpy"):
+            assert isinstance(current_backend(), NumpyBackend)
+        monkeypatch.delenv(BACKEND_ENV_VAR)
+        assert current_backend() is default_backend()
+
+    def test_env_var_invalid_raises_by_name(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "cuda")
+        with pytest.raises(ValueError, match=BACKEND_ENV_VAR):
+            current_backend()
+
+    def test_make_backend_specs(self):
+        assert isinstance(make_backend("numpy"), NumpyBackend)
+        assert make_backend("threaded:5").jobs == 5
+        assert make_backend("blocked:4").block == 4
+        assert make_backend("Blocked").block == 1  # case-insensitive, default arg
+        instance = BlockedBackend()
+        assert make_backend(instance) is instance
+
+    def test_make_backend_errors_name_alternatives(self):
+        with pytest.raises(ValueError, match="unknown backend 'gpu'"):
+            make_backend("gpu")
+        with pytest.raises(ValueError, match="numpy"):
+            make_backend("gpu")  # message lists what IS available
+        with pytest.raises(ValueError, match="bad backend spec"):
+            make_backend("threaded:lots")
+        with pytest.raises(ValueError):
+            ThreadedBackend(jobs=0)
+        with pytest.raises(ValueError):
+            BlockedBackend(block=0)
+
+    def test_available_backends_registered(self):
+        names = available_backends()
+        assert {"numpy", "threaded", "blocked"} <= set(names)
+
+    def test_get_backend_shares_one_instance_per_spec(self):
+        shared = get_backend("threaded:7")
+        assert get_backend("threaded:7") is shared  # no thread-pool churn
+        assert make_backend("threaded:7") is not shared  # explicit fresh copy
+        instance = BlockedBackend()
+        assert get_backend(instance) is instance
+
+
+# ----------------------------------------------------------------------
+# primitive parity (bit-exact, not allclose)
+# ----------------------------------------------------------------------
+def _conv_case(backend, xd, wd, bd, stride, padding, grouped):
+    op = conv2d_grouped if grouped else conv2d
+    x = Tensor(xd.copy(), requires_grad=True)
+    w = Tensor(wd.copy(), requires_grad=True)
+    b = Tensor(bd.copy(), requires_grad=True)
+    with use_backend(backend):
+        out = op(x, w, b, stride=stride, padding=padding)
+        (out**2).sum().backward()
+        with no_grad():
+            inferred = op(Tensor(xd), Tensor(wd), Tensor(bd), stride=stride, padding=padding)
+    return out.data, inferred.data, x.grad, w.grad, b.grad
+
+
+@pytest.mark.parametrize("backend", _alternative_backends(), ids=_alt_ids())
+@pytest.mark.parametrize("stride,padding", [(1, 0), (1, 1), (2, 1), (3, 2)])
+class TestConvParity:
+    def test_conv2d_bit_identical(self, backend, stride, padding):
+        rng = np.random.default_rng(0)
+        xd = rng.standard_normal((5, 3, 12, 12))
+        wd = rng.standard_normal((4, 3, 3, 3))
+        bd = rng.standard_normal(4)
+        base = _conv_case(NumpyBackend(), xd, wd, bd, stride, padding, grouped=False)
+        got = _conv_case(backend, xd, wd, bd, stride, padding, grouped=False)
+        for name, ref, other in zip(("out", "infer", "dx", "dw", "db"), base, got):
+            assert np.array_equal(ref, other), f"{name} differs on {backend!r}"
+
+    def test_conv2d_grouped_bit_identical(self, backend, stride, padding):
+        rng = np.random.default_rng(1)
+        xd = rng.standard_normal((5, 4, 2, 11, 11))
+        wd = rng.standard_normal((4, 3, 2, 3, 3))
+        bd = rng.standard_normal((4, 3))
+        base = _conv_case(NumpyBackend(), xd, wd, bd, stride, padding, grouped=True)
+        got = _conv_case(backend, xd, wd, bd, stride, padding, grouped=True)
+        for name, ref, other in zip(("out", "infer", "dx", "dw", "db"), base, got):
+            assert np.array_equal(ref, other), f"{name} differs on {backend!r}"
+
+
+def test_grouped_batch_one_splits_group_axis_bit_identical():
+    """Batch-1 FRCONV-style work parallelizes over the m products."""
+    rng = np.random.default_rng(20)
+    xd = rng.standard_normal((1, 8, 2, 10, 10))
+    wd = rng.standard_normal((8, 3, 2, 3, 3))
+    bd = rng.standard_normal((8, 3))
+    base = _conv_case(NumpyBackend(), xd, wd, bd, 1, 1, grouped=True)
+    got = _conv_case(_threaded_forced(), xd, wd, bd, 1, 1, grouped=True)
+    for name, ref, other in zip(("out", "infer", "dx", "dw", "db"), base, got):
+        assert np.array_equal(ref, other), f"{name} differs on group-axis split"
+
+
+@pytest.mark.parametrize("backend", _alternative_backends(), ids=_alt_ids())
+def test_infer_preserves_float32_dtype(backend):
+    """The raw ndarray API must match the reference dtype, not force f64."""
+    rng = np.random.default_rng(21)
+    x = rng.standard_normal((6, 2, 9, 9)).astype(np.float32)
+    w = rng.standard_normal((3, 18)).astype(np.float32)
+    ref = NumpyBackend().conv2d_infer(x, w, 3, 3, 1, 1)
+    got = backend.conv2d_infer(x, w, 3, 3, 1, 1)
+    assert got.dtype == ref.dtype == np.float32
+    np.testing.assert_allclose(got, ref, rtol=1e-6)
+    xg = rng.standard_normal((6, 4, 2, 9, 9)).astype(np.float32)
+    wg = rng.standard_normal((4, 3, 18)).astype(np.float32)
+    ref_g = NumpyBackend().conv2d_grouped_infer(xg, wg, 3, 3, 1, 1)
+    got_g = backend.conv2d_grouped_infer(xg, wg, 3, 3, 1, 1)
+    assert got_g.dtype == ref_g.dtype == np.float32
+    np.testing.assert_allclose(got_g, ref_g, rtol=1e-6)
+
+
+@pytest.mark.parametrize("backend", _alternative_backends(), ids=_alt_ids())
+class TestOtherPrimitiveParity:
+    def test_matmul_and_pooling_bit_identical(self, backend):
+        rng = np.random.default_rng(2)
+        a = rng.standard_normal((32, 12))
+        b = rng.standard_normal((12, 8))
+        batched = rng.standard_normal((6, 9, 7))
+        batched_b = rng.standard_normal((6, 7, 5))
+        pool_in = rng.standard_normal((4, 3, 8, 8))
+        ref = NumpyBackend()
+        assert np.array_equal(backend.matmul(a, b), ref.matmul(a, b))
+        assert np.array_equal(backend.matmul(batched, batched_b), ref.matmul(batched, batched_b))
+        assert np.array_equal(
+            backend.matmul(batched, batched_b[0]), ref.matmul(batched, batched_b[0])
+        )
+        assert np.array_equal(backend.avg_pool2d(pool_in, 2), ref.avg_pool2d(pool_in, 2))
+
+    def test_linear_and_pool_layers_through_graph(self, backend):
+        rng = np.random.default_rng(3)
+        xd = rng.standard_normal((16, 2, 4, 4))
+
+        def run(chosen):
+            x = Tensor(xd.copy(), requires_grad=True)
+            with use_backend(chosen):
+                out = avg_pool2d(x, 2)
+                (out**2).sum().backward()
+            return out.data, x.grad
+
+        base_out, base_grad = run(NumpyBackend())
+        got_out, got_grad = run(backend)
+        assert np.array_equal(base_out, got_out)
+        assert np.array_equal(base_grad, got_grad)
+
+
+# ----------------------------------------------------------------------
+# full-model parity: FastRingConv2d forward/backward, Predictor
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("ring_name,n", [("c", 2), ("ri4", 4), ("h", 4)])
+@pytest.mark.parametrize("stride,padding", [(1, 1), (2, 0)])
+def test_fastringconv_forward_backward_bit_identical(ring_name, n, stride, padding):
+    spec = get_ring(ring_name)
+    rng = np.random.default_rng(4)
+    xd = rng.standard_normal((4, 2 * n, 8, 8))
+
+    def run(backend):
+        layer = FastRingConv2d(2 * n, 2 * n, 3, spec, stride=stride, padding=padding, seed=0)
+        x = Tensor(xd.copy(), requires_grad=True)
+        with use_backend(backend):
+            out = layer(x)
+            (out**2).sum().backward()
+        return out.data, x.grad, layer.g.grad, layer.bias.grad
+
+    base = run(NumpyBackend())
+    for backend in _alternative_backends():
+        got = run(backend)
+        for name, ref, other in zip(("out", "dx", "dg", "dbias"), base, got):
+            assert np.array_equal(ref, other), f"{name} differs on {backend!r} ({ring_name})"
+
+
+@pytest.mark.smoke
+def test_fastringconv_parity_smoke():
+    spec = get_ring("ri4")
+    rng = np.random.default_rng(5)
+    xd = rng.standard_normal((2, 4, 6, 6))
+    outs = []
+    for backend in ["numpy", "threaded:2", "blocked"]:
+        layer = FastRingConv2d(4, 4, 3, spec, seed=0)
+        with use_backend(backend):
+            outs.append(layer(Tensor(xd.copy())).data)
+    assert np.array_equal(outs[0], outs[1])
+    assert np.array_equal(outs[0], outs[2])
+
+
+def test_predictor_backend_parity_batched_and_tiled():
+    from repro.models.ernet import dn_ernet_pu
+
+    model = dn_ernet_pu(blocks=1, ratio=1, seed=0)
+    rng = np.random.default_rng(6)
+    for param in model.parameters():
+        param.data[...] += 0.05 * rng.standard_normal(param.shape)
+    x = rng.standard_normal((5, 1, 24, 24))
+    base = Predictor(model, batch_size=2, tile=24, backend="numpy")(x)
+    for backend in [_threaded_forced(), BlockedBackend(block=1)]:
+        assert np.array_equal(Predictor(model, batch_size=2, tile=24, backend=backend)(x), base)
+        # tile smaller than the image => the tiled-with-halo path
+        tiled = Predictor(model, batch_size=2, tile=12, backend=backend)(x)
+        assert np.array_equal(tiled, base)
+
+
+def test_predictor_without_backend_uses_ambient(monkeypatch):
+    from repro.models.ernet import dn_ernet_pu
+
+    model = dn_ernet_pu(blocks=1, ratio=1, seed=0)
+    x = np.random.default_rng(7).standard_normal((2, 1, 16, 16))
+    base = Predictor(model, tile=16)(x)
+    monkeypatch.setenv(BACKEND_ENV_VAR, "blocked")
+    assert np.array_equal(Predictor(model, tile=16)(x), base)
+    with use_backend("threaded:2"):
+        assert np.array_equal(Predictor(model, tile=16)(x), base)
+
+
+# ----------------------------------------------------------------------
+# backward uses the forward-time backend
+# ----------------------------------------------------------------------
+def test_backward_captures_forward_backend():
+    calls = []
+
+    class Spy(ThreadedBackend):
+        def conv2d_grad_input(self, *args, **kwargs):
+            calls.append("grad_input")
+            return super().conv2d_grad_input(*args, **kwargs)
+
+    rng = np.random.default_rng(8)
+    x = Tensor(rng.standard_normal((2, 2, 6, 6)), requires_grad=True)
+    w = Tensor(rng.standard_normal((2, 2, 3, 3)), requires_grad=True)
+    with use_backend(Spy(jobs=1)):
+        out = conv2d(x, w, padding=1)
+    # graph built under the spy; backward after the context has exited
+    (out**2).sum().backward()
+    assert calls == ["grad_input"]
+
+
+# ----------------------------------------------------------------------
+# CLI integration
+# ----------------------------------------------------------------------
+class TestCliBackendFlag:
+    def test_backend_flag_exports_env(self, monkeypatch, capsys):
+        from repro.experiments.cli import main
+
+        # setenv first so monkeypatch records (and later restores) the
+        # pre-test state even though main() writes os.environ itself.
+        monkeypatch.setenv(BACKEND_ENV_VAR, "numpy")
+        assert main(["list", "--backend", "threaded:2"]) == 0
+        assert os.environ.get(BACKEND_ENV_VAR) == "threaded:2"
+        capsys.readouterr()
+
+    def test_bad_backend_flag_is_a_clean_error(self, monkeypatch):
+        from repro.experiments.cli import main
+
+        monkeypatch.delenv(BACKEND_ENV_VAR, raising=False)
+        with pytest.raises(SystemExit, match="unknown backend"):
+            main(["list", "--backend", "gpu"])
+        assert BACKEND_ENV_VAR not in os.environ

@@ -61,6 +61,40 @@ class TestConvForward:
         with pytest.raises(ValueError):
             conv2d(Tensor(np.zeros((1, 3, 4, 4))), Tensor(np.zeros((2, 4, 3, 3))))
 
+    def test_error_messages_name_the_offending_dimension(self):
+        x = Tensor(np.zeros((1, 3, 4, 4)))
+        w = Tensor(np.zeros((2, 3, 3, 3)))
+        with pytest.raises(ValueError, match=r"input must be 4-D \(N, C, H, W\), got 3-D"):
+            conv2d(Tensor(np.zeros((3, 4, 4))), w)
+        with pytest.raises(ValueError, match=r"weight must be 4-D \(Co, Ci, kh, kw\), got 5-D"):
+            conv2d(x, Tensor(np.zeros((1, 2, 3, 3, 3))))
+        with pytest.raises(ValueError, match="3 channels but weight expects Ci=4"):
+            conv2d(x, Tensor(np.zeros((2, 4, 3, 3))))
+        with pytest.raises(ValueError, match="stride must be a positive integer, got 0"):
+            conv2d(x, w, stride=0)
+        with pytest.raises(ValueError, match="padding must be a non-negative integer, got -1"):
+            conv2d(x, w, padding=-1)
+        with pytest.raises(ValueError, match=r"kernel height 7 exceeds padded input height 6"):
+            conv2d(x, Tensor(np.zeros((2, 3, 7, 3))), padding=1)
+        with pytest.raises(ValueError, match=r"kernel width 9 exceeds padded input width 4"):
+            conv2d(x, Tensor(np.zeros((2, 3, 3, 9))))
+        with pytest.raises(ValueError, match="bias has 3 entries .* Co=2 output channels"):
+            conv2d(x, w, bias=Tensor(np.zeros(3)), padding=1)
+
+    def test_grouped_error_messages_name_the_offending_dimension(self):
+        x = Tensor(np.zeros((1, 2, 3, 4, 4)))
+        w = Tensor(np.zeros((2, 5, 3, 3, 3)))
+        with pytest.raises(ValueError, match=r"input must be 5-D \(N, G, Ci, H, W\), got 4-D"):
+            conv2d_grouped(Tensor(np.zeros((2, 3, 4, 4))), w)
+        with pytest.raises(ValueError, match="2 groups but weight has G=3"):
+            conv2d_grouped(x, Tensor(np.zeros((3, 5, 3, 3, 3))))
+        with pytest.raises(ValueError, match="3 channels per group but weight expects Ci=4"):
+            conv2d_grouped(x, Tensor(np.zeros((2, 5, 4, 3, 3))))
+        with pytest.raises(ValueError, match="kernel height 5 exceeds padded input height 4"):
+            conv2d_grouped(x, Tensor(np.zeros((2, 5, 3, 5, 3))))
+        with pytest.raises(ValueError, match=r"bias has 4 entries .* G\*Co=10 output channels"):
+            conv2d_grouped(x, w, bias=Tensor(np.zeros((2, 2))), padding=1)
+
     def test_im2col_col2im_adjoint(self):
         # <im2col(x), y> == <x, col2im(y)> : exact adjointness.
         rng = np.random.default_rng(4)

@@ -28,6 +28,20 @@ def test_readme_quickstart_snippet():
     assert out.shape == (1, 32, 8, 8)
 
 
+def test_nn_namespace_exports_backend_api():
+    """Backend machinery, Predictor and conv2d_grouped need no deep paths."""
+    from repro import nn
+
+    for name in (
+        "backend", "Backend", "NumpyBackend", "ThreadedBackend", "BlockedBackend",
+        "use_backend", "current_backend", "available_backends",
+        "Predictor", "conv2d_grouped",
+    ):
+        assert name in nn.__all__, f"{name} missing from repro.nn.__all__"
+        assert hasattr(nn, name), f"{name} not importable from repro.nn"
+    assert {"numpy", "threaded", "blocked"} <= set(nn.available_backends())
+
+
 def test_rings_namespace_exports():
     from repro import rings
 
