@@ -14,24 +14,22 @@ skipped and the recorded table says so.
 
 from __future__ import annotations
 
-import os
 import time
 
 import numpy as np
 
 from repro.models.ernet import dn_ernet_pu
-from repro.nn.backend import BlockedBackend, NumpyBackend, ThreadedBackend, use_backend
+from repro.nn.backend import (
+    BlockedBackend,
+    NumpyBackend,
+    ThreadedBackend,
+    usable_cpu_count,
+    use_backend,
+)
 from repro.nn.fastconv import FastRingConv2d
 from repro.nn.inference import Predictor
 from repro.nn.tensor import Tensor, no_grad
 from repro.rings.catalog import get_ring
-
-
-def _usable_cpus() -> int:
-    try:
-        return len(os.sched_getaffinity(0))
-    except AttributeError:  # pragma: no cover - non-Linux
-        return os.cpu_count() or 1
 
 
 def _best_of(fn, repeats=5):
@@ -46,7 +44,7 @@ def _best_of(fn, repeats=5):
 def _backends():
     return [
         ("numpy", NumpyBackend()),
-        (f"threaded:{max(2, _usable_cpus())}", ThreadedBackend(jobs=max(2, _usable_cpus()))),
+        (f"threaded:{max(2, usable_cpu_count())}", ThreadedBackend(jobs=max(2, usable_cpu_count()))),
         ("blocked:1", BlockedBackend(block=1)),
     ]
 
@@ -59,7 +57,7 @@ def test_backend_throughput_frconv(record_result):
     batch = 16
     x = Tensor(np.random.default_rng(0).standard_normal((batch, 16, 32, 32)))
 
-    lines = [f"FRCONV[h] 16ch 3x3, batch={batch}, 32x32 ({_usable_cpus()} usable CPU(s))"]
+    lines = [f"FRCONV[h] 16ch 3x3, batch={batch}, 32x32 ({usable_cpu_count()} usable CPU(s))"]
     rows = []
     timings = {}
     base_out = None
@@ -96,7 +94,7 @@ def test_backend_throughput_predictor(record_result):
     batch = 8
     x = rng.standard_normal((batch, 1, 48, 48))
 
-    cpus = _usable_cpus()
+    cpus = usable_cpu_count()
     lines = [f"dn-ERNet denoise, batch={batch}, 48x48 ({cpus} usable CPU(s))"]
     rows = []
     timings = {}

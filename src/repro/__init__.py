@@ -19,6 +19,17 @@ from . import experiments, hardware, imaging, models, nn, pruning, quant, rings
 
 __version__ = "1.0.0"
 
+
+def __getattr__(name: str):
+    # repro.serving is resolved lazily (PEP 562): the CLI's list/run
+    # paths — and every multiprocessing spawn worker they launch — must
+    # not pay the serving stack's import unless serving is actually used.
+    if name == "serving":
+        import importlib
+
+        return importlib.import_module(".serving", __name__)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 __all__ = [
     "experiments",
     "hardware",
@@ -28,5 +39,6 @@ __all__ = [
     "pruning",
     "quant",
     "rings",
+    "serving",
     "__version__",
 ]

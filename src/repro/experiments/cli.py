@@ -9,6 +9,9 @@ Subcommands:
   ``--force``.
 * ``report`` — render the paper-style tables/figures from cached
   artifacts without recomputing anything.
+* ``serve-bench`` — benchmark the :mod:`repro.serving` inference server:
+  closed-loop concurrent clients, per-request vs micro-batched dispatch,
+  per-backend rows, with a bit-identity check against serial inference.
 
 Parallel runs use ``multiprocessing`` with the spawn start method and
 per-(experiment, scale) deterministic seeding, so ``--jobs N`` output
@@ -205,6 +208,41 @@ def cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve_bench(args: argparse.Namespace) -> int:
+    # Imported here (not at module top) so `python -m repro list/run`
+    # never pays for the serving stack.
+    from repro.serving.bench import ServeBenchConfig, run_serve_bench
+
+    backends = [spec.strip() for spec in args.backends.split(",") if spec.strip()]
+    if not backends:
+        raise SystemExit("--backends must name at least one backend")
+    for spec in backends:
+        try:
+            nn_backend.make_backend(spec)  # validate before the long run
+        except ValueError as exc:
+            raise SystemExit(str(exc))
+    if args.clients < 1 or args.requests < 1 or args.workers < 1 or args.max_batch < 1:
+        raise SystemExit("--clients/--requests/--workers/--max-batch must be >= 1")
+    if args.image_size < 2 or args.image_size % 2:
+        raise SystemExit("--image-size must be even (pixel-unshuffle by 2) and >= 2")
+    config = ServeBenchConfig(
+        clients=args.clients,
+        requests_per_client=args.requests,
+        image_size=args.image_size,
+        workers=args.workers,
+        max_batch=args.max_batch,
+        max_wait_ms=args.max_wait_ms,
+        backends=tuple(backends),
+        seed=args.seed,
+    )
+    report = run_serve_bench(config)
+    print(report.format())
+    if not report.bit_identical:
+        print("ERROR: served outputs differ from serial inference")
+        return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -261,6 +299,43 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_common(sub_report)
     sub_report.set_defaults(func=cmd_report)
+
+    sub_serve = subparsers.add_parser(
+        "serve-bench",
+        help="benchmark the micro-batching inference server (repro.serving)",
+    )
+    sub_serve.add_argument(
+        "--clients", type=int, default=8, help="concurrent closed-loop clients"
+    )
+    sub_serve.add_argument(
+        "--requests", type=int, default=8, help="requests per client"
+    )
+    sub_serve.add_argument(
+        "--image-size", type=int, default=24, help="square request size in pixels"
+    )
+    sub_serve.add_argument(
+        "--workers", type=int, default=2, help="server worker threads"
+    )
+    sub_serve.add_argument(
+        "--max-batch", type=int, default=8, help="micro-batch flush threshold"
+    )
+    sub_serve.add_argument(
+        "--max-wait-ms",
+        type=float,
+        default=10.0,
+        help="how long an under-full batch waits for stragglers",
+    )
+    sub_serve.add_argument(
+        "--backends",
+        default="numpy",
+        metavar="SPEC[,SPEC...]",
+        help=(
+            "comma-separated kernel backends to compare "
+            f"({', '.join(nn_backend.available_backends())})"
+        ),
+    )
+    sub_serve.add_argument("--seed", type=int, default=0, help="workload seed")
+    sub_serve.set_defaults(func=cmd_serve_bench)
 
     return parser
 

@@ -36,24 +36,31 @@ def bicubic_kernel(x: np.ndarray, a: float = -0.5) -> np.ndarray:
 
 
 def _resample_axis(img: np.ndarray, scale: float, axis: int) -> np.ndarray:
-    """Bicubic resample along one axis by a rational scale factor."""
+    """Bicubic resample along one axis by a rational scale factor.
+
+    Gather form, not a dense (size_out, size_in) matrix product: each
+    output sample reads exactly its ``2 * support`` taps and reduces them
+    in one fixed order.  A dense GEMM reduces over the whole input axis,
+    and BLAS picks its accumulation structure from that axis' length — so
+    the same output sample could come back with different *bits* when
+    computed over a tile crop instead of the full image.  The gather
+    reduction depends only on the sample's own taps, making the resample
+    crop-invariant (the property tiled SR inference relies on), and is
+    O(support) per sample instead of O(size_in) as a bonus.
+    """
     size_in = img.shape[axis]
     size_out = int(round(size_in * scale))
     # Output sample i maps to input coordinate (i + 0.5)/scale - 0.5.
     coords = (np.arange(size_out) + 0.5) / scale - 0.5
     width = max(1.0, 1.0 / scale)  # widen the kernel when minifying
     support = int(np.ceil(2 * width))
-    weights = np.zeros((size_out, size_in))
-    for i, center in enumerate(coords):
-        left = int(np.floor(center)) - support + 1
-        taps = np.arange(left, left + 2 * support)
-        w = bicubic_kernel((taps - center) / width)
-        taps = np.clip(taps, 0, size_in - 1)  # replicate borders
-        for t, wt in zip(taps, w):
-            weights[i, t] += wt
+    left = np.floor(coords).astype(int) - support + 1
+    taps = left[:, None] + np.arange(2 * support)  # (size_out, 2*support)
+    weights = bicubic_kernel((taps - coords[:, None]) / width)
     weights /= weights.sum(axis=1, keepdims=True)
+    taps = np.clip(taps, 0, size_in - 1)  # replicate borders
     moved = np.moveaxis(img, axis, -1)
-    out = moved @ weights.T
+    out = (moved[..., taps] * weights).sum(axis=-1)
     return np.moveaxis(out, -1, axis)
 
 

@@ -9,6 +9,7 @@ from . import backend
 from .backend import (
     Backend,
     BlockedBackend,
+    EinsumBackend,
     NumpyBackend,
     ThreadedBackend,
     available_backends,
@@ -55,6 +56,7 @@ __all__ = [
     "backend",
     "Backend",
     "BlockedBackend",
+    "EinsumBackend",
     "NumpyBackend",
     "ThreadedBackend",
     "available_backends",

@@ -28,6 +28,13 @@ Three implementations ship:
   serving performs no large allocations.  Batch-blocking runs the very
   same per-slice BLAS GEMMs, so results are bit-identical too.
 
+A fourth, :class:`EinsumBackend`, is importable but deliberately **not**
+registered: it trades BLAS speed for shape-invariant determinism (each
+output element's reduction is a fixed sequential chain, independent of
+how many other elements share the GEMM call), which registered backends
+cannot promise — their contract is bit-parity with :class:`NumpyBackend`
+so experiment artifacts stay backend-invariant.
+
 Selection precedence (first match wins):
 
 1. the innermost active :func:`use_backend` context on this thread;
@@ -54,6 +61,7 @@ __all__ = [
     "NumpyBackend",
     "ThreadedBackend",
     "BlockedBackend",
+    "EinsumBackend",
     "available_backends",
     "conv_geometry",
     "current_backend",
@@ -61,10 +69,19 @@ __all__ = [
     "get_backend",
     "make_backend",
     "register_backend",
+    "usable_cpu_count",
     "use_backend",
 ]
 
 BACKEND_ENV_VAR = "REPRO_BACKEND"
+
+
+def usable_cpu_count() -> int:
+    """CPUs this process may run on (affinity-aware, always >= 1)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
 
 
 def conv_geometry(
@@ -312,10 +329,7 @@ class ThreadedBackend(Backend):
 
     def __init__(self, jobs: int | None = None) -> None:
         if jobs is None:
-            try:
-                jobs = len(os.sched_getaffinity(0))
-            except AttributeError:  # pragma: no cover - non-Linux
-                jobs = os.cpu_count() or 1
+            jobs = usable_cpu_count()
         if jobs < 1:
             raise ValueError(f"jobs must be a positive integer, got {jobs}")
         self.jobs = int(jobs)
@@ -402,17 +416,14 @@ class ThreadedBackend(Backend):
 
     def matmul(self, a, b):
         if a.ndim == 2 and b.ndim == 2:
-            spans = self._spans(a.shape[0], a.shape[0] * b.shape[1])
-            if len(spans) == 1:
-                return np.matmul(a, b)
-            out = np.empty((a.shape[0], b.shape[1]), dtype=np.result_type(a, b))
-
-            def fill(span: tuple[int, int]) -> None:
-                i0, i1 = span
-                np.matmul(a[i0:i1], b, out=out[i0:i1])
-
-            self._run(fill, spans)
-            return out
+            # Never split a single 2-D GEMM: BLAS picks its kernel (and
+            # accumulation/FMA structure) from the *full* M extent, so a
+            # row span can round differently than the same rows inside
+            # the whole product — e.g. an M=1 span of a transposed-B
+            # product goes down a gemv-like path.  Found by the
+            # randomized property sweep; batch-axis splits below are safe
+            # because every per-slice GEMM keeps identical dimensions.
+            return np.matmul(a, b)
         if a.ndim >= 3 and (b.ndim < 3 or b.shape[:-2] in ((1,), a.shape[:-2])):
             # b is either unbatched/broadcast (shared by every span) or
             # batched exactly like a (sliced alongside it).
@@ -683,6 +694,55 @@ class BlockedBackend(Backend):
             cols = cols.reshape(i1 - i0, groups, k, ho * wo)
             out[i0:i1] = (w_flat[None] @ cols).reshape(i1 - i0, groups, co, ho, wo)
         return out
+
+
+class EinsumBackend(Backend):
+    """Deterministic shape-invariant kernels (np.einsum, no BLAS GEMM).
+
+    BLAS dgemm picks its micro-kernel and accumulation structure from the
+    full problem dimensions, so the *bits* of one output element can
+    change with the number of columns computed alongside it — which is
+    exactly what varies between a tile crop and the whole image, or
+    between the bicubic skip on a crop and on the full frame.
+    ``np.einsum`` (with the default ``optimize=False``) reduces each
+    output element with one fixed sequential chain over its own operands,
+    independent of batch size, pixel count, or crop extent.  Under this
+    backend, tiled inference is therefore **bit-identical** to
+    whole-image inference for any geometry — the reference substrate the
+    adversarial tiling-parity tests pin the exactness claim against.
+
+    Deliberately **not** in the spec-string registry: registered backends
+    promise bit-parity with :class:`NumpyBackend` (artifact fingerprints
+    are backend-invariant), and einsum's rounding differs from BLAS by
+    design.  Construct it directly and pass the instance to
+    :func:`use_backend` or :class:`~repro.nn.inference.Predictor`.  Much
+    slower than the BLAS paths; a verification substrate, not a serving
+    one.
+    """
+
+    name = "einsum"
+
+    def matmul(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        if a.ndim == 1 or b.ndim == 1:
+            return np.matmul(a, b)  # vector cases keep numpy semantics
+        return np.einsum("...ik,...kj->...ij", a, b)
+
+    def conv2d(self, x, w_mat, kh, kw, stride, padding):
+        n = x.shape[0]
+        co = w_mat.shape[0]
+        cols, dims = self.im2col(x, kh, kw, stride, padding)
+        out = np.einsum("ok,nkp->nop", w_mat, cols).reshape(n, co, dims[2], dims[3])
+        return out, cols, dims
+
+    def conv2d_grouped(self, x, w_flat, kh, kw, stride, padding):
+        n, groups, ci, h, w = x.shape
+        co = w_flat.shape[1]
+        cols, dims = self.im2col(x.reshape(n * groups, ci, h, w), kh, kw, stride, padding)
+        cols = cols.reshape(n, groups, ci * kh * kw, dims[2] * dims[3])
+        out = np.einsum("gok,ngkp->ngop", w_flat, cols).reshape(
+            n, groups, co, dims[2], dims[3]
+        )
+        return out, cols, dims
 
 
 # ----------------------------------------------------------------------

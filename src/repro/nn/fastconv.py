@@ -22,6 +22,8 @@ In eval mode the layer caches the transformed filter bank ``g~ = Tg g``
 
 from __future__ import annotations
 
+import threading
+
 import numpy as np
 
 from ..rings.catalog import RingSpec
@@ -128,17 +130,30 @@ class FastRingConv2d(Module):
         )
         self.bias = Parameter(np.zeros(out_channels)) if bias else None
         self._weight_cache: tuple[tuple, np.ndarray] | None = None
+        self._cache_lock = threading.Lock()
 
     def _clear_weight_cache(self) -> None:
         self._weight_cache = None
 
     def _transformed_eval_weight(self) -> np.ndarray:
-        """The cached ``g~ = Tg g``, rebuilt when the weights changed."""
+        """The cached ``g~ = Tg g``, rebuilt when the weights changed.
+
+        Snapshot-read plus locked fill, mirroring
+        :meth:`RingConv2d._expanded_eval_weight`: concurrent eval
+        forwards sharing this layer transform the bank once, and a
+        concurrent cache clear can't tear the check-then-use.
+        """
         stamp = weight_fingerprint(self.g.data)
-        if self._weight_cache is None or self._weight_cache[0] != stamp:
-            g_t = self.g.detach().tuple_transform(self.spec.fast.tg, axis=2)
-            self._weight_cache = (stamp, g_t.data)
-        return self._weight_cache[1]
+        cached = self._weight_cache
+        if cached is not None and cached[0] == stamp:
+            return cached[1]
+        with self._cache_lock:
+            cached = self._weight_cache
+            if cached is None or cached[0] != stamp:
+                g_t = self.g.detach().tuple_transform(self.spec.fast.tg, axis=2)
+                cached = (stamp, g_t.data)
+                self._weight_cache = cached
+        return cached[1]
 
     def forward(self, x: Tensor) -> Tensor:
         g_transformed = None

@@ -10,10 +10,23 @@ Tiling is exact, not approximate.  Each crop window is clamped inside
 the image (never zero-filled), so wherever a crop edge is not the true
 image border, every retained output pixel sits at least ``halo`` pixels
 away from it; with ``halo`` covering the model's receptive-field radius
-the tiled result is bit-identical to whole-image inference.  At true
-image borders the crop ends exactly where the image does, so the model's
-own padding behavior (zero padding in convs, border replication in the
-bicubic skip) applies unchanged.
+every retained output pixel sees exactly the operands whole-image
+inference would give it.  At true image borders the crop ends exactly
+where the image does, so the model's own padding behavior (zero padding
+in convs, border replication in the bicubic skip) applies unchanged.
+
+Two distinct reproducibility guarantees follow, and the tests pin both:
+
+* **Batching is bit-exact on every backend.**  Splitting work along the
+  batch axis (chunking by ``batch_size``, coalescing requests in
+  :mod:`repro.serving`, grouping tile crops) runs the very same
+  per-slice GEMMs, so results never depend on what else shared a batch.
+* **Tiling is bit-exact on shape-invariant kernels.**  Under
+  :class:`~repro.nn.backend.EinsumBackend` the tiled result equals
+  whole-image inference bit for bit.  BLAS backends compute the same
+  reduction operands but may reassociate them differently when the GEMM
+  extent changes with the crop, so there tiled-vs-whole agreement is
+  "exact up to floating-point reassociation" (observed ≤ a few ulp).
 """
 
 from __future__ import annotations
@@ -133,6 +146,22 @@ class Predictor:
         # per-request Predictors reuse thread pools instead of spawning
         # new ones.
         self.backend = get_backend(backend) if backend is not None else None
+
+    def clone(self, batch_size: int | None = None) -> "Predictor":
+        """A new Predictor sharing this one's model, plan and backend.
+
+        The clone is cheap — model weights (and their eval-mode caches)
+        are shared, not copied — which is what a serving worker pool
+        needs: one Predictor per worker thread, one model in memory.
+        Sharing is safe because eval forwards only read the weights and
+        the layers' weight-cache fills are lock-protected.
+        """
+        return Predictor(
+            self.model,
+            batch_size=batch_size if batch_size is not None else self.batch_size,
+            plan=self.plan,
+            backend=self.backend,
+        )
 
     # ------------------------------------------------------------------
     def __call__(self, inputs: np.ndarray) -> np.ndarray:

@@ -14,6 +14,8 @@ All convolution/pooling layers (and ``Linear``'s matmul) execute through
 
 from __future__ import annotations
 
+import threading
+
 import numpy as np
 
 from ..rings.base import Ring
@@ -117,16 +119,31 @@ class RingConv2d(Module):
         )
         self.bias = Parameter(np.zeros(out_channels)) if bias else None
         self._weight_cache: tuple[tuple, np.ndarray] | None = None
+        self._cache_lock = threading.Lock()
 
     def _clear_weight_cache(self) -> None:
         self._weight_cache = None
 
     def _expanded_eval_weight(self) -> np.ndarray:
-        """The cached real filter bank, rebuilt when ``g`` changed."""
+        """The cached real filter bank, rebuilt when ``g`` changed.
+
+        Safe under concurrent eval forwards sharing this layer (a
+        Predictor pool): the cache is read once into a local — so a
+        concurrent ``train()``/``load_state_dict()`` clearing it between
+        the check and the use can't null-deref — and the fill runs under
+        a lock, so first-touch from many threads expands the bank once
+        instead of racing partial writes.
+        """
         stamp = weight_fingerprint(self.g.data)
-        if self._weight_cache is None or self._weight_cache[0] != stamp:
-            self._weight_cache = (stamp, self.expanded_weight())
-        return self._weight_cache[1]
+        cached = self._weight_cache
+        if cached is not None and cached[0] == stamp:
+            return cached[1]
+        with self._cache_lock:
+            cached = self._weight_cache
+            if cached is None or cached[0] != stamp:
+                cached = (stamp, self.expanded_weight())
+                self._weight_cache = cached
+        return cached[1]
 
     def forward(self, x: Tensor) -> Tensor:
         if not self.training and not is_grad_enabled():

@@ -12,6 +12,7 @@ hand-written vector-Jacobian product.  Convolution lives in
 
 from __future__ import annotations
 
+import threading
 from typing import Callable, Iterable
 
 import numpy as np
@@ -20,26 +21,44 @@ from . import backend as backend_module
 
 __all__ = ["Tensor", "Parameter", "as_tensor", "concat", "no_grad", "is_grad_enabled"]
 
-_GRAD_ENABLED = True
+
+class _GradState(threading.local):
+    """Per-thread grad-enabled flag.
+
+    Thread-local (not a module global) so concurrent inference workers —
+    each inside its own :class:`no_grad` — can never re-enable graph
+    construction under a forward running on another thread, and a
+    training loop on the main thread is unaffected by serving threads.
+    New threads start with gradients enabled, like the main thread.
+    """
+
+    def __init__(self) -> None:
+        self.enabled = True
+
+
+_GRAD_STATE = _GradState()
 
 
 class no_grad:
-    """Context manager disabling graph construction (inference mode)."""
+    """Context manager disabling graph construction (inference mode).
+
+    The flag is per-thread: entering/exiting on one thread leaves every
+    other thread's state untouched, so the context is safe under the
+    concurrent per-worker forwards of :mod:`repro.serving`.
+    """
 
     def __enter__(self) -> "no_grad":
-        global _GRAD_ENABLED
-        self._prev = _GRAD_ENABLED
-        _GRAD_ENABLED = False
+        self._prev = _GRAD_STATE.enabled
+        _GRAD_STATE.enabled = False
         return self
 
     def __exit__(self, *exc) -> None:
-        global _GRAD_ENABLED
-        _GRAD_ENABLED = self._prev
+        _GRAD_STATE.enabled = self._prev
 
 
 def is_grad_enabled() -> bool:
-    """Whether new operations record backward closures."""
-    return _GRAD_ENABLED
+    """Whether new operations record backward closures (on this thread)."""
+    return _GRAD_STATE.enabled
 
 
 def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
@@ -108,7 +127,7 @@ class Tensor:
         backward: Callable[[np.ndarray], None],
     ) -> "Tensor":
         """Create an op output; drops the graph when grads are off."""
-        needs = _GRAD_ENABLED and any(p.requires_grad for p in parents)
+        needs = _GRAD_STATE.enabled and any(p.requires_grad for p in parents)
         if not needs:
             return Tensor(data)
         out = Tensor(data, requires_grad=True, _prev=parents, _backward=backward)
@@ -374,7 +393,12 @@ class Tensor:
         """Apply an (m, n) matrix along one axis: out = mat . x on that axis."""
         mat = np.asarray(mat, dtype=np.float64)
         moved = np.moveaxis(self.data, axis, -1)
-        out = np.moveaxis(moved @ mat.T, -1, axis)
+        # Forward through the active kernel backend (like __matmul__), so
+        # deterministic substrates catch the ring transforms too; the VJP
+        # stays on np.matmul, keeping gradients backend-invariant.
+        out = np.moveaxis(
+            backend_module.current_backend().matmul(moved, mat.T), -1, axis
+        )
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:

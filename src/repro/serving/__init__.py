@@ -1,0 +1,37 @@
+"""Concurrent inference serving (the ROADMAP's "heavy traffic" layer).
+
+:class:`InferenceServer` coalesces single-image requests from many
+client threads into dynamic, shape-bucketed micro-batches over a pool of
+:class:`~repro.nn.inference.Predictor` workers — with bounded-queue
+backpressure, graceful shutdown and latency/throughput stats — while
+keeping every served output bit-identical to a serial Predictor call.
+:mod:`~repro.serving.loadgen` drives it with deterministic closed-loop
+load; :mod:`~repro.serving.bench` is the harness behind
+``python -m repro serve-bench``.
+"""
+
+from .bench import ServeBenchConfig, ServeBenchReport, make_bench_model, run_serve_bench
+from .loadgen import (
+    LoadResult,
+    Workload,
+    make_workload,
+    run_closed_loop,
+    serial_reference,
+)
+from .server import InferenceServer, ServerClosed, ServerOverloaded, ServerStats
+
+__all__ = [
+    "InferenceServer",
+    "ServerClosed",
+    "ServerOverloaded",
+    "ServerStats",
+    "LoadResult",
+    "Workload",
+    "make_workload",
+    "run_closed_loop",
+    "serial_reference",
+    "ServeBenchConfig",
+    "ServeBenchReport",
+    "make_bench_model",
+    "run_serve_bench",
+]

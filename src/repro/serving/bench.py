@@ -1,0 +1,164 @@
+"""The serve-bench harness: per-request vs micro-batched serving.
+
+Shared by the ``python -m repro serve-bench`` CLI subcommand and
+``benchmarks/bench_serving.py``: build a small trained-shaped model, run
+the same seeded closed-loop workload three ways per backend —
+
+* ``serial``   — one Predictor, requests one at a time (no concurrency);
+* ``per-request`` — the server with ``max_batch=1`` (concurrent dispatch,
+  no coalescing);
+* ``micro-batched`` — the server with the requested ``max_batch`` and
+  ``max_wait_ms``;
+
+— assert every way produced bit-identical outputs, and report
+throughput/latency rows.  Determinism comes from the seeded workload and
+the batching-is-bit-exact guarantee of :mod:`repro.nn.inference`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Sequence
+
+import numpy as np
+
+from ..models.ernet import dn_ernet_pu
+from ..nn.inference import Predictor
+from ..nn.module import Module
+from .loadgen import LoadResult, make_workload, run_closed_loop, serial_reference
+from .server import InferenceServer
+
+__all__ = ["ServeBenchConfig", "ServeBenchReport", "make_bench_model", "run_serve_bench"]
+
+
+@dataclasses.dataclass(frozen=True)
+class ServeBenchConfig:
+    clients: int = 8
+    requests_per_client: int = 16
+    image_size: int = 24
+    workers: int = 2
+    max_batch: int = 8
+    max_wait_ms: float = 10.0
+    queue_depth: int = 64
+    backends: Sequence[str] = ("numpy",)
+    seed: int = 0
+
+
+@dataclasses.dataclass(frozen=True)
+class ServeBenchReport:
+    config: ServeBenchConfig
+    rows: list[dict]
+    bit_identical: bool
+
+    def speedup(self, backend: str) -> float:
+        """Micro-batched over per-request throughput for one backend."""
+        by_mode = {
+            row["mode"]: row for row in self.rows if row["backend"] == backend
+        }
+        return by_mode["micro-batched"]["throughput_rps"] / by_mode["per-request"][
+            "throughput_rps"
+        ]
+
+    def format(self) -> str:
+        cfg = self.config
+        lines = [
+            f"serve-bench: {cfg.clients} clients x {cfg.requests_per_client} requests, "
+            f"{cfg.image_size}x{cfg.image_size} images, {cfg.workers} workers, "
+            f"max_batch={cfg.max_batch}, max_wait={cfg.max_wait_ms}ms",
+            f"  {'backend':<12} {'mode':<14} {'req/s':>8} {'lat ms':>8} "
+            f"{'p95 ms':>8} {'mean batch':>10}",
+        ]
+        for row in self.rows:
+            lines.append(
+                f"  {row['backend']:<12} {row['mode']:<14} "
+                f"{row['throughput_rps']:8.1f} {row['latency_ms_mean']:8.2f} "
+                f"{row['latency_ms_p95']:8.2f} {row.get('mean_batch_size', 1.0):10.2f}"
+            )
+        for backend in cfg.backends:
+            lines.append(
+                f"  {backend}: micro-batched vs per-request speedup "
+                f"{self.speedup(backend):.2f}x"
+            )
+        lines.append(
+            "  outputs bit-identical across serial/per-request/micro-batched: "
+            f"{self.bit_identical}"
+        )
+        return "\n".join(lines)
+
+
+def make_bench_model(seed: int = 0) -> Module:
+    """The small trained-shaped denoiser every serve-bench run uses."""
+    model = dn_ernet_pu(blocks=1, ratio=1, seed=seed)
+    rng = np.random.default_rng(seed)
+    for param in model.parameters():
+        param.data[...] += 0.05 * rng.standard_normal(param.shape)
+    model.eval()
+    return model
+
+
+def _row(backend: str, mode: str, result: LoadResult, extra: dict | None = None) -> dict:
+    row = {
+        "backend": backend,
+        "mode": mode,
+        "requests": result.requests,
+        "duration_s": result.duration_s,
+        "throughput_rps": result.throughput_rps,
+        "latency_ms_mean": result.latency_ms_mean,
+        "latency_ms_p95": result.latency_ms_p95,
+    }
+    if extra:
+        row.update(extra)
+    return row
+
+
+def run_serve_bench(config: ServeBenchConfig) -> ServeBenchReport:
+    if config.clients < 1 or config.requests_per_client < 1:
+        raise ValueError(
+            "serve-bench needs at least 1 client and 1 request per client, got "
+            f"clients={config.clients}, requests_per_client={config.requests_per_client}"
+        )
+    if not config.backends:
+        raise ValueError("serve-bench needs at least one backend")
+    model = make_bench_model(config.seed)
+    size = config.image_size
+    workload = make_workload(
+        config.clients, config.requests_per_client, (1, size, size), seed=config.seed
+    )
+    rows: list[dict] = []
+    bit_identical = True
+    for backend in config.backends:
+        predictor = Predictor(
+            model, batch_size=config.max_batch, tile=max(48, size), backend=backend
+        )
+        predictor.predict(workload.images[0][0][None])  # warm weight caches
+        reference = serial_reference(predictor, workload)
+        rows.append(_row(backend, "serial", reference))
+        for mode, max_batch, max_wait_ms in [
+            ("per-request", 1, 0.0),
+            ("micro-batched", config.max_batch, config.max_wait_ms),
+        ]:
+            with InferenceServer(
+                model,
+                workers=config.workers,
+                max_batch=max_batch,
+                max_wait_ms=max_wait_ms,
+                queue_depth=config.queue_depth,
+                backend=backend,
+                tile=max(48, size),
+            ) as server:
+                result = run_closed_loop(server, workload)
+                stats = server.stats()
+            bit_identical = bit_identical and result.bit_identical_to(reference)
+            rows.append(
+                _row(
+                    backend,
+                    mode,
+                    result,
+                    {
+                        "mean_batch_size": stats.mean_batch_size,
+                        "max_batch_size": stats.max_batch_size,
+                        "batches": stats.batches,
+                    },
+                )
+            )
+    return ServeBenchReport(config=config, rows=rows, bit_identical=bit_identical)

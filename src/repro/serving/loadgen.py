@@ -1,0 +1,161 @@
+"""Deterministic closed-loop load generation against an InferenceServer.
+
+A *closed loop* keeps a fixed number of concurrent clients, each with at
+most one request in flight: a client submits, waits for its result, then
+submits its next image.  Offered load therefore adapts to service rate —
+the standard way to measure "throughput at N concurrent users" without
+open-loop queue blowup.
+
+Everything is seeded: the workload (every client's image sequence) is a
+pure function of ``(seed, clients, requests, shape)``, so two runs — or
+a served run and a serial reference — see byte-identical inputs, which
+is what lets the bench assert byte-identical outputs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+import time
+
+import numpy as np
+
+from ..nn.inference import Predictor
+from .server import InferenceServer
+
+__all__ = ["Workload", "LoadResult", "make_workload", "run_closed_loop", "serial_reference"]
+
+
+@dataclasses.dataclass(frozen=True)
+class Workload:
+    """Per-client image sequences; ``images[c][k]`` is client c's k-th request."""
+
+    images: tuple[tuple[np.ndarray, ...], ...]
+
+    @property
+    def clients(self) -> int:
+        return len(self.images)
+
+    @property
+    def total_requests(self) -> int:
+        return sum(len(sequence) for sequence in self.images)
+
+
+def make_workload(
+    clients: int,
+    requests_per_client: int,
+    shapes: tuple[int, int, int] | list[tuple[int, int, int]],
+    seed: int = 0,
+) -> Workload:
+    """Seeded workload; with several shapes, clients cycle through them
+    (client c uses shape ``shapes[c % len(shapes)]``) so shape buckets
+    interleave in the queue."""
+    if isinstance(shapes, tuple) and len(shapes) == 3 and isinstance(shapes[0], int):
+        shapes = [shapes]
+    rng = np.random.default_rng(seed)
+    images = tuple(
+        tuple(
+            rng.standard_normal(shapes[client % len(shapes)])
+            for _ in range(requests_per_client)
+        )
+        for client in range(clients)
+    )
+    return Workload(images=images)
+
+
+@dataclasses.dataclass(frozen=True)
+class LoadResult:
+    """Outcome of one closed-loop run."""
+
+    outputs: tuple[tuple[np.ndarray, ...], ...]  # outputs[c][k]
+    duration_s: float
+    requests: int
+    throughput_rps: float
+    latency_ms_mean: float
+    latency_ms_p95: float
+
+    def bit_identical_to(self, reference: "LoadResult | tuple") -> bool:
+        """True when every output array matches ``reference`` bit for bit."""
+        other = reference.outputs if isinstance(reference, LoadResult) else reference
+        return all(
+            np.array_equal(mine, theirs)
+            for my_seq, their_seq in zip(self.outputs, other)
+            for mine, theirs in zip(my_seq, their_seq)
+        )
+
+
+def _collect(latencies: list[float], duration: float, outputs, requests: int) -> LoadResult:
+    lat_ms = np.sort(np.asarray(latencies)) * 1e3
+    p95 = float(np.percentile(lat_ms, 95)) if len(lat_ms) else float("nan")
+    return LoadResult(
+        outputs=outputs,
+        duration_s=duration,
+        requests=requests,
+        throughput_rps=requests / duration if duration > 0 else float("nan"),
+        latency_ms_mean=float(lat_ms.mean()) if len(lat_ms) else float("nan"),
+        latency_ms_p95=p95,
+    )
+
+
+def run_closed_loop(server: InferenceServer, workload: Workload) -> LoadResult:
+    """Drive ``server`` with one thread per client, closed-loop."""
+    clients = workload.clients
+    outputs: list[list[np.ndarray | None]] = [
+        [None] * len(sequence) for sequence in workload.images
+    ]
+    latencies: list[list[float]] = [[] for _ in range(clients)]
+    errors: list[BaseException | None] = [None] * clients
+    barrier = threading.Barrier(clients + 1)
+
+    def client_loop(client: int) -> None:
+        try:
+            barrier.wait()
+            for k, image in enumerate(workload.images[client]):
+                started = time.perf_counter()
+                outputs[client][k] = server.predict(image)
+                latencies[client].append(time.perf_counter() - started)
+        except BaseException as exc:  # surfaced to the caller below
+            errors[client] = exc
+
+    threads = [
+        threading.Thread(target=client_loop, args=(c,), name=f"loadgen-{c}")
+        for c in range(clients)
+    ]
+    for thread in threads:
+        thread.start()
+    barrier.wait()
+    started = time.perf_counter()
+    for thread in threads:
+        thread.join()
+    duration = time.perf_counter() - started
+    for error in errors:
+        if error is not None:
+            raise error
+    return _collect(
+        [latency for per_client in latencies for latency in per_client],
+        duration,
+        tuple(tuple(per_client) for per_client in outputs),  # type: ignore[arg-type]
+        workload.total_requests,
+    )
+
+
+def serial_reference(predictor: Predictor, workload: Workload) -> LoadResult:
+    """The bit-identity baseline: every request alone, one after another.
+
+    Same per-request work a server performs, minus concurrency and
+    micro-batching — both the correctness reference (served outputs must
+    match these arrays exactly) and the throughput baseline the serving
+    speedup is measured against.
+    """
+    latencies: list[float] = []
+    outputs = []
+    started = time.perf_counter()
+    for sequence in workload.images:
+        per_client = []
+        for image in sequence:
+            t0 = time.perf_counter()
+            per_client.append(predictor.predict(image[None])[0])
+            latencies.append(time.perf_counter() - t0)
+        outputs.append(tuple(per_client))
+    duration = time.perf_counter() - started
+    return _collect(latencies, duration, tuple(outputs), workload.total_requests)

@@ -326,3 +326,70 @@ class TestCliBackendFlag:
         with pytest.raises(SystemExit, match="unknown backend"):
             main(["list", "--backend", "gpu"])
         assert BACKEND_ENV_VAR not in os.environ
+
+
+# ----------------------------------------------------------------------
+# EinsumBackend: the deterministic (shape-invariant) substrate
+# ----------------------------------------------------------------------
+class TestEinsumBackend:
+    """EinsumBackend trades BLAS parity for shape-invariance: its outputs
+    agree with numpy only to rounding, but never change with the batch
+    size or pixel extent they were computed inside — the property the
+    tiled bit-identity tests in test_inference.py build on."""
+
+    def test_not_registered(self):
+        # Registered backends promise bit-parity with numpy (artifacts
+        # are backend-invariant); einsum's rounding differs by design,
+        # so it must stay out of the spec-string registry.
+        from repro.nn.backend import EinsumBackend
+
+        assert "einsum" not in available_backends()
+        with pytest.raises(ValueError):
+            make_backend("einsum")
+        assert isinstance(get_backend(EinsumBackend()), EinsumBackend)
+
+    def test_close_to_numpy_within_rounding(self):
+        from repro.nn.backend import EinsumBackend
+
+        rng = np.random.default_rng(0)
+        xd = rng.standard_normal((2, 3, 6, 6))
+        wd = rng.standard_normal((4, 3, 3, 3))
+        bd = rng.standard_normal(4)
+        with use_backend(EinsumBackend()), no_grad():
+            out = conv2d(Tensor(xd), Tensor(wd), Tensor(bd), padding=1)
+        with use_backend(NumpyBackend()), no_grad():
+            ref = conv2d(Tensor(xd), Tensor(wd), Tensor(bd), padding=1)
+        np.testing.assert_allclose(out.data, ref.data, rtol=1e-12, atol=1e-13)
+
+    def test_conv_output_is_batch_and_extent_invariant(self):
+        """The defining property: slicing the batch, or computing the
+        same window inside a wider image, returns identical bits."""
+        from repro.nn.backend import EinsumBackend
+
+        backend = EinsumBackend()
+        rng = np.random.default_rng(1)
+        xd = rng.standard_normal((5, 2, 8, 8))
+        wd = rng.standard_normal((3, 2, 3, 3))
+        with use_backend(backend), no_grad():
+            full = conv2d(Tensor(xd), Tensor(wd)).data
+            one = conv2d(Tensor(xd[2:3]), Tensor(wd)).data
+            # Same receptive fields, narrower extent (valid conv of a
+            # width-6 slab covers output columns 0..3 of the full run).
+            slab = conv2d(Tensor(xd[:, :, :, :6].copy()), Tensor(wd)).data
+        assert np.array_equal(one, full[2:3])
+        assert np.array_equal(slab, full[:, :, :, :4])
+
+    def test_grouped_matches_numpy_within_rounding_and_is_invariant(self):
+        from repro.nn.backend import EinsumBackend
+
+        backend = EinsumBackend()
+        rng = np.random.default_rng(2)
+        xd = rng.standard_normal((3, 4, 2, 5, 5))
+        wd = rng.standard_normal((4, 2, 2, 3, 3))
+        with use_backend(backend), no_grad():
+            full = conv2d_grouped(Tensor(xd), Tensor(wd), padding=1).data
+            one = conv2d_grouped(Tensor(xd[1:2]), Tensor(wd), padding=1).data
+        assert np.array_equal(one, full[1:2])
+        with use_backend(NumpyBackend()), no_grad():
+            ref = conv2d_grouped(Tensor(xd), Tensor(wd), padding=1).data
+        np.testing.assert_allclose(full, ref, rtol=1e-12, atol=1e-13)

@@ -5,6 +5,7 @@ import pytest
 
 from repro.models.ernet import dn_ernet_pu, sr4_ernet
 from repro.models.factory import make_factory
+from repro.nn.backend import EinsumBackend
 from repro.nn.inference import Predictor, TilingPlan, plan_for_model
 from repro.nn.layers import Conv2d, ReLU, Sequential
 
@@ -120,3 +121,102 @@ class TestTiledEqualsWhole:
         whole = Predictor(model, tile=44)(x)
         tiled = Predictor(model, tile=16)(x)
         np.testing.assert_allclose(tiled, whole, atol=1e-10)
+
+
+class TestAdversarialTilingParity:
+    """Adversarial tiling geometries, pinned at two strengths.
+
+    Under the shape-invariant :class:`EinsumBackend` (each output
+    element's reduction never depends on the GEMM extent around it),
+    tiled output must be **bit-identical** to whole-image inference —
+    the strongest form of the module's exactness claim.  On the BLAS
+    reference backend the same operands may be reassociated when crop
+    extents change the GEMM dimensions, so there the assertion is exact
+    math up to reassociation: ``rtol=0, atol=1e-13``.
+    """
+
+    @staticmethod
+    def _tiled_vs_whole(model, x, tile, batch_size=8):
+        einsum = EinsumBackend()
+        whole = Predictor(model, tile=max(x.shape[2:]), backend=einsum)(x)
+        tiled = Predictor(model, batch_size=batch_size, tile=tile, backend=einsum)(x)
+        assert np.array_equal(tiled, whole), "einsum tiled != whole (bit-level)"
+        whole_blas = Predictor(model, tile=max(x.shape[2:]))(x)
+        tiled_blas = Predictor(model, batch_size=batch_size, tile=tile)(x)
+        np.testing.assert_allclose(tiled_blas, whole_blas, rtol=0, atol=1e-13)
+
+    def test_tile_equals_image_edge(self):
+        # tile == one image edge: tiling degenerates along that axis but
+        # still cuts the other; both axes hit the clamped-crop edge case.
+        model = dn_ernet_pu(blocks=1, ratio=1, seed=10)
+        _randomize(model, seed=10)
+        x = np.random.default_rng(20).standard_normal((2, 1, 32, 48))
+        self._tiled_vs_whole(model, x, tile=32)
+
+    def test_minimal_halo(self):
+        # The smallest halo that still covers the receptive field: every
+        # retained pixel sits exactly at the coverage boundary, so an
+        # off-by-one in the halo arithmetic flips bits here first.
+        model = dn_ernet_pu(blocks=1, ratio=1, seed=11)
+        _randomize(model, seed=11)
+        derived = plan_for_model(model, tile=16)
+        plan = TilingPlan(
+            tile=16, halo=derived.halo, scale=derived.scale, divisor=derived.divisor
+        )
+        x = np.random.default_rng(21).standard_normal((1, 1, 48, 32))
+        einsum = EinsumBackend()
+        whole = Predictor(model, tile=48, backend=einsum)(x)
+        tiled = Predictor(model, plan=plan, backend=einsum)(x)
+        assert np.array_equal(tiled, whole)
+        # One step below the sound halo must *not* match: proves the
+        # assertion above has teeth (the halo is minimal, not slack).
+        short = TilingPlan(
+            tile=16,
+            halo=derived.halo - derived.divisor,
+            scale=derived.scale,
+            divisor=derived.divisor,
+        )
+        under = Predictor(model, plan=short, backend=einsum)(x)
+        assert not np.array_equal(under, whole)
+
+    def test_non_square_and_prime_sizes(self):
+        # Prime extents guarantee ragged final tiles on both axes and
+        # defeat any accidental reliance on divisibility.
+        sr = sr4_ernet(blocks=1, ratio=1, seed=12)
+        _randomize(sr, seed=12)
+        x = np.random.default_rng(22).standard_normal((1, 1, 37, 53))
+        self._tiled_vs_whole(sr, x, tile=16)
+
+    def test_prime_tile_on_denoiser(self):
+        model = dn_ernet_pu(blocks=1, ratio=1, seed=13)
+        _randomize(model, seed=13)
+        x = np.random.default_rng(23).standard_normal((1, 1, 38, 54))
+        self._tiled_vs_whole(model, x, tile=22)
+
+    def test_batch_remainder_of_one(self):
+        # 9 images through batch_size 8: the final forward carries a
+        # single crop — the degenerate GEMM batch.
+        model = dn_ernet_pu(blocks=1, ratio=1, seed=14)
+        _randomize(model, seed=14)
+        x = np.random.default_rng(24).standard_normal((9, 1, 16, 16))
+        einsum = EinsumBackend()
+        whole = Predictor(model, batch_size=16, backend=einsum)(x)
+        chunked = Predictor(model, batch_size=8, backend=einsum)(x)
+        assert np.array_equal(chunked, whole)
+        # Batch-axis chunking is bit-exact on the BLAS backend too (the
+        # per-slice GEMM dimensions never change) — the guarantee the
+        # serving layer's micro-batching rests on.
+        whole_blas = Predictor(model, batch_size=16)(x)
+        chunked_blas = Predictor(model, batch_size=8)(x)
+        assert np.array_equal(chunked_blas, whole_blas)
+
+    def test_tiled_jobs_batch_remainder(self):
+        # Tiled path, 2x2 tile grid per image + batch_size 3: crop
+        # batches straddle images and end on a remainder of 1.
+        model = dn_ernet_pu(blocks=1, ratio=1, seed=15)
+        _randomize(model, seed=15)
+        x = np.random.default_rng(25).standard_normal((1, 1, 32, 32))
+        einsum = EinsumBackend()
+        whole = Predictor(model, tile=32, backend=einsum)(x)
+        tiled = Predictor(model, batch_size=3, tile=16, backend=einsum)(x)
+        assert np.array_equal(tiled, whole)

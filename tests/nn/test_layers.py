@@ -208,3 +208,108 @@ class TestModulePlumbing:
         assert layer.weight.grad is not None
         layer.zero_grad()
         assert layer.weight.grad is None
+
+
+class TestEvalWeightCacheConcurrency:
+    """Regression: eval-mode weight caches under concurrent forwards.
+
+    Before the snapshot-read + locked-fill fix, ``_expanded_eval_weight``
+    read ``self._weight_cache`` three times — a concurrent ``train()`` /
+    ``load_state_dict()`` clearing the cache between the staleness check
+    and the ``[1]`` subscript could crash with ``TypeError: 'NoneType'
+    object is not subscriptable`` (an interleaving whose reachability
+    depends on where the interpreter can switch threads — it is real on
+    free-threaded builds and older eval loops), and concurrent
+    first-touch raced duplicate fills.  These tests hammer exactly those
+    interleavings so the guarantee is pinned behaviorally, not by code
+    inspection.
+    """
+
+    @staticmethod
+    def _hammer(layer, x, expected, clear, iterations=300, threads=4):
+        import threading
+
+        from repro.nn.tensor import no_grad
+
+        errors: list[BaseException] = []
+        stop = threading.Event()
+
+        def forward_loop() -> None:
+            try:
+                with no_grad():
+                    for _ in range(iterations):
+                        out = layer(Tensor(x)).data
+                        if not np.array_equal(out, expected):
+                            raise AssertionError("stale or torn cached weights")
+            except BaseException as exc:
+                errors.append(exc)
+            finally:
+                stop.set()
+
+        def clear_loop() -> None:
+            while not stop.is_set():
+                clear()
+
+        workers = [threading.Thread(target=forward_loop) for _ in range(threads)]
+        clearer = threading.Thread(target=clear_loop)
+        for thread in workers:
+            thread.start()
+        clearer.start()
+        for thread in workers:
+            thread.join()
+        clearer.join()
+        assert not errors, errors[0]
+
+    def test_ring_conv_cache_survives_concurrent_clears(self):
+        spec = get_ring("ri4")
+        layer = RingConv2d(4, 4, 3, ring=spec.ring, seed=0)
+        layer.eval()
+        x = np.random.default_rng(0).standard_normal((1, 4, 6, 6))
+        from repro.nn.tensor import no_grad
+
+        with no_grad():
+            expected = layer(Tensor(x)).data
+        self._hammer(layer, x, expected, layer._clear_weight_cache)
+
+    def test_fastconv_cache_survives_concurrent_clears(self):
+        from repro.nn.fastconv import FastRingConv2d
+
+        spec = get_ring("ri4")
+        layer = FastRingConv2d(4, 4, 3, spec, seed=0)
+        layer.eval()
+        x = np.random.default_rng(1).standard_normal((1, 4, 6, 6))
+        from repro.nn.tensor import no_grad
+
+        with no_grad():
+            expected = layer(Tensor(x)).data
+        self._hammer(layer, x, expected, layer._clear_weight_cache)
+
+    def test_concurrent_first_touch_fills_once(self):
+        """Many threads racing the very first eval forward must agree
+        bit-for-bit and leave one coherent cache behind."""
+        import threading
+
+        from repro.nn.tensor import no_grad
+
+        spec = get_ring("h")
+        layer = RingConv2d(4, 4, 3, ring=spec.ring, seed=2)
+        layer.eval()
+        x = np.random.default_rng(2).standard_normal((1, 4, 6, 6))
+        outputs: list[np.ndarray] = [None] * 8  # type: ignore[list-item]
+        barrier = threading.Barrier(8)
+
+        def first_touch(slot: int) -> None:
+            barrier.wait()
+            with no_grad():
+                outputs[slot] = layer(Tensor(x)).data
+
+        threads = [
+            threading.Thread(target=first_touch, args=(i,)) for i in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        for out in outputs[1:]:
+            assert np.array_equal(out, outputs[0])
+        assert layer._weight_cache is not None

@@ -199,3 +199,54 @@ class TestUtility:
     def test_numpy_view(self):
         a = Tensor(np.ones(3))
         assert a.numpy() is a.data
+
+
+class TestGradStateThreadLocality:
+    """no_grad must scope per thread, or concurrent inference workers
+    would re-enable graph construction under each other (the serving
+    layer runs one no_grad per worker, overlapping arbitrarily)."""
+
+    def test_no_grad_in_worker_does_not_leak_to_main(self):
+        import threading
+
+        from repro.nn.tensor import is_grad_enabled
+
+        entered = threading.Event()
+        release = threading.Event()
+        observed = {}
+
+        def worker() -> None:
+            with no_grad():
+                entered.set()
+                release.wait(timeout=10)
+                observed["worker_inside"] = is_grad_enabled()
+            observed["worker_after"] = is_grad_enabled()
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        assert entered.wait(timeout=10)
+        # Main thread still records graphs while the worker is inside.
+        assert is_grad_enabled()
+        a = Tensor(np.ones(2), requires_grad=True)
+        out = (a * 3).sum()
+        release.set()
+        thread.join()
+        out.backward()
+        np.testing.assert_allclose(a.grad, [3.0, 3.0])
+        assert observed == {"worker_inside": False, "worker_after": True}
+
+    def test_new_threads_start_with_grads_enabled(self):
+        import threading
+
+        from repro.nn.tensor import is_grad_enabled
+
+        # Even when spawned from inside a no_grad block: the flag is
+        # per-thread state, not inherited ambient state.
+        observed = {}
+        with no_grad():
+            thread = threading.Thread(
+                target=lambda: observed.setdefault("enabled", is_grad_enabled())
+            )
+            thread.start()
+            thread.join()
+        assert observed == {"enabled": True}

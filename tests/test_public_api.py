@@ -9,7 +9,17 @@ def test_package_imports_and_version():
     import repro
 
     assert repro.__version__ == "1.0.0"
-    for sub in ("rings", "nn", "models", "quant", "pruning", "hardware", "imaging", "experiments"):
+    for sub in (
+        "rings",
+        "nn",
+        "models",
+        "quant",
+        "pruning",
+        "hardware",
+        "imaging",
+        "experiments",
+        "serving",
+    ):
         assert hasattr(repro, sub)
 
 
@@ -60,3 +70,17 @@ def test_experiment_modules_expose_run_and_format():
         module = getattr(experiments, name)
         assert callable(module.run)
         assert callable(module.format_result)
+
+
+def test_serving_namespace_exports():
+    """The serving layer's surface needs no deep paths."""
+    from repro import serving
+
+    for name in (
+        "InferenceServer", "ServerStats", "ServerClosed", "ServerOverloaded",
+        "make_workload", "run_closed_loop", "serial_reference", "run_serve_bench",
+    ):
+        assert name in serving.__all__, f"{name} missing from repro.serving.__all__"
+    from repro.nn import EinsumBackend  # the deterministic verification substrate
+
+    assert EinsumBackend().name == "einsum"
