@@ -1,0 +1,162 @@
+"""Benchmark: training-engine throughput and checkpoint overhead.
+
+Three measurements back the repro.train subsystem's design:
+
+* engine steps/s on the shared denoising recipe (the number every
+  ``--scale paper`` runtime estimate is built from), recorded next to
+  the legacy-loop figure to show the callback machinery costs nothing
+  measurable;
+* checkpoint save + load round-trip latency (what a ``--save-every 1``
+  cadence adds per epoch);
+* warm-start speedup: loading cached trained weights versus retraining
+  them (why ``python -m repro run --warm-start`` exists).
+
+All engine outputs are asserted bit-identical to the legacy loop before
+any timing is recorded, so the table compares plumbing, never numerics.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.nn.data import ArrayDataset, DataLoader
+from repro.nn.loss import mse_loss
+from repro.nn.optim import Adam, CosineLR, clip_grad_norm
+from repro.nn.tensor import Tensor
+from repro.nn.trainer import TrainConfig
+from repro.models.ernet import dn_ernet_pu
+from repro.train import TrainEngine
+
+
+def _workload(epochs=4, train_count=16, size=16, batch_size=8):
+    rng = np.random.default_rng(0)
+    x = rng.standard_normal((train_count, 1, size, size))
+    y = x * 0.7
+    config = TrainConfig(epochs=epochs, lr=2e-3, batch_size=batch_size)
+
+    def fresh():
+        model = dn_ernet_pu(blocks=1, ratio=1, seed=0)
+        loader = DataLoader(ArrayDataset(x, y), batch_size=batch_size, seed=0)
+        return model, loader
+
+    return config, fresh
+
+
+def _legacy_train(model, loader, config):
+    params = model.parameters()
+    optimizer = Adam(params, lr=config.lr)
+    schedule = CosineLR(optimizer, total=config.epochs, min_lr=config.lr * config.min_lr_ratio)
+    model.train()
+    for _ in range(config.epochs):
+        for inputs, targets in loader:
+            optimizer.zero_grad()
+            loss = mse_loss(model(Tensor(inputs)), targets)
+            loss.backward()
+            clip_grad_norm(params, config.grad_clip)
+            optimizer.step()
+        schedule.step()
+    model.eval()
+
+
+def test_engine_steps_per_second(record_result):
+    """Engine vs legacy-loop training throughput (same numerics, same speed)."""
+    config, fresh = _workload()
+    steps = config.epochs * 2  # 16 samples / batch 8 = 2 steps per epoch
+
+    model_legacy, loader_legacy = fresh()
+    start = time.perf_counter()
+    _legacy_train(model_legacy, loader_legacy, config)
+    legacy_s = time.perf_counter() - start
+
+    model_engine, loader_engine = fresh()
+    start = time.perf_counter()
+    TrainEngine(model_engine, config).fit(loader_engine)
+    engine_s = time.perf_counter() - start
+
+    for (name, p), (_, q) in zip(
+        model_legacy.named_parameters(), model_engine.named_parameters()
+    ):
+        assert np.array_equal(p.data, q.data), f"{name} diverged"
+
+    rows = [
+        {"loop": "legacy", "seconds": legacy_s, "steps_per_s": steps / legacy_s},
+        {"loop": "engine", "seconds": engine_s, "steps_per_s": steps / engine_s},
+    ]
+    lines = [f"DnERNet-PU B1R1, {config.epochs} epochs x {steps // config.epochs} steps"]
+    for row in rows:
+        lines.append(
+            f"  {row['loop']:<8} {row['seconds'] * 1e3:8.1f} ms   "
+            f"{row['steps_per_s']:8.1f} steps/s"
+        )
+    record_result("training_engine", "\n".join(lines), rows)
+    # The callback scaffolding must be noise next to the conv kernels.
+    assert engine_s < legacy_s * 1.5
+
+
+def test_checkpoint_roundtrip_latency(tmp_path, record_result):
+    """Save + load cost of a full engine checkpoint (per-epoch cadence)."""
+    config, fresh = _workload(epochs=2)
+    model, loader = fresh()
+    engine = TrainEngine(model, config)
+    engine.fit(loader)
+    path = tmp_path / "bench.npz"
+
+    start = time.perf_counter()
+    repeats = 20
+    for _ in range(repeats):
+        engine.save_checkpoint(path)
+    save_ms = (time.perf_counter() - start) / repeats * 1e3
+
+    model2, loader2 = fresh()
+    engine2 = TrainEngine(model2, config)
+    start = time.perf_counter()
+    for _ in range(repeats):
+        engine2.load_checkpoint(path, loader=loader2)
+    load_ms = (time.perf_counter() - start) / repeats * 1e3
+
+    size_kb = path.stat().st_size / 1024
+    rows = [{"save_ms": save_ms, "load_ms": load_ms, "size_kb": size_kb}]
+    record_result(
+        "training_checkpoint",
+        f"checkpoint round-trip ({size_kb:.1f} KiB file)\n"
+        f"  save {save_ms:6.2f} ms   load {load_ms:6.2f} ms",
+        rows,
+    )
+
+
+def test_warm_start_speedup(tmp_path, monkeypatch, record_result):
+    """Cached-weight warm start vs retraining the same experiment model."""
+    import dataclasses
+
+    from repro.experiments import weights
+    from repro.experiments.runner import make_task, run_quality
+    from repro.experiments.settings import TINY
+
+    scale = dataclasses.replace(TINY, train_count=8, test_count=2, epochs=4)
+    monkeypatch.setenv(weights.WEIGHTS_DIR_ENV, str(tmp_path / "weights"))
+    monkeypatch.setenv(weights.WARM_START_ENV, "1")
+    data = make_task("denoise", scale)
+
+    start = time.perf_counter()
+    cold = run_quality("real", "denoise", scale, data=data)  # trains + stores
+    cold_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    warm = run_quality("real", "denoise", scale, data=data)  # cache hit
+    warm_s = time.perf_counter() - start
+
+    assert warm.psnr_db == cold.psnr_db
+    rows = [
+        {"path": "cold (train)", "seconds": cold_s},
+        {"path": "warm (cache)", "seconds": warm_s, "speedup": cold_s / warm_s},
+    ]
+    record_result(
+        "training_warm_start",
+        f"quality run, DnERNet-PU B1R1 x {scale.epochs} epochs\n"
+        f"  cold {cold_s * 1e3:8.1f} ms\n"
+        f"  warm {warm_s * 1e3:8.1f} ms   ({cold_s / warm_s:.1f}x)",
+        rows,
+    )
+    assert warm_s < cold_s

@@ -15,7 +15,7 @@ Quick start::
 See README.md and DESIGN.md.
 """
 
-from . import experiments, hardware, imaging, models, nn, pruning, quant, rings
+from . import experiments, hardware, imaging, models, nn, pruning, quant, rings, train
 
 __version__ = "1.0.0"
 
@@ -40,5 +40,6 @@ __all__ = [
     "quant",
     "rings",
     "serving",
+    "train",
     "__version__",
 ]

@@ -12,6 +12,7 @@ See DESIGN.md section 4 for the experiment index.
 from . import (
     ablations,
     artifacts,
+    weights,
     fig01,
     fig09,
     fig10,
@@ -30,12 +31,19 @@ from . import (
     table7,
     table8,
 )
-from .runner import QualityResult, make_task, run_quality, train_restoration
+from .runner import (
+    QualityResult,
+    make_task,
+    run_quality,
+    train_restoration,
+    train_with_cache,
+)
 from .settings import MEDIUM, PAPER_TABLE3, SMALL, TINY, QualityScale
 
 __all__ = [
     "ablations",
     "artifacts",
+    "weights",
     "fig01",
     "fig09",
     "fig10",
@@ -57,6 +65,7 @@ __all__ = [
     "make_task",
     "run_quality",
     "train_restoration",
+    "train_with_cache",
     "MEDIUM",
     "PAPER_TABLE3",
     "SMALL",

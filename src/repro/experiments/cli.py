@@ -6,7 +6,12 @@ Subcommands:
 * ``run``    — execute experiments (``all`` or a subset) at a scale
   preset, in parallel with ``--jobs N``, writing fingerprinted JSON
   artifacts under ``results/``.  Re-runs are cache hits unless
-  ``--force``.
+  ``--force``; ``--warm-start`` lets experiments reuse cached trained
+  weights (:mod:`repro.experiments.weights`) instead of retraining.
+* ``train``  — train one model (``<task>[:<kind>]``) through the
+  checkpointable :class:`repro.train.TrainEngine`, saving a resumable
+  ``.npz`` checkpoint each epoch; ``--resume`` continues a previous run
+  bit-for-bit from its checkpoint.
 * ``report`` — render the paper-style tables/figures from cached
   artifacts without recomputing anything.
 * ``serve-bench`` — benchmark the :mod:`repro.serving` inference server:
@@ -28,6 +33,7 @@ from __future__ import annotations
 import argparse
 import multiprocessing
 import os
+import pathlib
 import sys
 import time
 from typing import Any, Sequence
@@ -123,6 +129,17 @@ def cmd_run(args: argparse.Namespace) -> int:
     names = _resolve_names(args.experiments)
     store = artifacts.ArtifactStore(args.results_dir)
     jobs = max(1, args.jobs)
+    if args.warm_start:
+        # Environment (like --backend) so spawn workers inherit it; the
+        # flag stays out of artifact fingerprints because a warm start
+        # reproduces the cold result byte for byte.  The cache lives
+        # beside the artifacts so --results-dir isolates both.
+        from . import weights
+
+        os.environ[weights.WARM_START_ENV] = "1"
+        os.environ[weights.WEIGHTS_DIR_ENV] = str(
+            pathlib.Path(args.results_dir) / "weights"
+        )
 
     pending: list[str] = []
     for name in names:
@@ -180,6 +197,95 @@ def cmd_run(args: argparse.Namespace) -> int:
         + (f", {len(failed)} failed: {', '.join(failed)})" if failed else ")")
     )
     return 1 if failed else 0
+
+
+def cmd_train(args: argparse.Namespace) -> int:
+    # Local imports: `python -m repro list/run` never pays for them.
+    import dataclasses
+
+    import numpy as np
+
+    from repro.experiments.settings import get_scale
+    from repro.models.factory import make_factory
+    from repro.nn.data import ArrayDataset, DataLoader
+    from repro.nn.trainer import TrainConfig
+    from repro.train import CheckpointCallback, CheckpointError, TrainEngine, load_checkpoint
+
+    from .runner import evaluate_psnr, make_task, model_for_task
+
+    task, _, kind = args.model.partition(":")
+    kind = kind or "real"
+    if task not in ("denoise", "sr4"):
+        raise SystemExit(f"unknown task {task!r}; model is <task>[:<kind>], task denoise|sr4")
+    try:
+        factory = make_factory(kind) if kind != "real" else None
+    except KeyError as exc:
+        raise SystemExit(f"unknown algebra kind {kind!r}: {exc}")
+
+    scale = get_scale(args.scale)
+    ckpt_path = pathlib.Path(
+        args.checkpoint
+        or pathlib.Path(args.results_dir) / "checkpoints" / f"{task}-{kind}-{args.scale}.npz"
+    )
+
+    resumed = None
+    if args.resume:
+        try:
+            resumed = load_checkpoint(ckpt_path)
+        except CheckpointError as exc:
+            raise SystemExit(f"--resume: {exc}")
+    # The schedule horizon: explicit --epochs, else whatever the
+    # checkpoint trained toward (so a resume continues the same cosine
+    # decay), else the scale preset.
+    if args.epochs is not None:
+        epochs = args.epochs
+    elif resumed is not None and resumed.config:
+        epochs = int(resumed.config["epochs"])
+    else:
+        epochs = scale.epochs
+    config = TrainConfig(epochs=epochs, lr=scale.lr, seed=scale.seed)
+
+    data = make_task(task, scale)
+    model = model_for_task(task, factory, scale, seed=args.seed)
+    loader = DataLoader(
+        ArrayDataset(data.train_inputs, data.train_targets),
+        batch_size=scale.batch_size,
+        seed=scale.seed,
+    )
+    model_spec = {"family": "ernet", "kind": kind, **dataclasses.asdict(model.config)}
+    engine = TrainEngine(
+        model,
+        config,
+        callbacks=[CheckpointCallback(ckpt_path, every=args.save_every, model_spec=model_spec)],
+    )
+    if resumed is not None:
+        try:
+            engine.load_checkpoint(ckpt_path, loader=loader)
+        except (CheckpointError, KeyError, ValueError) as exc:
+            raise SystemExit(f"--resume: checkpoint does not match this model: {exc}")
+        print(f"{args.model:<12} resumed epoch {engine.epoch} from {ckpt_path}")
+
+    todo = (
+        min(args.train_epochs, max(0, epochs - engine.epoch))
+        if args.train_epochs is not None
+        else max(0, epochs - engine.epoch)
+    )
+    if todo == 0:
+        print(f"{args.model:<12} already at epoch {engine.epoch}/{epochs}; nothing to train")
+    else:
+        started = time.perf_counter()
+        result = engine.fit(loader, epochs=todo)
+        elapsed = time.perf_counter() - started
+        print(
+            f"{args.model:<12} {args.scale:<6} trained {todo} epoch(s) "
+            f"to {engine.epoch}/{epochs} in {elapsed:.1f}s "
+            f"(loss {result.final_loss:.5f}, lr {result.lr_trace[-1]:.2e}, "
+            f"grad-norm {float(np.mean(result.grad_norms)):.3f} mean)"
+        )
+    psnr = evaluate_psnr(model, data)
+    print(f"{args.model:<12} {args.scale:<6} test PSNR {psnr:.2f} dB")
+    print(f"{args.model:<12} checkpoint {ckpt_path}")
+    return 0
 
 
 def cmd_report(args: argparse.Namespace) -> int:
@@ -288,8 +394,60 @@ def build_parser() -> argparse.ArgumentParser:
     sub_run.add_argument(
         "--force", action="store_true", help="recompute even on a cache hit"
     )
+    sub_run.add_argument(
+        "--warm-start",
+        action="store_true",
+        help=(
+            "reuse cached trained weights (results/weights/) for "
+            "experiments whose training fingerprint matches; results are "
+            "byte-identical to cold runs"
+        ),
+    )
     add_common(sub_run)
     sub_run.set_defaults(func=cmd_run)
+
+    sub_train = subparsers.add_parser(
+        "train", help="train one model with the checkpointable engine"
+    )
+    sub_train.add_argument(
+        "model",
+        help="what to train: <task>[:<kind>], e.g. denoise:real or sr4:ri4+fh",
+    )
+    sub_train.add_argument(
+        "--epochs",
+        type=int,
+        default=None,
+        help="total schedule horizon (default: the scale preset's; on "
+        "--resume, the checkpoint's)",
+    )
+    sub_train.add_argument(
+        "--train-epochs",
+        type=int,
+        default=None,
+        metavar="K",
+        help="run at most K epochs this invocation (checkpoint, resume later)",
+    )
+    sub_train.add_argument(
+        "--resume",
+        action="store_true",
+        help="continue bit-for-bit from the checkpoint file",
+    )
+    sub_train.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="PATH",
+        help="checkpoint file (default: <results-dir>/checkpoints/<task>-<kind>-<scale>.npz)",
+    )
+    sub_train.add_argument(
+        "--save-every",
+        type=int,
+        default=1,
+        metavar="N",
+        help="checkpoint cadence in epochs (default 1)",
+    )
+    sub_train.add_argument("--seed", type=int, default=0, help="model init seed")
+    add_common(sub_train)
+    sub_train.set_defaults(func=cmd_train)
 
     sub_report = subparsers.add_parser(
         "report", help="render cached artifacts as the paper's tables/figures"

@@ -22,9 +22,9 @@ from ..models.factory import make_factory
 from ..nn.data import ArrayDataset, DataLoader
 from ..nn.layers import Conv2d, RingConv2d
 from ..nn.module import Module
-from ..nn.trainer import TrainConfig, train_model
+from ..nn.trainer import TrainConfig
 from ..pruning.magnitude import finetune_pruned, prune_model
-from .runner import evaluate_psnr
+from .runner import evaluate_psnr, model_spec_for, train_with_cache
 from .settings import SMALL, QualityScale, get_scale
 from .artifacts import to_jsonable as _jsonable
 from .registry import register
@@ -53,13 +53,11 @@ def count_macs(model: Module, sparsity_discount: float = 1.0) -> float:
     return total / sparsity_discount
 
 
-def _train(model: Module, data: TaskData, scale: QualityScale) -> float:
-    loader = DataLoader(
-        ArrayDataset(data.train_inputs, data.train_targets),
-        batch_size=scale.batch_size,
-        seed=scale.seed,
+def _train(model: Module, data: TaskData, scale: QualityScale, kind: str) -> float:
+    """Train one Fig. 1 method point through the shared cached recipe."""
+    train_with_cache(
+        model, data, scale, label=f"fig01-{kind}", spec=model_spec_for(model, kind, 0)
     )
-    train_model(model, loader, TrainConfig(epochs=scale.epochs, lr=scale.lr))
     return evaluate_psnr(model, data)
 
 
@@ -82,7 +80,7 @@ def run(
     # --- real-valued baseline (1x) ----------------------------------------
     baseline = SRResNet(blocks=blocks, width=width, seed=0)
     base_macs = count_macs(baseline)
-    psnr = _train(baseline, data, scale)
+    psnr = _train(baseline, data, scale, "real")
     base_state = baseline.state_dict()
     points.append(Fig1Point("SRResNet (1x)", 1.0, psnr, baseline.num_parameters()))
 
@@ -110,21 +108,21 @@ def run(
 
     # --- depth-wise convolution ---------------------------------------------
     dwc = SRResNet(blocks=blocks, width=width, factory=make_factory("dwc"), seed=0)
-    psnr = _train(dwc, data, scale)
+    psnr = _train(dwc, data, scale, "dwc")
     points.append(
         Fig1Point("depth-wise conv", base_macs / count_macs(dwc), psnr, dwc.num_parameters())
     )
 
     # --- compact modeling: depth and channel reduction -----------------------
     shallow = SRResNet(blocks=max(1, blocks // 2), width=width, seed=0)
-    psnr = _train(shallow, data, scale)
+    psnr = _train(shallow, data, scale, "real")
     points.append(
         Fig1Point(
             "depth reduction", base_macs / count_macs(shallow), psnr, shallow.num_parameters()
         )
     )
     narrow = SRResNet(blocks=blocks, width=width // 2, seed=0)
-    psnr = _train(narrow, data, scale)
+    psnr = _train(narrow, data, scale, "real")
     points.append(
         Fig1Point(
             "channel reduction", base_macs / count_macs(narrow), psnr, narrow.num_parameters()
@@ -136,7 +134,7 @@ def run(
         if width % n:
             continue
         model = SRResNet(blocks=blocks, width=width, factory=make_factory(f"ri{n}+fh"), seed=0)
-        psnr = _train(model, data, scale)
+        psnr = _train(model, data, scale, f"ri{n}+fh")
         points.append(
             Fig1Point(
                 f"RingCNN n={n}", base_macs / count_macs(model), psnr, model.num_parameters()

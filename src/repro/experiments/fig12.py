@@ -15,7 +15,13 @@ from ..hardware.engine import engine_for_ring, real_engine
 from ..imaging.datasets import TaskData
 from ..models.factory import make_factory
 from ..quant.quantize import QuantizingFactory, calibrate, quantize_weights
-from .runner import evaluate_psnr, make_task, model_for_task, train_restoration
+from .runner import (
+    evaluate_psnr,
+    make_task,
+    model_for_task,
+    model_spec_for,
+    train_restoration,
+)
 from .settings import SMALL, QualityScale, get_scale
 from .artifacts import to_jsonable as _jsonable
 from .registry import register
@@ -53,7 +59,12 @@ def quantized_psnr(
     base = make_factory(kind)
     factory = QuantizingFactory(base, word_bits=word_bits)
     model = model_for_task(task, factory, scale, seed=seed)
-    train_restoration(model, data, scale, label=kind)
+    # Cache key uses the quantizing factory's full name (base algebra +
+    # word bits + mode); not rebuildable via make_factory, so no
+    # "family" marker — the bundle serves warm starts only.
+    spec = dict(model_spec_for(model, model.factory_name, seed))
+    spec.pop("family", None)
+    train_restoration(model, data, scale, label=kind, cache_spec=spec)
     psnr_float = evaluate_psnr(model, data)
     quantize_weights(model, word_bits)
     calibrate(model, data.train_inputs[: max(4, len(data.train_inputs) // 4)])

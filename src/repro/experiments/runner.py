@@ -8,6 +8,8 @@ see the identical data, loss, optimizer and schedule — the paper's
 from __future__ import annotations
 
 import dataclasses
+import hashlib
+from typing import Any, Mapping
 
 from ..imaging.datasets import TaskData, make_denoising_task, make_sr_task
 from ..imaging.metrics import average_psnr
@@ -16,14 +18,18 @@ from ..models.factory import LayerFactory, make_factory
 from ..nn.data import ArrayDataset, DataLoader
 from ..nn.inference import Predictor
 from ..nn.module import Module
-from ..nn.trainer import TrainConfig, train_model
+from ..nn.trainer import TrainConfig, TrainResult
+from ..train.engine import TrainEngine
 from .settings import QualityScale, SMALL
+from .weights import WeightCache, training_fingerprint, warm_start_enabled
 
 __all__ = [
     "QualityResult",
     "make_task",
     "model_for_task",
+    "model_spec_for",
     "evaluate_psnr",
+    "train_with_cache",
     "train_restoration",
     "run_quality",
 ]
@@ -109,17 +115,85 @@ def evaluate_psnr(
     return average_psnr(pred, data.test_targets, shave=shave)
 
 
-def train_restoration(
-    model: Module, data: TaskData, scale: QualityScale, label: str = "model"
-) -> QualityResult:
-    """Train on the task's train split and report test PSNR."""
+def model_spec_for(model: Module, kind: str, seed: int) -> dict[str, Any]:
+    """Cache-key description of one model construction.
+
+    ERNets contribute their full config (and stay rebuildable from a
+    checkpoint via ``family``/``kind``); other models fall back to class
+    name + parameter count, which together with the init seed and
+    factory kind pins the architecture for every model in the repo.
+    """
+    spec: dict[str, Any] = {"model": type(model).__name__, "kind": kind, "seed": seed}
+    config = getattr(model, "config", None)
+    if dataclasses.is_dataclass(config) and not isinstance(config, type):
+        spec.update(dataclasses.asdict(config))
+        if type(model).__name__ == "ERNet":
+            spec["family"] = "ernet"
+    else:
+        spec["parameters"] = model.num_parameters()
+    return spec
+
+
+def _data_digest(data: TaskData) -> str:
+    """Content hash of the training split (exact, recipe-independent)."""
+    sha = hashlib.sha256()
+    for arr in (data.train_inputs, data.train_targets):
+        sha.update(str(arr.shape).encode())
+        sha.update(arr.tobytes())
+    return sha.hexdigest()[:16]
+
+
+def train_with_cache(
+    model: Module,
+    data: TaskData,
+    scale: QualityScale,
+    label: str = "model",
+    spec: Mapping[str, Any] | None = None,
+) -> TrainResult:
+    """Train with the shared recipe, warm-starting from cached weights.
+
+    Cold path (warm starts disabled, or no ``spec``): bit-identical to
+    the original ``train_model`` flow — fresh seeded loader, the shared
+    :class:`TrainConfig`, the engine's loop.  With ``REPRO_WARM_START``
+    set and a cache hit on the (model spec, training data, TrainConfig)
+    fingerprint, the stored weights and loss history are restored
+    instead — producing the exact arrays and ``TrainResult`` the cold
+    path would, without the training time.
+    """
+    config = TrainConfig(epochs=scale.epochs, lr=scale.lr, seed=scale.seed)
+    digest = None
+    if spec is not None and warm_start_enabled():
+        cache = WeightCache()
+        full_spec = dict(spec)
+        full_spec["data"] = _data_digest(data)
+        full_spec["loader"] = {"batch_size": scale.batch_size, "seed": scale.seed}
+        digest = training_fingerprint(full_spec, config)
+        hit = cache.load(label, digest)
+        if hit is not None:
+            model.load_state_dict(hit.model_state)
+            model.eval()
+            return WeightCache.result_of(hit)
     loader = DataLoader(
         ArrayDataset(data.train_inputs, data.train_targets),
         batch_size=scale.batch_size,
         seed=scale.seed,
     )
-    config = TrainConfig(epochs=scale.epochs, lr=scale.lr, seed=scale.seed)
-    result = train_model(model, loader, config)
+    result = TrainEngine(model, config).fit(loader)
+    if digest is not None:
+        rebuildable = spec if spec and spec.get("family") == "ernet" else None
+        cache.store(label, digest, model, result, model_spec=rebuildable)
+    return result
+
+
+def train_restoration(
+    model: Module,
+    data: TaskData,
+    scale: QualityScale,
+    label: str = "model",
+    cache_spec: Mapping[str, Any] | None = None,
+) -> QualityResult:
+    """Train on the task's train split and report test PSNR."""
+    result = train_with_cache(model, data, scale, label=label, spec=cache_spec)
     return QualityResult(
         label=label,
         task=data.task,
@@ -141,4 +215,6 @@ def run_quality(
     data = data if data is not None else make_task(task, scale)
     factory = make_factory(kind) if kind != "real" else None
     model = model_for_task(task, factory, scale, seed=seed)
-    return train_restoration(model, data, scale, label=kind)
+    return train_restoration(
+        model, data, scale, label=kind, cache_spec=model_spec_for(model, kind, seed)
+    )

@@ -48,7 +48,7 @@ from .layers import (
 )
 from .loss import charbonnier_loss, cross_entropy_loss, l1_loss, mse_loss
 from .module import Module
-from .optim import SGD, Adam, CosineLR, StepLR, clip_grad_norm
+from .optim import SGD, Adam, CosineLR, LRScheduler, Optimizer, StepLR, clip_grad_norm
 from .tensor import Parameter, Tensor, as_tensor, concat, no_grad
 from .trainer import TrainConfig, TrainResult, evaluate_mse, train_model
 
@@ -100,6 +100,8 @@ __all__ = [
     "Module",
     "SGD",
     "Adam",
+    "Optimizer",
+    "LRScheduler",
     "CosineLR",
     "StepLR",
     "clip_grad_norm",

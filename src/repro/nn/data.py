@@ -2,7 +2,8 @@
 
 from __future__ import annotations
 
-from typing import Iterator
+import copy
+from typing import Any, Iterator
 
 import numpy as np
 
@@ -47,6 +48,21 @@ class DataLoader:
         if self.drop_last:
             return n // self.batch_size
         return (n + self.batch_size - 1) // self.batch_size
+
+    def state_dict(self) -> dict[str, Any]:
+        """Copy of the shuffle RNG state.
+
+        The loader's generator advances one permutation per epoch, so
+        resuming mid-training requires restoring it: a checkpoint saved
+        after epoch N must replay exactly the batch orders epochs
+        N+1, N+2, ... would have seen in an uninterrupted run (the
+        bit-identical-resume guarantee of :mod:`repro.train`).
+        """
+        return {"bit_generator": copy.deepcopy(self._rng.bit_generator.state)}
+
+    def load_state_dict(self, state: dict[str, Any]) -> None:
+        """Restore the shuffle RNG captured by :meth:`state_dict`."""
+        self._rng.bit_generator.state = copy.deepcopy(state["bit_generator"])
 
     def __iter__(self) -> Iterator[tuple[np.ndarray, np.ndarray]]:
         order = np.arange(len(self.dataset))

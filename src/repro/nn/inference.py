@@ -147,6 +147,29 @@ class Predictor:
         # new ones.
         self.backend = get_backend(backend) if backend is not None else None
 
+    @classmethod
+    def from_checkpoint(
+        cls,
+        path,
+        batch_size: int = 8,
+        plan: TilingPlan | None = None,
+        tile: int | None = None,
+        backend: "Backend | str | None" = None,
+    ) -> "Predictor":
+        """Serve a trained checkpoint without re-running an experiment.
+
+        The checkpoint must carry a model spec (``python -m repro train``
+        and the experiment weight cache write one); the architecture is
+        rebuilt, the saved weights loaded, and the model set to eval.
+        Raises :class:`repro.train.CheckpointError` for missing/corrupt
+        files or specs that cannot be rebuilt.
+        """
+        # Deferred import: repro.train depends on repro.nn, not vice versa.
+        from ..train.checkpoint import Checkpoint
+
+        model = Checkpoint.load(path).build_model()
+        return cls(model, batch_size=batch_size, plan=plan, tile=tile, backend=backend)
+
     def clone(self, batch_size: int | None = None) -> "Predictor":
         """A new Predictor sharing this one's model, plan and backend.
 

@@ -1,12 +1,31 @@
-"""Optimizers and learning-rate schedules."""
+"""Optimizers and learning-rate schedules.
+
+Both carry resumable state: every optimizer exposes
+``state_dict()``/``load_state_dict()`` covering its update buffers (SGD
+momentum velocities, Adam first/second moments and step count), and the
+schedules share the :class:`LRScheduler` base whose state is the epoch
+counter plus the base learning rate.  Restoring optimizer + scheduler
+state into freshly-constructed instances continues training bit-for-bit
+(see :mod:`repro.train.checkpoint`).
+"""
 
 from __future__ import annotations
+
+from typing import Any
 
 import numpy as np
 
 from .tensor import Parameter
 
-__all__ = ["SGD", "Adam", "StepLR", "CosineLR", "clip_grad_norm"]
+__all__ = [
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "LRScheduler",
+    "StepLR",
+    "CosineLR",
+    "clip_grad_norm",
+]
 
 
 def clip_grad_norm(params: list[Parameter], max_norm: float) -> float:
@@ -22,6 +41,17 @@ def clip_grad_norm(params: list[Parameter], max_norm: float) -> float:
     return total
 
 
+def _load_buffers(own: list[np.ndarray], saved: list[np.ndarray], what: str) -> None:
+    """Copy saved buffers into existing ones, validating the layout."""
+    if len(own) != len(saved):
+        raise ValueError(f"{what}: expected {len(own)} buffers, got {len(saved)}")
+    for i, (dst, src) in enumerate(zip(own, saved)):
+        src = np.asarray(src)
+        if dst.shape != src.shape:
+            raise ValueError(f"{what}[{i}]: shape {src.shape} != parameter shape {dst.shape}")
+        dst[...] = src
+
+
 class Optimizer:
     """Base optimizer; concrete classes implement ``step``."""
 
@@ -35,6 +65,15 @@ class Optimizer:
 
     def step(self) -> None:
         raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict[str, Any]:
+        """Copy of the resumable state (lr plus subclass buffers)."""
+        return {"lr": self.lr}
+
+    def load_state_dict(self, state: dict[str, Any]) -> None:
+        """Restore state captured by :meth:`state_dict` in place."""
+        self.lr = float(state["lr"])
 
 
 class SGD(Optimizer):
@@ -64,6 +103,15 @@ class SGD(Optimizer):
                 vel += grad
                 grad = vel
             p.data -= self.lr * grad
+
+    def state_dict(self) -> dict[str, Any]:
+        state = super().state_dict()
+        state["velocity"] = [v.copy() for v in self._velocity]
+        return state
+
+    def load_state_dict(self, state: dict[str, Any]) -> None:
+        super().load_state_dict(state)
+        _load_buffers(self._velocity, state["velocity"], "SGD velocity")
 
 
 class Adam(Optimizer):
@@ -102,33 +150,72 @@ class Adam(Optimizer):
             v += (1 - b2) * grad**2
             p.data -= self.lr * (m / bias1) / (np.sqrt(v / bias2) + self.eps)
 
+    def state_dict(self) -> dict[str, Any]:
+        state = super().state_dict()
+        state["m"] = [m.copy() for m in self._m]
+        state["v"] = [v.copy() for v in self._v]
+        state["t"] = self._t
+        return state
 
-class StepLR:
+    def load_state_dict(self, state: dict[str, Any]) -> None:
+        super().load_state_dict(state)
+        _load_buffers(self._m, state["m"], "Adam m")
+        _load_buffers(self._v, state["v"], "Adam v")
+        self._t = int(state["t"])
+
+
+class LRScheduler:
+    """Base epoch-wise schedule: subclasses define ``lr_at(epoch)``.
+
+    The resumable state is (epoch, base_lr); the shape of the decay
+    curve itself (step size, total horizon, ...) is construction-time
+    configuration, so restoring state into a freshly-built scheduler of
+    the same configuration resumes the identical lr trajectory.
+    """
+
+    def __init__(self, optimizer: Optimizer) -> None:
+        self.optimizer = optimizer
+        self.base_lr = optimizer.lr
+        self.epoch = 0
+
+    def lr_at(self, epoch: int) -> float:
+        """Learning rate after ``epoch`` completed epochs."""
+        raise NotImplementedError
+
+    def step(self) -> None:
+        """Advance one epoch and write the new lr into the optimizer."""
+        self.epoch += 1
+        self.optimizer.lr = self.lr_at(self.epoch)
+
+    def state_dict(self) -> dict[str, Any]:
+        return {"epoch": self.epoch, "base_lr": self.base_lr}
+
+    def load_state_dict(self, state: dict[str, Any]) -> None:
+        self.epoch = int(state["epoch"])
+        self.base_lr = float(state["base_lr"])
+        self.optimizer.lr = self.lr_at(self.epoch)
+
+
+class StepLR(LRScheduler):
     """Multiply the optimizer lr by ``gamma`` every ``step_size`` epochs."""
 
     def __init__(self, optimizer: Optimizer, step_size: int, gamma: float = 0.5) -> None:
-        self.optimizer = optimizer
+        super().__init__(optimizer)
         self.step_size = step_size
         self.gamma = gamma
-        self.base_lr = optimizer.lr
-        self.epoch = 0
 
-    def step(self) -> None:
-        self.epoch += 1
-        self.optimizer.lr = self.base_lr * self.gamma ** (self.epoch // self.step_size)
+    def lr_at(self, epoch: int) -> float:
+        return self.base_lr * self.gamma ** (epoch // self.step_size)
 
 
-class CosineLR:
+class CosineLR(LRScheduler):
     """Cosine annealing from the base lr to ``min_lr`` over ``total`` epochs."""
 
     def __init__(self, optimizer: Optimizer, total: int, min_lr: float = 0.0) -> None:
-        self.optimizer = optimizer
+        super().__init__(optimizer)
         self.total = max(1, total)
         self.min_lr = min_lr
-        self.base_lr = optimizer.lr
-        self.epoch = 0
 
-    def step(self) -> None:
-        self.epoch = min(self.epoch + 1, self.total)
-        cos = 0.5 * (1 + np.cos(np.pi * self.epoch / self.total))
-        self.optimizer.lr = self.min_lr + (self.base_lr - self.min_lr) * cos
+    def lr_at(self, epoch: int) -> float:
+        cos = 0.5 * (1 + np.cos(np.pi * min(epoch, self.total) / self.total))
+        return self.min_lr + (self.base_lr - self.min_lr) * cos

@@ -1,9 +1,13 @@
-"""Training loop shared by every quality experiment.
+"""Shared training recipe: configuration and result records.
 
 The paper trains all algebra variants "using the same training strategy"
-(Fig. 1) — this module is that single strategy: Adam + cosine decay on
-MSE, with gradient clipping for the higher learning rates the paper uses
-to get each algebra's best performance (Section VI-A).
+(Fig. 1) — :class:`TrainConfig` is that single strategy: Adam + cosine
+decay on MSE, with gradient clipping for the higher learning rates the
+paper uses to get each algebra's best performance (Section VI-A).
+
+The loop itself lives in :class:`repro.train.TrainEngine` (callbacks,
+checkpoints, resumable state); :func:`train_model` is the original
+one-call front door, kept as a thin wrapper over the engine.
 """
 
 from __future__ import annotations
@@ -16,7 +20,6 @@ import numpy as np
 from .data import DataLoader
 from .loss import mse_loss
 from .module import Module
-from .optim import Adam, CosineLR, clip_grad_norm
 from .tensor import Tensor, no_grad
 
 __all__ = ["TrainConfig", "TrainResult", "train_model", "evaluate_mse"]
@@ -28,6 +31,9 @@ class TrainConfig:
 
     Mirrors the paper's Table III at reduced scale: Adam, cosine-decayed
     learning rate, MSE loss; epochs/batches are sized for CPU training.
+    ``epochs`` is the *total* schedule horizon — the cosine decay always
+    spans it, whether the epochs run in one sitting or across several
+    checkpoint/resume segments.
     """
 
     epochs: int = 6
@@ -38,13 +44,30 @@ class TrainConfig:
     seed: int = 0
     loss_fn: Callable[[Tensor, np.ndarray], Tensor] = staticmethod(mse_loss)
 
+    def to_jsonable(self) -> dict:
+        """Fingerprint-ready dict (the loss callable becomes its name)."""
+        record = dataclasses.asdict(self)
+        record["loss_fn"] = getattr(self.loss_fn, "__name__", str(self.loss_fn))
+        return record
+
 
 @dataclasses.dataclass
 class TrainResult:
-    """Loss trajectory of one training run."""
+    """Loss trajectory (and training-dynamics traces) of one run.
+
+    ``train_losses`` holds per-epoch means weighted by actual batch size
+    (a partial final batch counts its samples, not a full batch's).
+    ``lr_trace`` records the lr each epoch trained at, ``grad_norms``
+    the pre-clip global gradient norm of every optimizer step, and
+    ``val_losses`` whatever a validation hook recorded (empty without
+    one).
+    """
 
     train_losses: list[float]
     final_loss: float
+    lr_trace: list[float] = dataclasses.field(default_factory=list)
+    grad_norms: list[float] = dataclasses.field(default_factory=list)
+    val_losses: list[float] = dataclasses.field(default_factory=list)
 
     @property
     def epochs(self) -> int:
@@ -52,29 +75,14 @@ class TrainResult:
 
 
 def train_model(model: Module, loader: DataLoader, config: TrainConfig) -> TrainResult:
-    """Train ``model`` in place and return the loss trajectory."""
-    params = model.parameters()
-    optimizer = Adam(params, lr=config.lr)
-    schedule = CosineLR(optimizer, total=config.epochs, min_lr=config.lr * config.min_lr_ratio)
-    model.train()
-    losses: list[float] = []
-    for _ in range(config.epochs):
-        epoch_loss = 0.0
-        batches = 0
-        for inputs, targets in loader:
-            optimizer.zero_grad()
-            pred = model(Tensor(inputs))
-            loss = config.loss_fn(pred, targets)
-            loss.backward()
-            if config.grad_clip:
-                clip_grad_norm(params, config.grad_clip)
-            optimizer.step()
-            epoch_loss += float(loss.data)
-            batches += 1
-        schedule.step()
-        losses.append(epoch_loss / max(1, batches))
-    model.eval()
-    return TrainResult(train_losses=losses, final_loss=losses[-1] if losses else float("nan"))
+    """Train ``model`` in place and return the loss trajectory.
+
+    Equivalent to ``TrainEngine(model, config).fit(loader)`` — kept as
+    the one-call entry point every pre-engine caller used.
+    """
+    from ..train.engine import TrainEngine  # deferred: repro.train imports this module
+
+    return TrainEngine(model, config).fit(loader)
 
 
 def evaluate_mse(model: Module, inputs: np.ndarray, targets: np.ndarray) -> float:

@@ -1,6 +1,7 @@
 """Pruning baselines: unstructured magnitude and structured channel pruning."""
 
 from .magnitude import (
+    SparsityMaskCallback,
     apply_masks,
     finetune_pruned,
     global_magnitude_masks,
@@ -16,6 +17,7 @@ from .structured import (
 )
 
 __all__ = [
+    "SparsityMaskCallback",
     "apply_masks",
     "finetune_pruned",
     "global_magnitude_masks",

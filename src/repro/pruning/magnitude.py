@@ -11,15 +11,16 @@ import numpy as np
 
 from ..nn.data import DataLoader
 from ..nn.module import Module
-from ..nn.optim import Adam, CosineLR, clip_grad_norm
-from ..nn.tensor import Tensor
 from ..nn.trainer import TrainConfig, TrainResult
+from ..train.callbacks import Callback
+from ..train.engine import TrainEngine
 
 __all__ = [
     "prunable_parameters",
     "global_magnitude_masks",
     "apply_masks",
     "prune_model",
+    "SparsityMaskCallback",
     "finetune_pruned",
     "sparsity_of",
 ]
@@ -75,6 +76,31 @@ def sparsity_of(model: Module, masks: dict[str, np.ndarray] | None = None) -> fl
     return zeros / total if total else 0.0
 
 
+class SparsityMaskCallback(Callback):
+    """Engine callback enforcing a pruning mask after every optimizer step.
+
+    The paper's fine-tune-with-mask flow (Figs. 1 and 11) as a
+    composable hook: the optimizer updates freely, then pruned weights
+    are re-zeroed before the next forward, so the sparsity pattern
+    survives training exactly as in the bespoke pre-engine loop.
+    """
+
+    def __init__(self, masks: dict[str, np.ndarray]) -> None:
+        self.masks = masks
+        self._named: dict[str, np.ndarray] | None = None
+
+    def on_train_start(self, engine: TrainEngine) -> None:
+        named = dict(engine.model.named_parameters())
+        unknown = set(self.masks) - set(named)
+        if unknown:
+            raise KeyError(f"masks name unknown parameters: {sorted(unknown)}")
+        self._named = named
+
+    def on_batch_end(self, engine: TrainEngine, loss: float, grad_norm: float) -> None:
+        for name, mask in self.masks.items():
+            self._named[name].data *= mask
+
+
 def finetune_pruned(
     model: Module,
     masks: dict[str, np.ndarray],
@@ -82,26 +108,5 @@ def finetune_pruned(
     config: TrainConfig,
 ) -> TrainResult:
     """Fine-tune with the sparsity pattern enforced after every step."""
-    params = model.parameters()
-    named = dict(model.named_parameters())
-    optimizer = Adam(params, lr=config.lr)
-    schedule = CosineLR(optimizer, total=config.epochs, min_lr=config.lr * config.min_lr_ratio)
-    model.train()
-    losses: list[float] = []
-    for _ in range(config.epochs):
-        epoch_loss, batches = 0.0, 0
-        for inputs, targets in loader:
-            optimizer.zero_grad()
-            loss = config.loss_fn(model(Tensor(inputs)), targets)
-            loss.backward()
-            if config.grad_clip:
-                clip_grad_norm(params, config.grad_clip)
-            optimizer.step()
-            for name, mask in masks.items():
-                named[name].data *= mask
-            epoch_loss += float(loss.data)
-            batches += 1
-        schedule.step()
-        losses.append(epoch_loss / max(1, batches))
-    model.eval()
-    return TrainResult(train_losses=losses, final_loss=losses[-1] if losses else float("nan"))
+    engine = TrainEngine(model, config, callbacks=[SparsityMaskCallback(masks)])
+    return engine.fit(loader)

@@ -1,5 +1,6 @@
 """Dynamic fixed-point quantization (paper Section IV-C)."""
 
+from .qat import WeightQuantCallback, qat_finetune
 from .qformat import QFormat, choose_qformat, componentwise_qformats, quantize_dynamic
 from .quantize import (
     Quantize,
@@ -11,6 +12,8 @@ from .quantize import (
 )
 
 __all__ = [
+    "WeightQuantCallback",
+    "qat_finetune",
     "QFormat",
     "choose_qformat",
     "componentwise_qformats",

@@ -1,0 +1,68 @@
+"""Quantization-aware fine-tuning as a training-engine callback.
+
+The paper's Table III lists a ``finetune-8bit`` recipe: quantize a
+trained model to 8-bit fixed point, then fine-tune so the weights adapt
+to the grid.  :class:`WeightQuantCallback` expresses the
+quantize-in-the-loop part as a hook on :class:`repro.train.TrainEngine`:
+after every optimizer step the weights are re-quantized in place, so
+each forward/backward sees exactly the fixed-point weights inference
+will use (straight-through style — gradients flow as if the rounding
+were the identity).  Feature-map quantization keeps its usual
+compositional path (:class:`~repro.quant.quantize.QuantizingFactory` /
+:func:`~repro.quant.quantize.calibrate`) and composes freely with this
+callback.
+"""
+
+from __future__ import annotations
+
+from ..nn.data import DataLoader
+from ..nn.module import Module
+from ..nn.trainer import TrainConfig, TrainResult
+from ..train.callbacks import Callback
+from ..train.engine import TrainEngine
+from .quantize import calibrate, quantize_weights
+
+__all__ = ["WeightQuantCallback", "qat_finetune"]
+
+
+class WeightQuantCallback(Callback):
+    """Re-quantize all weights to ``word_bits`` after every optimizer step.
+
+    The Q-format is re-chosen dynamically each step (the paper's dynamic
+    fixed point), so the grid tracks the shifting weight ranges during
+    fine-tuning; the formats of the final step are kept on
+    ``self.formats`` for reporting.
+    """
+
+    def __init__(self, word_bits: int = 8) -> None:
+        self.word_bits = word_bits
+        self.formats: dict | None = None
+
+    def on_train_start(self, engine: TrainEngine) -> None:
+        # Start from quantized weights so the very first forward already
+        # sees the fixed-point model.
+        self.formats = quantize_weights(engine.model, self.word_bits)
+
+    def on_batch_end(self, engine: TrainEngine, loss: float, grad_norm: float) -> None:
+        self.formats = quantize_weights(engine.model, self.word_bits)
+
+
+def qat_finetune(
+    model: Module,
+    loader: DataLoader,
+    config: TrainConfig,
+    word_bits: int = 8,
+    calibration_inputs=None,
+) -> TrainResult:
+    """Quantization-aware fine-tune: fixed-point weights in the loop.
+
+    When ``calibration_inputs`` is given, the model's
+    :class:`~repro.quant.quantize.Quantize` points are re-calibrated and
+    frozen after training, so the returned model is ready for
+    fixed-point inference end to end.
+    """
+    engine = TrainEngine(model, config, callbacks=[WeightQuantCallback(word_bits)])
+    result = engine.fit(loader)
+    if calibration_inputs is not None:
+        calibrate(model, calibration_inputs)
+    return result

@@ -229,6 +229,16 @@ class InferenceServer:
             thread.start()
 
     # ------------------------------------------------------------------
+    @classmethod
+    def from_checkpoint(cls, path, **kwargs) -> "InferenceServer":
+        """Serve a trained checkpoint directly (see
+        :meth:`Predictor.from_checkpoint` for the spec requirements);
+        ``kwargs`` are the regular constructor options."""
+        from ..train.checkpoint import Checkpoint
+
+        return cls(Checkpoint.load(path).build_model(), **kwargs)
+
+    # ------------------------------------------------------------------
     # client side
     # ------------------------------------------------------------------
     def submit(self, image: np.ndarray, timeout: float | None = None) -> Future:

@@ -1,0 +1,37 @@
+"""Checkpointable training engine (the ROADMAP's training subsystem).
+
+:class:`TrainEngine` runs the paper's shared training strategy
+(:class:`~repro.nn.trainer.TrainConfig`) with a callback protocol
+(:class:`Callback`: ``on_epoch_start/end``, ``on_batch_end``,
+``on_checkpoint``, ...), per-epoch validation hooks, and full history
+capture (epoch losses, lr trace, per-step gradient norms).  Its
+numerics are bit-identical to the original ``train_model`` loop.
+
+:class:`Checkpoint` bundles model + optimizer + scheduler + data-loader
+RNG + epoch + history into one ``.npz`` file, with the engine's
+guarantee that train-N → save → load → train-M equals training N+M
+epochs straight through, bit for bit.  Compression passes compose as
+callbacks (:class:`repro.pruning.SparsityMaskCallback`,
+:class:`repro.quant.WeightQuantCallback`) instead of bespoke loops, and
+the serving stack loads checkpoints directly
+(``Predictor.from_checkpoint``).
+"""
+
+from ..nn.trainer import TrainConfig, TrainResult
+from .callbacks import Callback, CheckpointCallback, EvalCallback, LambdaCallback
+from .checkpoint import Checkpoint, CheckpointError, load_checkpoint
+from .engine import TrainEngine, TrainHistory
+
+__all__ = [
+    "TrainConfig",
+    "TrainResult",
+    "Callback",
+    "CheckpointCallback",
+    "EvalCallback",
+    "LambdaCallback",
+    "Checkpoint",
+    "CheckpointError",
+    "load_checkpoint",
+    "TrainEngine",
+    "TrainHistory",
+]

@@ -1,0 +1,121 @@
+"""Callback protocol and the stock callbacks of the training engine.
+
+Hook points (all no-ops on the base class, so callbacks override only
+what they need):
+
+* ``on_train_start(engine)`` — before the first batch of a ``fit``.
+* ``on_epoch_start(engine)`` — ``engine.epoch`` is the index of the
+  epoch about to run.
+* ``on_batch_end(engine, loss, grad_norm)`` — after ``optimizer.step``;
+  ``grad_norm`` is the pre-clip global gradient norm.
+* ``on_epoch_end(engine, epoch_loss)`` — after the scheduler stepped
+  and ``engine.epoch`` advanced past the completed epoch.
+* ``on_checkpoint(engine, path, checkpoint)`` — after a checkpoint file
+  was written.
+* ``on_train_end(engine, result)`` — after the final epoch of a ``fit``.
+
+Hooks observe and may mutate model/optimizer state (that is how the
+compression passes compose: :class:`repro.pruning.SparsityMaskCallback`
+re-zeroes pruned weights per step, :class:`repro.quant.WeightQuantCallback`
+fake-quantizes them); an engine run with no callbacks is bit-identical
+to the bare loop.
+"""
+
+from __future__ import annotations
+
+import typing
+from typing import Callable
+
+import numpy as np
+
+if typing.TYPE_CHECKING:  # circular at runtime: engine imports this module
+    from .checkpoint import Checkpoint
+    from .engine import TrainEngine
+
+__all__ = ["Callback", "CheckpointCallback", "EvalCallback", "LambdaCallback"]
+
+
+class Callback:
+    """Base class: every hook is a no-op."""
+
+    def on_train_start(self, engine: "TrainEngine") -> None:
+        """Before the first batch of a ``fit`` call."""
+
+    def on_epoch_start(self, engine: "TrainEngine") -> None:
+        """Before each epoch (``engine.epoch`` = its index)."""
+
+    def on_batch_end(self, engine: "TrainEngine", loss: float, grad_norm: float) -> None:
+        """After each optimizer step."""
+
+    def on_epoch_end(self, engine: "TrainEngine", epoch_loss: float) -> None:
+        """After each epoch (``engine.epoch`` already advanced)."""
+
+    def on_checkpoint(self, engine: "TrainEngine", path, checkpoint: "Checkpoint") -> None:
+        """After a checkpoint file was written."""
+
+    def on_train_end(self, engine: "TrainEngine", result) -> None:
+        """After the final epoch of a ``fit`` call."""
+
+
+class LambdaCallback(Callback):
+    """Ad-hoc callback from keyword hooks.
+
+    Example::
+
+        LambdaCallback(on_epoch_end=lambda engine, loss: print(loss))
+    """
+
+    def __init__(self, **hooks: Callable) -> None:
+        unknown = [name for name in hooks if not hasattr(Callback, name)]
+        if unknown:
+            raise ValueError(f"unknown hook(s): {', '.join(sorted(unknown))}")
+        for name, fn in hooks.items():
+            setattr(self, name, fn)
+
+
+class CheckpointCallback(Callback):
+    """Save a checkpoint every ``every`` completed epochs (and at the end).
+
+    Args:
+        path: Checkpoint file to (over)write.
+        every: Save cadence in epochs; the end-of-training save happens
+            regardless so the file always holds the final state.
+        model_spec: Optional rebuildable model description stored inside
+            the checkpoint (see :meth:`Checkpoint.build_model`).
+    """
+
+    def __init__(self, path, every: int = 1, model_spec: dict | None = None) -> None:
+        if every < 1:
+            raise ValueError("every must be >= 1")
+        self.path = path
+        self.every = every
+        self.model_spec = model_spec
+
+    def on_epoch_end(self, engine: "TrainEngine", epoch_loss: float) -> None:
+        if engine.epoch % self.every == 0:
+            engine.save_checkpoint(self.path, model_spec=self.model_spec)
+
+    def on_train_end(self, engine: "TrainEngine", result) -> None:
+        if engine.epoch % self.every:  # not already saved by the cadence
+            engine.save_checkpoint(self.path, model_spec=self.model_spec)
+
+
+class EvalCallback(Callback):
+    """Per-epoch validation hook: held-out MSE into ``history.val_losses``.
+
+    Runs the model in eval mode under ``no_grad`` after every epoch, then
+    hands it back to training mode, so the training trajectory is
+    untouched (validation reads weights, never writes them).
+    """
+
+    def __init__(self, inputs: np.ndarray, targets: np.ndarray) -> None:
+        self.inputs = np.asarray(inputs)
+        self.targets = np.asarray(targets)
+
+    def on_epoch_end(self, engine: "TrainEngine", epoch_loss: float) -> None:
+        from ..nn.trainer import evaluate_mse
+
+        engine.history.val_losses.append(
+            evaluate_mse(engine.model, self.inputs, self.targets)
+        )
+        engine.model.train()

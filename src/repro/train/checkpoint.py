@@ -1,0 +1,309 @@
+"""Checkpoint bundles: model + optimizer + scheduler + RNG + history.
+
+One ``.npz`` file holds everything a resumed run needs to continue bit
+for bit: every parameter array, the optimizer's update buffers (SGD
+velocities / Adam moments), the scheduler's epoch counter, the data
+loader's shuffle-RNG state, the NumPy global RNG, the completed-epoch
+count and the training history.  All non-array state travels as one
+canonical JSON blob under the ``meta`` key, so nothing is pickled and a
+checkpoint written on one platform loads on any other.
+
+Files are written atomically (temp file + rename); loading a truncated,
+corrupted or wrong-schema file raises :class:`CheckpointError` rather
+than propagating whatever np.load tripped over.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import pathlib
+import zipfile
+from typing import Any, Mapping
+
+import numpy as np
+
+from ..nn.data import DataLoader
+from ..nn.module import Module
+from ..nn.optim import LRScheduler, Optimizer
+from ..nn.trainer import TrainConfig
+
+__all__ = ["CHECKPOINT_SCHEMA", "Checkpoint", "CheckpointError", "load_checkpoint"]
+
+#: Bump when the on-disk layout changes; older files refuse to load.
+CHECKPOINT_SCHEMA = 1
+
+#: Optimizer state entries that are lists of per-parameter arrays.
+_BUFFER_KEYS = ("m", "v", "velocity")
+
+
+class CheckpointError(RuntimeError):
+    """A checkpoint file is missing, truncated, corrupted or mismatched."""
+
+
+def _encode_numpy_rng() -> tuple[dict[str, Any], np.ndarray]:
+    """The legacy global RNG state as (json-able meta, keys array)."""
+    name, keys, pos, has_gauss, cached = np.random.get_state()
+    meta = {"name": name, "pos": int(pos), "has_gauss": int(has_gauss), "cached": float(cached)}
+    return meta, np.asarray(keys)
+
+
+@dataclasses.dataclass
+class Checkpoint:
+    """One resumable training snapshot.
+
+    ``optimizer_state`` / ``scheduler_state`` / ``loader_rng`` are None
+    for weights-only bundles (e.g. the experiment weight cache), which
+    still round-trip model state and history exactly.
+    """
+
+    epoch: int
+    model_state: dict[str, np.ndarray]
+    history: dict[str, Any] = dataclasses.field(default_factory=dict)
+    optimizer_state: dict[str, Any] | None = None
+    scheduler_state: dict[str, Any] | None = None
+    loader_rng: dict[str, Any] | None = None
+    numpy_rng_meta: dict[str, Any] | None = None
+    numpy_rng_keys: np.ndarray | None = None
+    config: dict[str, Any] | None = None
+    model_spec: dict[str, Any] | None = None
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def capture(
+        cls,
+        model: Module,
+        optimizer: Optimizer | None = None,
+        scheduler: LRScheduler | None = None,
+        epoch: int = 0,
+        history: Mapping[str, Any] | None = None,
+        loader: DataLoader | None = None,
+        config: TrainConfig | None = None,
+        model_spec: Mapping[str, Any] | None = None,
+    ) -> "Checkpoint":
+        """Snapshot the given components (copies, not views)."""
+        rng_meta, rng_keys = _encode_numpy_rng()
+        return cls(
+            epoch=int(epoch),
+            model_state=model.state_dict(),
+            history=dict(history or {}),
+            optimizer_state=(
+                dict(optimizer.state_dict(), type=type(optimizer).__name__)
+                if optimizer is not None
+                else None
+            ),
+            scheduler_state=(
+                dict(scheduler.state_dict(), type=type(scheduler).__name__)
+                if scheduler is not None
+                else None
+            ),
+            loader_rng=loader.state_dict() if loader is not None else None,
+            numpy_rng_meta=rng_meta,
+            numpy_rng_keys=rng_keys,
+            config=config.to_jsonable() if config is not None else None,
+            model_spec=dict(model_spec) if model_spec is not None else None,
+        )
+
+    # ------------------------------------------------------------------
+    def save(self, path) -> pathlib.Path:
+        """Serialize to ``path`` (.npz), atomically."""
+        path = pathlib.Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        arrays: dict[str, np.ndarray] = {
+            f"model/{name}": arr for name, arr in self.model_state.items()
+        }
+        optim_meta = None
+        if self.optimizer_state is not None:
+            optim_meta = {
+                k: v for k, v in self.optimizer_state.items() if k not in _BUFFER_KEYS
+            }
+            for key in _BUFFER_KEYS:
+                buffers = self.optimizer_state.get(key)
+                if buffers is None:
+                    continue
+                optim_meta[f"n_{key}"] = len(buffers)
+                for i, arr in enumerate(buffers):
+                    arrays[f"optim/{key}/{i:04d}"] = np.asarray(arr)
+        if self.numpy_rng_keys is not None:
+            arrays["numpy_rng/keys"] = np.asarray(self.numpy_rng_keys)
+        meta = {
+            "schema": CHECKPOINT_SCHEMA,
+            "epoch": self.epoch,
+            "history": self.history,
+            "optimizer": optim_meta,
+            "scheduler": self.scheduler_state,
+            "loader_rng": self.loader_rng,
+            "numpy_rng": self.numpy_rng_meta,
+            "config": self.config,
+            "model_spec": self.model_spec,
+            "model_keys": sorted(self.model_state),
+        }
+        arrays["meta"] = np.frombuffer(
+            json.dumps(meta, sort_keys=True).encode(), dtype=np.uint8
+        )
+        tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+        try:
+            with open(tmp, "wb") as fh:
+                np.savez(fh, **arrays)
+            os.replace(tmp, path)
+        finally:
+            if tmp.exists():
+                tmp.unlink()
+        return path
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def load(cls, path) -> "Checkpoint":
+        """Parse a checkpoint file; any malformation raises CheckpointError."""
+        path = pathlib.Path(path)
+        if not path.exists():
+            raise CheckpointError(f"no checkpoint at {path}")
+        try:
+            with np.load(path, allow_pickle=False) as data:
+                files = dict(data)
+        except (OSError, ValueError, zipfile.BadZipFile, EOFError) as exc:
+            raise CheckpointError(f"unreadable checkpoint {path}: {exc}") from exc
+        try:
+            meta = json.loads(bytes(files.pop("meta")).decode())
+        except (KeyError, ValueError, UnicodeDecodeError) as exc:
+            raise CheckpointError(f"checkpoint {path} has no readable meta record") from exc
+        if meta.get("schema") != CHECKPOINT_SCHEMA:
+            raise CheckpointError(
+                f"checkpoint {path} has schema {meta.get('schema')!r}, "
+                f"expected {CHECKPOINT_SCHEMA}"
+            )
+        model_state = {
+            key[len("model/"):]: arr
+            for key, arr in files.items()
+            if key.startswith("model/")
+        }
+        missing = set(meta.get("model_keys", [])) - set(model_state)
+        if missing:
+            raise CheckpointError(
+                f"checkpoint {path} is missing parameter arrays: {sorted(missing)}"
+            )
+        optimizer_state = meta.get("optimizer")
+        if optimizer_state is not None:
+            optimizer_state = dict(optimizer_state)
+            for key in _BUFFER_KEYS:
+                count = optimizer_state.pop(f"n_{key}", None)
+                if count is None:
+                    continue
+                try:
+                    optimizer_state[key] = [
+                        files[f"optim/{key}/{i:04d}"] for i in range(count)
+                    ]
+                except KeyError as exc:
+                    raise CheckpointError(
+                        f"checkpoint {path} is missing optimizer buffer {exc}"
+                    ) from exc
+        rng_keys = files.get("numpy_rng/keys")
+        return cls(
+            epoch=int(meta["epoch"]),
+            model_state=model_state,
+            history=meta.get("history", {}),
+            optimizer_state=optimizer_state,
+            scheduler_state=meta.get("scheduler"),
+            loader_rng=meta.get("loader_rng"),
+            numpy_rng_meta=meta.get("numpy_rng"),
+            numpy_rng_keys=rng_keys,
+            config=meta.get("config"),
+            model_spec=meta.get("model_spec"),
+        )
+
+    # ------------------------------------------------------------------
+    def restore(
+        self,
+        model: Module | None = None,
+        optimizer: Optimizer | None = None,
+        scheduler: LRScheduler | None = None,
+        loader: DataLoader | None = None,
+        numpy_rng: bool = True,
+    ) -> None:
+        """Load the saved state into freshly-constructed components.
+
+        Each component is optional; type mismatches (an Adam checkpoint
+        into an SGD optimizer) raise :class:`CheckpointError` before any
+        state is touched.
+        """
+        if optimizer is not None:
+            if self.optimizer_state is None:
+                raise CheckpointError("checkpoint carries no optimizer state")
+            saved_type = self.optimizer_state.get("type")
+            if saved_type != type(optimizer).__name__:
+                raise CheckpointError(
+                    f"checkpoint optimizer is {saved_type}, got {type(optimizer).__name__}"
+                )
+        if scheduler is not None:
+            if self.scheduler_state is None:
+                raise CheckpointError("checkpoint carries no scheduler state")
+            saved_type = self.scheduler_state.get("type")
+            if saved_type != type(scheduler).__name__:
+                raise CheckpointError(
+                    f"checkpoint scheduler is {saved_type}, got {type(scheduler).__name__}"
+                )
+        if model is not None:
+            model.load_state_dict(self.model_state)
+        if optimizer is not None:
+            state = {k: v for k, v in self.optimizer_state.items() if k != "type"}
+            optimizer.load_state_dict(state)
+        if scheduler is not None:
+            state = {k: v for k, v in self.scheduler_state.items() if k != "type"}
+            scheduler.load_state_dict(state)
+        if loader is not None and self.loader_rng is not None:
+            loader.load_state_dict(self.loader_rng)
+        if numpy_rng and self.numpy_rng_meta is not None and self.numpy_rng_keys is not None:
+            np.random.set_state(
+                (
+                    self.numpy_rng_meta["name"],
+                    np.asarray(self.numpy_rng_keys, dtype=np.uint32),
+                    int(self.numpy_rng_meta["pos"]),
+                    int(self.numpy_rng_meta["has_gauss"]),
+                    float(self.numpy_rng_meta["cached"]),
+                )
+            )
+
+    # ------------------------------------------------------------------
+    def build_model(self) -> Module:
+        """Reconstruct the architecture from the stored model spec.
+
+        Only checkpoints saved with a ``model_spec`` (the CLI and the
+        experiment weight cache write one) can rebuild; the spec names
+        an ERNet family member by task/blocks/ratio plus the factory
+        *kind* string of :func:`repro.models.factory.make_factory`.
+        """
+        if not self.model_spec:
+            raise CheckpointError(
+                "checkpoint has no model spec; construct the model yourself and "
+                "call restore(model=...)"
+            )
+        spec = dict(self.model_spec)
+        family = spec.pop("family", None)
+        if family != "ernet":
+            raise CheckpointError(f"cannot rebuild model family {family!r}")
+        # Deferred: repro.train must stay importable without the model zoo.
+        from ..models.ernet import ERNet, ERNetConfig
+        from ..models.factory import make_factory
+
+        kind = spec.pop("kind", "real")
+        try:
+            factory = None if kind == "real" else make_factory(kind)
+        except KeyError as exc:
+            raise CheckpointError(f"cannot rebuild layer factory {kind!r}: {exc}") from exc
+        fields = {f.name for f in dataclasses.fields(ERNetConfig)}
+        try:
+            config = ERNetConfig(**{k: v for k, v in spec.items() if k in fields})
+            model = ERNet(config, factory=factory, seed=0)
+            model.load_state_dict(self.model_state)
+        except (KeyError, ValueError, TypeError) as exc:
+            # A spec that builds the wrong architecture surfaces here as
+            # a state mismatch; keep the documented error type.
+            raise CheckpointError(f"model spec does not match saved weights: {exc}") from exc
+        model.eval()
+        return model
+
+
+def load_checkpoint(path) -> Checkpoint:
+    """Module-level convenience for :meth:`Checkpoint.load`."""
+    return Checkpoint.load(path)

@@ -1,0 +1,218 @@
+"""The checkpointable training engine behind every training consumer.
+
+One loop, many consumers: the quality experiments, the pruning
+fine-tune, quantization-aware fine-tuning and the CLI all drive
+:class:`TrainEngine`.  The inner numerics are exactly the original
+``train_model`` loop — per batch: ``zero_grad``, forward, loss,
+``backward``, clip, ``step``; per epoch: scheduler step — so a run with
+no callbacks reproduces the pre-engine weights bit for bit.  What the
+engine adds around that core:
+
+* a callback protocol (:mod:`repro.train.callbacks`) with hook points
+  that never perturb the numerics when unused,
+* epoch losses weighted by actual batch size (a partial final batch
+  contributes its samples, not a full batch's worth),
+* history capture — losses, lr trace, pre-clip gradient norms,
+  validation losses,
+* checkpoint save/restore with bit-identical resume
+  (:mod:`repro.train.checkpoint`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Iterable, Sequence
+
+from ..nn.data import DataLoader
+from ..nn.module import Module
+from ..nn.optim import Adam, CosineLR, LRScheduler, Optimizer, clip_grad_norm
+from ..nn.tensor import Tensor
+from ..nn.trainer import TrainConfig, TrainResult
+from .callbacks import Callback
+from .checkpoint import Checkpoint
+
+__all__ = ["TrainEngine", "TrainHistory"]
+
+
+@dataclasses.dataclass
+class TrainHistory:
+    """Everything the engine records while training.
+
+    Persisted inside checkpoints, so a resumed run's history continues
+    seamlessly from the saved one (identical to an uninterrupted run).
+    """
+
+    train_losses: list[float] = dataclasses.field(default_factory=list)
+    val_losses: list[float] = dataclasses.field(default_factory=list)
+    lr_trace: list[float] = dataclasses.field(default_factory=list)
+    grad_norms: list[float] = dataclasses.field(default_factory=list)
+
+    def to_jsonable(self) -> dict[str, list[float]]:
+        return {
+            "train_losses": [float(x) for x in self.train_losses],
+            "val_losses": [float(x) for x in self.val_losses],
+            "lr_trace": [float(x) for x in self.lr_trace],
+            "grad_norms": [float(x) for x in self.grad_norms],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "TrainHistory":
+        return cls(
+            train_losses=list(data.get("train_losses", [])),
+            val_losses=list(data.get("val_losses", [])),
+            lr_trace=list(data.get("lr_trace", [])),
+            grad_norms=list(data.get("grad_norms", [])),
+        )
+
+    def result(self) -> TrainResult:
+        """The history as the classic :class:`TrainResult` record."""
+        return TrainResult(
+            train_losses=list(self.train_losses),
+            final_loss=self.train_losses[-1] if self.train_losses else float("nan"),
+            lr_trace=list(self.lr_trace),
+            grad_norms=list(self.grad_norms),
+            val_losses=list(self.val_losses),
+        )
+
+
+class TrainEngine:
+    """Callback-driven, checkpointable trainer for one model.
+
+    Args:
+        model: The network to train in place.
+        config: The shared recipe; ``config.epochs`` is the *total*
+            schedule horizon (the cosine decay spans it even when the
+            epochs are split across checkpoint/resume segments).
+        optimizer: Defaults to Adam at ``config.lr`` (the paper's
+            choice); pass one to change the update rule.
+        scheduler: Defaults to cosine decay to
+            ``config.lr * config.min_lr_ratio`` over ``config.epochs``.
+        callbacks: :class:`~repro.train.callbacks.Callback` instances,
+            invoked in order at each hook point.
+
+    Attributes:
+        epoch: Completed-epoch counter (resumes from checkpoints).
+        history: The cross-segment :class:`TrainHistory`.
+    """
+
+    def __init__(
+        self,
+        model: Module,
+        config: TrainConfig,
+        optimizer: Optimizer | None = None,
+        scheduler: LRScheduler | None = None,
+        callbacks: Sequence[Callback] = (),
+    ) -> None:
+        self.model = model
+        self.config = config
+        self.params = model.parameters()
+        self.optimizer = (
+            optimizer if optimizer is not None else Adam(self.params, lr=config.lr)
+        )
+        self.scheduler = (
+            scheduler
+            if scheduler is not None
+            else CosineLR(
+                self.optimizer,
+                total=config.epochs,
+                min_lr=config.lr * config.min_lr_ratio,
+            )
+        )
+        self.callbacks = list(callbacks)
+        self.epoch = 0
+        self.history = TrainHistory()
+        self._loader: DataLoader | None = None
+
+    # ------------------------------------------------------------------
+    def _emit(self, hook: str, *args) -> None:
+        for callback in self.callbacks:
+            getattr(callback, hook)(self, *args)
+
+    # ------------------------------------------------------------------
+    def fit(
+        self,
+        loader: Iterable[tuple],
+        epochs: int | None = None,
+    ) -> TrainResult:
+        """Train for ``epochs`` more epochs (default: up to the horizon).
+
+        Returns the full-history :class:`TrainResult` — after a resume
+        it covers the restored epochs too, identical to what one
+        uninterrupted run would report.
+        """
+        remaining = (
+            epochs if epochs is not None else max(0, self.config.epochs - self.epoch)
+        )
+        self._loader = loader if isinstance(loader, DataLoader) else None
+        self.model.train()
+        self._emit("on_train_start")
+        for _ in range(remaining):
+            self.model.train()
+            self._emit("on_epoch_start")
+            weighted_loss, samples = 0.0, 0
+            for inputs, targets in loader:
+                self.optimizer.zero_grad()
+                pred = self.model(Tensor(inputs))
+                loss = self.config.loss_fn(pred, targets)
+                loss.backward()
+                # Pre-clip global norm; with clipping off the infinite
+                # threshold makes this a pure measurement.
+                grad_norm = clip_grad_norm(
+                    self.params, self.config.grad_clip or float("inf")
+                )
+                self.optimizer.step()
+                batch = len(inputs)
+                weighted_loss += float(loss.data) * batch
+                samples += batch
+                self.history.grad_norms.append(grad_norm)
+                self._emit("on_batch_end", float(loss.data), grad_norm)
+            self.history.lr_trace.append(self.optimizer.lr)
+            self.scheduler.step()
+            self.history.train_losses.append(weighted_loss / max(1, samples))
+            self.epoch += 1
+            self._emit("on_epoch_end", self.history.train_losses[-1])
+        self.model.eval()
+        result = self.history.result()
+        self._emit("on_train_end", result)
+        return result
+
+    # ------------------------------------------------------------------
+    # checkpointing
+    # ------------------------------------------------------------------
+    def capture(self, model_spec: dict | None = None) -> Checkpoint:
+        """Snapshot the full resumable state as a :class:`Checkpoint`."""
+        return Checkpoint.capture(
+            model=self.model,
+            optimizer=self.optimizer,
+            scheduler=self.scheduler,
+            epoch=self.epoch,
+            history=self.history.to_jsonable(),
+            loader=self._loader,
+            config=self.config,
+            model_spec=model_spec,
+        )
+
+    def save_checkpoint(self, path, model_spec: dict | None = None) -> Checkpoint:
+        """Serialize the engine state to ``path`` (.npz) and notify hooks."""
+        checkpoint = self.capture(model_spec=model_spec)
+        checkpoint.save(path)
+        self._emit("on_checkpoint", path, checkpoint)
+        return checkpoint
+
+    def load_checkpoint(self, path, loader: DataLoader | None = None) -> Checkpoint:
+        """Restore engine (and optionally loader RNG) state from ``path``.
+
+        The engine must have been constructed over the same model
+        architecture, optimizer type and schedule configuration the
+        checkpoint was saved from; ``fit`` then continues bit-for-bit.
+        """
+        checkpoint = Checkpoint.load(path)
+        checkpoint.restore(
+            model=self.model,
+            optimizer=self.optimizer,
+            scheduler=self.scheduler,
+            loader=loader,
+        )
+        self.epoch = checkpoint.epoch
+        self.history = TrainHistory.from_dict(checkpoint.history)
+        return checkpoint

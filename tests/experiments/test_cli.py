@@ -188,6 +188,93 @@ class TestDeterminism:
             assert (serial_dir / name).read_bytes() == (parallel_dir / name).read_bytes()
 
 
+class TestTrainCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["train", "denoise:real"])
+        assert args.model == "denoise:real"
+        assert args.epochs is None
+        assert not args.resume
+        assert args.save_every == 1
+
+    def test_unknown_task_exits(self, tmp_path):
+        with pytest.raises(SystemExit, match="unknown task"):
+            main(["train", "segmentation:real", "--results-dir", str(tmp_path)])
+
+    def test_unknown_kind_exits(self, tmp_path):
+        with pytest.raises(SystemExit, match="unknown algebra kind"):
+            main(["train", "denoise:nosuchring", "--results-dir", str(tmp_path)])
+
+    def test_resume_without_checkpoint_exits(self, tmp_path):
+        with pytest.raises(SystemExit, match="no checkpoint"):
+            main(
+                [
+                    "train", "denoise:real", "--resume",
+                    "--checkpoint", str(tmp_path / "missing.npz"),
+                    "--results-dir", str(tmp_path),
+                ]
+            )
+
+    def test_train_then_resume_is_bit_identical(self, tmp_path, capsys):
+        import numpy as np
+
+        base = [
+            "train", "denoise:real", "--scale", "small",
+            "--epochs", "4", "--results-dir", str(tmp_path),
+        ]
+        straight = tmp_path / "straight.npz"
+        assert main(base + ["--checkpoint", str(straight)]) == 0
+        seg = tmp_path / "seg.npz"
+        assert main(base + ["--checkpoint", str(seg), "--train-epochs", "2"]) == 0
+        assert main(
+            [
+                "train", "denoise:real", "--scale", "small", "--resume",
+                "--checkpoint", str(seg), "--results-dir", str(tmp_path),
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "resumed epoch 2" in out
+        with np.load(straight) as a, np.load(seg) as b:
+            keys = [k for k in a.files if k.startswith("model/")]
+            assert keys
+            for key in keys:
+                np.testing.assert_array_equal(a[key], b[key], err_msg=key)
+
+    def test_fully_trained_checkpoint_resumes_to_noop(self, tmp_path, capsys):
+        ckpt = tmp_path / "done.npz"
+        base = [
+            "train", "denoise:real", "--scale", "small", "--epochs", "2",
+            "--checkpoint", str(ckpt), "--results-dir", str(tmp_path),
+        ]
+        assert main(base) == 0
+        assert main(base + ["--resume"]) == 0
+        assert "nothing to train" in capsys.readouterr().out
+
+
+class TestWarmStartFlag:
+    def test_run_warm_start_sets_env_and_reuses_weights(
+        self, tmp_path, monkeypatch, fake_experiment
+    ):
+        from repro.experiments import weights
+
+        # setenv first so teardown restores the pre-test state even
+        # though cmd_run mutates os.environ directly.
+        monkeypatch.setenv(weights.WARM_START_ENV, "0")
+        monkeypatch.setenv(weights.WEIGHTS_DIR_ENV, "")
+        assert not weights.warm_start_enabled()
+        assert (
+            main(
+                [
+                    "run", "fake-exp", "--scale", "small", "--warm-start",
+                    "--results-dir", str(tmp_path),
+                ]
+            )
+            == 0
+        )
+        assert weights.warm_start_enabled()
+        # --results-dir isolates the weight cache like the artifacts.
+        assert weights.weights_root() == tmp_path / "weights"
+
+
 class TestModuleEntryPoint:
     def test_python_dash_m_repro_list(self, tmp_path):
         env = dict(os.environ)

@@ -84,6 +84,78 @@ class TestOptimizers:
         assert opt.lr == pytest.approx(0.1)
 
 
+class TestOptimizerState:
+    """state_dict round trips: a restored optimizer continues bit-for-bit."""
+
+    def _steps(self, opt, p, count):
+        for _ in range(count):
+            opt.zero_grad()
+            ((p - 1.0) ** 2).sum().backward()
+            opt.step()
+
+    @pytest.mark.parametrize("make", [
+        lambda p: SGD([p], lr=0.1, momentum=0.9),
+        lambda p: Adam([p], lr=0.1),
+    ])
+    def test_resume_matches_straight_run(self, make):
+        p_straight = Parameter(np.array([4.0, -2.0]))
+        opt = make(p_straight)
+        self._steps(opt, p_straight, 10)
+
+        p_first = Parameter(np.array([4.0, -2.0]))
+        opt_first = make(p_first)
+        self._steps(opt_first, p_first, 5)
+        state = opt_first.state_dict()
+
+        p_second = Parameter(p_first.data.copy())
+        opt_second = make(p_second)
+        opt_second.load_state_dict(state)
+        self._steps(opt_second, p_second, 5)
+        np.testing.assert_array_equal(p_second.data, p_straight.data)
+
+    def test_state_dict_copies_buffers(self):
+        p = Parameter(np.array([3.0]))
+        opt = SGD([p], lr=0.1, momentum=0.9)
+        self._steps(opt, p, 1)
+        state = opt.state_dict()
+        self._steps(opt, p, 1)  # must not mutate the captured copy
+        assert not np.array_equal(state["velocity"][0], opt._velocity[0])
+
+    def test_buffer_shape_mismatch_raises(self):
+        p = Parameter(np.zeros(2))
+        opt = Adam([p], lr=0.1)
+        state = opt.state_dict()
+        state["m"] = [np.zeros(3)]
+        with pytest.raises(ValueError, match="shape"):
+            opt.load_state_dict(state)
+
+    @pytest.mark.parametrize("make", [
+        lambda opt: StepLR(opt, step_size=2, gamma=0.5),
+        lambda opt: CosineLR(opt, total=8, min_lr=0.01),
+    ])
+    def test_scheduler_resume_matches_straight(self, make):
+        def trace(sched, opt, steps):
+            out = []
+            for _ in range(steps):
+                sched.step()
+                out.append(opt.lr)
+            return out
+
+        opt_a = SGD([Parameter(np.zeros(1))], lr=1.0)
+        straight = trace(make(opt_a), opt_a, 8)
+
+        opt_b = SGD([Parameter(np.zeros(1))], lr=1.0)
+        sched_b = make(opt_b)
+        first = trace(sched_b, opt_b, 4)
+        state = sched_b.state_dict()
+
+        opt_c = SGD([Parameter(np.zeros(1))], lr=1.0)
+        sched_c = make(opt_c)
+        sched_c.load_state_dict(state)
+        assert opt_c.lr == first[-1]  # load restores the current lr
+        assert first + trace(sched_c, opt_c, 4) == straight
+
+
 class TestLosses:
     def test_mse_value(self):
         pred = Tensor(np.array([1.0, 2.0]))
@@ -118,6 +190,36 @@ class TestDataLoader:
         a = [x[:, 0].tolist() for x, _ in DataLoader(ds, 4, seed=1)]
         b = [x[:, 0].tolist() for x, _ in DataLoader(ds, 4, seed=1)]
         assert a == b
+
+    def test_shuffle_order_pinned_across_platforms(self):
+        # PCG64 is platform-independent, so seed 0 must yield exactly
+        # this order everywhere — pinned so a silent RNG change (numpy
+        # upgrade, generator swap) fails loudly instead of invalidating
+        # every "same seed, same run" guarantee downstream.
+        ds = ArrayDataset(np.arange(10)[:, None], np.arange(10)[:, None])
+        loader = DataLoader(ds, batch_size=10, seed=0)
+        epoch1 = [x[:, 0].tolist() for x, _ in loader]
+        epoch2 = [x[:, 0].tolist() for x, _ in loader]
+        assert epoch1 == [[4, 6, 2, 7, 3, 5, 9, 0, 8, 1]]
+        assert epoch2 == [[2, 9, 3, 6, 0, 4, 8, 7, 5, 1]]
+
+    def test_drop_last_with_seeded_shuffle(self):
+        ds = ArrayDataset(np.arange(10)[:, None], np.arange(10)[:, None])
+        loader = DataLoader(ds, batch_size=4, seed=0, drop_last=True)
+        batches = [x[:, 0].tolist() for x, _ in loader]
+        # Same seed-0 permutation as above, truncated to full batches.
+        assert batches == [[4, 6, 2, 7], [3, 5, 9, 0]]
+
+    def test_state_dict_replays_batch_order(self):
+        ds = ArrayDataset(np.arange(10)[:, None], np.arange(10)[:, None])
+        a = DataLoader(ds, batch_size=4, seed=2)
+        for _ in a:
+            pass
+        state = a.state_dict()
+        expected = [x[:, 0].tolist() for x, _ in a]
+        b = DataLoader(ds, batch_size=4, seed=2)
+        b.load_state_dict(state)
+        assert [x[:, 0].tolist() for x, _ in b] == expected
 
     def test_length_mismatch_raises(self):
         with pytest.raises(ValueError):

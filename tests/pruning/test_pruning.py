@@ -74,6 +74,53 @@ class TestMagnitudePruning:
         assert result.final_loss < result.train_losses[0]
         assert sparsity_of(model) >= 0.49
 
+    def test_mask_callback_enforces_after_every_step(self):
+        from repro.pruning import SparsityMaskCallback
+        from repro.train import LambdaCallback, TrainEngine
+
+        rng = np.random.default_rng(1)
+        x = rng.standard_normal((8, 1, 8, 8))
+        y = x * 0.7
+        model = Sequential(Conv2d(1, 4, 3, seed=0), Conv2d(4, 1, 3, seed=1))
+        masks = prune_model(model, 2.0)
+        loader = DataLoader(ArrayDataset(x, y), batch_size=4, seed=0)
+
+        violations = []
+
+        def check(engine, loss, grad_norm):
+            named = dict(engine.model.named_parameters())
+            for name, mask in masks.items():
+                if np.any(named[name].data[~mask] != 0):
+                    violations.append(name)
+
+        engine = TrainEngine(
+            model,
+            TrainConfig(epochs=2, lr=5e-3),
+            # Mask callback first, probe second: the probe must observe
+            # the post-mask state after every single step.
+            callbacks=[SparsityMaskCallback(masks), LambdaCallback(on_batch_end=check)],
+        )
+        engine.fit(loader)
+        assert not violations
+
+    def test_mask_callback_rejects_unknown_parameter(self):
+        from repro.pruning import SparsityMaskCallback
+        from repro.train import TrainEngine
+
+        model = Sequential(Conv2d(1, 1, 3, seed=0))
+        loader = DataLoader(
+            ArrayDataset(np.zeros((4, 1, 8, 8)), np.zeros((4, 1, 8, 8))),
+            batch_size=4,
+            seed=0,
+        )
+        engine = TrainEngine(
+            model,
+            TrainConfig(epochs=1, lr=1e-3),
+            callbacks=[SparsityMaskCallback({"nope.weight": np.ones(1, dtype=bool)})],
+        )
+        with pytest.raises(KeyError, match="unknown parameters"):
+            engine.fit(loader)
+
 
 class TestStructuredPruning:
     def test_channel_norms_shapes(self):

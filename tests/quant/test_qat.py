@@ -1,0 +1,64 @@
+"""Tests for quantization-aware fine-tuning as an engine callback."""
+
+import numpy as np
+import pytest
+
+from repro.nn.data import ArrayDataset, DataLoader
+from repro.nn.layers import Conv2d, Sequential
+from repro.nn.trainer import TrainConfig
+from repro.quant import WeightQuantCallback, qat_finetune, choose_qformat
+from repro.train import TrainEngine
+
+
+def _setup(seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal((8, 1, 8, 8))
+    y = x * 0.5
+    model = Sequential(Conv2d(1, 4, 3, seed=0), Conv2d(4, 1, 3, seed=1))
+    loader = DataLoader(ArrayDataset(x, y), batch_size=4, seed=0)
+    return model, loader, x, y
+
+
+def _on_grid(model, word_bits):
+    """Every weight must be a fixed point of its dynamically-chosen format."""
+    for _, param in model.named_parameters():
+        fmt = choose_qformat(param.data, word_bits)
+        np.testing.assert_array_equal(fmt.quantize(param.data), param.data)
+
+
+class TestWeightQuantCallback:
+    @pytest.mark.smoke
+    def test_weights_stay_on_fixed_point_grid(self):
+        model, loader, _, _ = _setup()
+        config = TrainConfig(epochs=3, lr=3e-3)
+        cb = WeightQuantCallback(word_bits=8)
+        TrainEngine(model, config, callbacks=[cb]).fit(loader)
+        _on_grid(model, 8)
+        assert cb.formats is not None and len(cb.formats) == 4  # 2 convs x (w, b)
+
+    def test_qat_improves_over_posttraining_quantization(self):
+        # Fine-tuning on the grid should not do worse than one-shot
+        # quantization of the float-trained model.
+        from repro.nn.trainer import evaluate_mse, train_model
+        from repro.quant import quantize_weights
+
+        config = TrainConfig(epochs=6, lr=3e-3)
+        model_ptq, loader_a, x, y = _setup()
+        train_model(model_ptq, loader_a, config)
+        quantize_weights(model_ptq, 4)
+        ptq_mse = evaluate_mse(model_ptq, x, y)
+
+        model_qat, loader_b, _, _ = _setup()
+        train_model(model_qat, loader_b, config)
+        finetune = TrainConfig(epochs=4, lr=1e-3)
+        qat_finetune(model_qat, loader_b, finetune, word_bits=4)
+        qat_mse = evaluate_mse(model_qat, x, y)
+        assert qat_mse <= ptq_mse * 1.05
+
+    def test_qat_finetune_returns_history(self):
+        model, loader, _, _ = _setup()
+        result = qat_finetune(model, loader, TrainConfig(epochs=2, lr=1e-3), word_bits=8)
+        assert result.epochs == 2
+        assert len(result.grad_norms) == 4
+        assert all(np.isfinite(loss) for loss in result.train_losses)
+        _on_grid(model, 8)

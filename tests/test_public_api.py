@@ -52,6 +52,19 @@ def test_nn_namespace_exports_backend_api():
     assert {"numpy", "threaded", "blocked"} <= set(nn.available_backends())
 
 
+def test_train_namespace_exports():
+    """The training engine needs no deep paths either."""
+    from repro import train
+
+    for name in (
+        "TrainEngine", "TrainHistory", "TrainConfig", "TrainResult",
+        "Callback", "CheckpointCallback", "EvalCallback", "LambdaCallback",
+        "Checkpoint", "CheckpointError", "load_checkpoint",
+    ):
+        assert name in train.__all__, f"{name} missing from repro.train.__all__"
+        assert hasattr(train, name), f"{name} not importable from repro.train"
+
+
 def test_rings_namespace_exports():
     from repro import rings
 

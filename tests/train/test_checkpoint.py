@@ -1,0 +1,236 @@
+"""Checkpoint round-trip and resume bit-identity tests (repro.train.checkpoint)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.nn.data import ArrayDataset, DataLoader
+from repro.nn.layers import Conv2d, Sequential
+from repro.nn.optim import SGD, Adam, CosineLR, StepLR
+from repro.nn.trainer import TrainConfig
+from repro.train import Checkpoint, CheckpointError, TrainEngine, load_checkpoint
+
+
+def _problem(n=10, seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal((n, 1, 8, 8))
+    return x, x * 0.5
+
+
+def _make(batch_size=4):
+    x, y = _problem()
+    model = Sequential(Conv2d(1, 4, 3, seed=7), Conv2d(4, 1, 3, seed=8))
+    loader = DataLoader(ArrayDataset(x, y), batch_size=batch_size, seed=3)
+    return model, loader
+
+
+def _assert_same_weights(model_a, model_b):
+    for (name, p), (_, q) in zip(
+        model_a.named_parameters(), model_b.named_parameters()
+    ):
+        np.testing.assert_array_equal(p.data, q.data, err_msg=name)
+
+
+def _engine(config, optim_cls=None, sched_cls=None):
+    model, loader = _make()
+    optimizer = scheduler = None
+    if optim_cls is SGD:
+        optimizer = SGD(model.parameters(), lr=config.lr, momentum=0.9)
+    elif optim_cls is Adam:
+        optimizer = Adam(model.parameters(), lr=config.lr)
+    if sched_cls is StepLR:
+        scheduler = StepLR(optimizer, step_size=2, gamma=0.5)
+    elif sched_cls is CosineLR:
+        scheduler = CosineLR(optimizer, total=config.epochs, min_lr=config.lr * 0.05)
+    return TrainEngine(model, config, optimizer=optimizer, scheduler=scheduler), loader
+
+
+class TestResumeBitIdentity:
+    """train N + save + fresh load + train M  ==  train N+M straight."""
+
+    @pytest.mark.smoke
+    @pytest.mark.parametrize(
+        "optim_cls,sched_cls",
+        [(Adam, CosineLR), (Adam, StepLR), (SGD, CosineLR), (SGD, StepLR)],
+    )
+    def test_resume_equals_straight_run(self, tmp_path, optim_cls, sched_cls):
+        config = TrainConfig(epochs=4, lr=1e-2)
+        straight, loader = _engine(config, optim_cls, sched_cls)
+        res_straight = straight.fit(loader)
+
+        first, loader_a = _engine(config, optim_cls, sched_cls)
+        first.fit(loader_a, epochs=2)
+        path = tmp_path / "ck.npz"
+        first.save_checkpoint(path)
+
+        second, loader_b = _engine(config, optim_cls, sched_cls)
+        second.load_checkpoint(path, loader=loader_b)
+        res_resumed = second.fit(loader_b)
+
+        _assert_same_weights(straight.model, second.model)
+        assert res_resumed.train_losses == res_straight.train_losses
+        assert res_resumed.grad_norms == res_straight.grad_norms
+        assert res_resumed.lr_trace == res_straight.lr_trace
+
+    def test_loader_rng_state_round_trips(self):
+        # The shuffle generator advances per epoch; the saved state must
+        # replay the exact orders an uninterrupted run would see.
+        x, y = _problem()
+        a = DataLoader(ArrayDataset(x, y), batch_size=4, seed=5)
+        for _ in a:  # advance one epoch
+            pass
+        state = a.state_dict()
+        next_order = [batch[0][:, 0, 0, 0].tolist() for batch in a]
+        b = DataLoader(ArrayDataset(x, y), batch_size=4, seed=5)
+        b.load_state_dict(state)
+        replayed = [batch[0][:, 0, 0, 0].tolist() for batch in b]
+        assert replayed == next_order
+
+    def test_numpy_global_rng_round_trips(self, tmp_path):
+        model, _ = _make()
+        np.random.seed(1234)
+        np.random.standard_normal(7)  # advance to a mid-stream state
+        expected_next = None
+        ck = Checkpoint.capture(model=model)
+        expected_next = np.random.standard_normal(3)
+        np.random.seed(999)  # clobber
+        ck.save(tmp_path / "ck.npz")
+        Checkpoint.load(tmp_path / "ck.npz").restore()
+        np.testing.assert_array_equal(np.random.standard_normal(3), expected_next)
+
+
+class TestCheckpointFile:
+    def test_save_load_preserves_everything(self, tmp_path):
+        config = TrainConfig(epochs=3, lr=1e-2)
+        engine, loader = _engine(config)
+        engine.fit(loader, epochs=2)
+        saved = engine.save_checkpoint(tmp_path / "ck.npz", model_spec={"family": "x"})
+        assert isinstance(saved, Checkpoint)
+        loaded = load_checkpoint(tmp_path / "ck.npz")
+        assert loaded.epoch == 2
+        assert loaded.model_spec == {"family": "x"}
+        assert loaded.config["epochs"] == 3
+        assert loaded.optimizer_state["type"] == "Adam"
+        assert loaded.scheduler_state["type"] == "CosineLR"
+        assert len(loaded.history["train_losses"]) == 2
+        for name, arr in engine.model.state_dict().items():
+            np.testing.assert_array_equal(loaded.model_state[name], arr)
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(CheckpointError, match="no checkpoint"):
+            Checkpoint.load(tmp_path / "nope.npz")
+
+    def test_corrupted_file_raises(self, tmp_path):
+        path = tmp_path / "ck.npz"
+        path.write_bytes(b"this is not an npz archive at all")
+        with pytest.raises(CheckpointError, match="unreadable"):
+            Checkpoint.load(path)
+
+    def test_truncated_file_raises(self, tmp_path):
+        config = TrainConfig(epochs=2, lr=1e-2)
+        engine, loader = _engine(config)
+        engine.fit(loader, epochs=1)
+        path = tmp_path / "ck.npz"
+        engine.save_checkpoint(path)
+        whole = path.read_bytes()
+        path.write_bytes(whole[: len(whole) // 2])
+        with pytest.raises(CheckpointError):
+            Checkpoint.load(path)
+
+    def test_wrong_schema_raises(self, tmp_path):
+        path = tmp_path / "ck.npz"
+        meta = json.dumps({"schema": 999, "epoch": 0, "model_keys": []})
+        np.savez(path, meta=np.frombuffer(meta.encode(), dtype=np.uint8))
+        with pytest.raises(CheckpointError, match="schema"):
+            Checkpoint.load(path)
+
+    def test_optimizer_type_mismatch_raises(self, tmp_path):
+        config = TrainConfig(epochs=2, lr=1e-2)
+        adam_engine, loader = _engine(config)
+        adam_engine.fit(loader, epochs=1)
+        path = tmp_path / "ck.npz"
+        adam_engine.save_checkpoint(path)
+        sgd_engine, loader_b = _engine(config, SGD, StepLR)
+        with pytest.raises(CheckpointError, match="optimizer is Adam"):
+            sgd_engine.load_checkpoint(path, loader=loader_b)
+
+    def test_model_mismatch_raises(self, tmp_path):
+        config = TrainConfig(epochs=1, lr=1e-2)
+        engine, loader = _engine(config)
+        engine.fit(loader)
+        path = tmp_path / "ck.npz"
+        engine.save_checkpoint(path)
+        other = Sequential(Conv2d(1, 1, 3, seed=0))
+        with pytest.raises(KeyError):
+            TrainEngine(other, config).load_checkpoint(path)
+
+    def test_weights_only_bundle(self, tmp_path):
+        model, _ = _make()
+        ck = Checkpoint.capture(model=model, epoch=0)
+        ck.save(tmp_path / "w.npz")
+        loaded = Checkpoint.load(tmp_path / "w.npz")
+        assert loaded.optimizer_state is None
+        fresh, _ = _make()
+        for _, p in fresh.named_parameters():
+            p.data += 1.0
+        loaded.restore(model=fresh)
+        _assert_same_weights(model, fresh)
+
+
+class TestBuildModel:
+    def _trained_checkpoint(self, tmp_path, kind="real"):
+        from repro.experiments.runner import make_task, model_for_task
+        from repro.experiments.settings import TINY
+        from repro.models.factory import make_factory
+
+        import dataclasses as dc
+
+        data = make_task("denoise", TINY)
+        factory = make_factory(kind) if kind != "real" else None
+        model = model_for_task("denoise", factory, TINY, seed=0)
+        loader = DataLoader(
+            ArrayDataset(data.train_inputs, data.train_targets), batch_size=6, seed=0
+        )
+        config = TrainConfig(epochs=2, lr=1e-3)
+        engine = TrainEngine(model, config)
+        engine.fit(loader)
+        spec = {"family": "ernet", "kind": kind, **dc.asdict(model.config)}
+        path = tmp_path / "model.npz"
+        engine.save_checkpoint(path, model_spec=spec)
+        return model, data, path
+
+    def test_rebuild_matches_original(self, tmp_path):
+        model, data, path = self._trained_checkpoint(tmp_path, kind="ri2+fh")
+        rebuilt = Checkpoint.load(path).build_model()
+        from repro.nn.tensor import Tensor, no_grad
+
+        with no_grad():
+            expect = model(Tensor(data.test_inputs)).data
+            got = rebuilt(Tensor(data.test_inputs)).data
+        np.testing.assert_array_equal(got, expect)
+
+    def test_predictor_from_checkpoint(self, tmp_path):
+        from repro.nn.inference import Predictor
+
+        model, data, path = self._trained_checkpoint(tmp_path)
+        served = Predictor.from_checkpoint(path)(data.test_inputs)
+        direct = Predictor(model)(data.test_inputs)
+        np.testing.assert_array_equal(served, direct)
+
+    def test_inference_server_from_checkpoint(self, tmp_path):
+        from repro.nn.inference import Predictor
+        from repro.serving import InferenceServer
+
+        model, data, path = self._trained_checkpoint(tmp_path)
+        direct = Predictor(model)(data.test_inputs)
+        with InferenceServer.from_checkpoint(path, workers=2) as server:
+            futures = [server.submit(img) for img in data.test_inputs]
+            served = np.stack([f.result(timeout=30) for f in futures])
+        np.testing.assert_array_equal(served, direct)
+
+    def test_no_spec_raises(self, tmp_path):
+        model, _ = _make()
+        Checkpoint.capture(model=model).save(tmp_path / "w.npz")
+        with pytest.raises(CheckpointError, match="no model spec"):
+            Checkpoint.load(tmp_path / "w.npz").build_model()

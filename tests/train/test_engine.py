@@ -1,0 +1,181 @@
+"""Tests for the callback-driven training engine (repro.train.engine)."""
+
+import numpy as np
+import pytest
+
+from repro.nn.data import ArrayDataset, DataLoader
+from repro.nn.layers import Conv2d, Sequential
+from repro.nn.optim import SGD, Adam, CosineLR, StepLR, clip_grad_norm
+from repro.nn.tensor import Tensor
+from repro.nn.trainer import TrainConfig, train_model
+from repro.train import Callback, EvalCallback, LambdaCallback, TrainEngine
+
+
+def _problem(n=10, seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal((n, 1, 8, 8))
+    return x, x * 0.5
+
+
+def _make(n=10, batch_size=4, model_seed=7, loader_seed=3):
+    x, y = _problem(n)
+    model = Sequential(Conv2d(1, 1, 3, seed=model_seed))
+    loader = DataLoader(ArrayDataset(x, y), batch_size=batch_size, seed=loader_seed)
+    return model, loader
+
+
+def _legacy_train(model, loader, config):
+    """The pre-engine train_model loop, verbatim (the bit-identity oracle)."""
+    params = model.parameters()
+    optimizer = Adam(params, lr=config.lr)
+    schedule = CosineLR(optimizer, total=config.epochs, min_lr=config.lr * config.min_lr_ratio)
+    model.train()
+    for _ in range(config.epochs):
+        for inputs, targets in loader:
+            optimizer.zero_grad()
+            loss = config.loss_fn(model(Tensor(inputs)), targets)
+            loss.backward()
+            if config.grad_clip:
+                clip_grad_norm(params, config.grad_clip)
+            optimizer.step()
+        schedule.step()
+    model.eval()
+
+
+class TestEngineNumerics:
+    @pytest.mark.smoke
+    def test_bit_identical_to_legacy_loop(self):
+        config = TrainConfig(epochs=3, lr=1e-2)
+        ref_model, ref_loader = _make()
+        _legacy_train(ref_model, ref_loader, config)
+        model, loader = _make()
+        TrainEngine(model, config).fit(loader)
+        for (name, p), (_, q) in zip(
+            ref_model.named_parameters(), model.named_parameters()
+        ):
+            np.testing.assert_array_equal(p.data, q.data, err_msg=name)
+
+    def test_train_model_wrapper_matches_engine(self):
+        config = TrainConfig(epochs=2, lr=1e-2)
+        model_a, loader_a = _make()
+        res_a = train_model(model_a, loader_a, config)
+        model_b, loader_b = _make()
+        res_b = TrainEngine(model_b, config).fit(loader_b)
+        assert res_a.train_losses == res_b.train_losses
+        assert res_a.grad_norms == res_b.grad_norms
+        for (_, p), (_, q) in zip(
+            model_a.named_parameters(), model_b.named_parameters()
+        ):
+            np.testing.assert_array_equal(p.data, q.data)
+
+    def test_epoch_loss_weighted_by_batch_size(self):
+        # 10 samples in batches of 4 -> sizes 4, 4, 2: the partial final
+        # batch must contribute 2 samples' worth, not a full batch's.
+        config = TrainConfig(epochs=1, lr=1e-3)
+        model, loader = _make(n=10, batch_size=4)
+        seen: list[float] = []
+        cb = LambdaCallback(on_batch_end=lambda e, loss, g: seen.append(loss))
+        result = TrainEngine(model, config, callbacks=[cb]).fit(loader)
+        assert len(seen) == 3
+        weighted = (seen[0] * 4 + seen[1] * 4 + seen[2] * 2) / 10
+        unweighted = sum(seen) / 3
+        assert result.train_losses[0] == pytest.approx(weighted, rel=0, abs=0)
+        assert result.train_losses[0] != unweighted
+
+    def test_history_grad_norms_and_lr_trace(self):
+        config = TrainConfig(epochs=2, lr=1e-2)
+        model, loader = _make(n=8, batch_size=4)
+        engine = TrainEngine(model, config)
+        result = engine.fit(loader)
+        assert len(result.grad_norms) == 2 * 2  # epochs * batches
+        assert all(g > 0 for g in result.grad_norms)
+        # lr_trace records the lr each epoch *trained at*: base lr first,
+        # then the scheduler's decayed values.
+        assert result.lr_trace[0] == config.lr
+        assert len(result.lr_trace) == 2
+        assert result.lr_trace[1] < result.lr_trace[0]
+
+    def test_grad_norms_recorded_with_clipping_disabled(self):
+        config = TrainConfig(epochs=1, lr=1e-3, grad_clip=0.0)
+        model, loader = _make(n=8, batch_size=4)
+        result = TrainEngine(model, config).fit(loader)
+        assert len(result.grad_norms) == 2
+        assert all(np.isfinite(g) for g in result.grad_norms)
+
+    def test_custom_optimizer_and_scheduler(self):
+        config = TrainConfig(epochs=4, lr=0.5)
+        model, loader = _make(n=8, batch_size=4)
+        opt = SGD(model.parameters(), lr=config.lr, momentum=0.9)
+        sched = StepLR(opt, step_size=2, gamma=0.1)
+        result = TrainEngine(model, config, optimizer=opt, scheduler=sched).fit(loader)
+        assert result.lr_trace == [0.5, 0.5, pytest.approx(0.05), pytest.approx(0.05)]
+
+
+class TestCallbacks:
+    def test_hooks_fire_in_order(self):
+        events: list[str] = []
+
+        class Recorder(Callback):
+            def on_train_start(self, engine):
+                events.append("train_start")
+
+            def on_epoch_start(self, engine):
+                events.append(f"epoch_start:{engine.epoch}")
+
+            def on_batch_end(self, engine, loss, grad_norm):
+                events.append("batch")
+
+            def on_epoch_end(self, engine, epoch_loss):
+                events.append(f"epoch_end:{engine.epoch}")
+
+            def on_train_end(self, engine, result):
+                events.append("train_end")
+
+        config = TrainConfig(epochs=2, lr=1e-3)
+        model, loader = _make(n=8, batch_size=4)
+        TrainEngine(model, config, callbacks=[Recorder()]).fit(loader)
+        assert events == [
+            "train_start",
+            "epoch_start:0", "batch", "batch", "epoch_end:1",
+            "epoch_start:1", "batch", "batch", "epoch_end:2",
+            "train_end",
+        ]
+
+    def test_callbacks_do_not_perturb_numerics(self):
+        config = TrainConfig(epochs=2, lr=1e-2)
+        model_a, loader_a = _make()
+        TrainEngine(model_a, config).fit(loader_a)
+        x, y = _problem(4, seed=9)
+        model_b, loader_b = _make()
+        engine = TrainEngine(
+            model_b,
+            config,
+            callbacks=[EvalCallback(x, y), LambdaCallback(on_batch_end=lambda e, l, g: None)],
+        )
+        engine.fit(loader_b)
+        for (_, p), (_, q) in zip(
+            model_a.named_parameters(), model_b.named_parameters()
+        ):
+            np.testing.assert_array_equal(p.data, q.data)
+
+    def test_eval_callback_records_val_losses(self):
+        config = TrainConfig(epochs=3, lr=1e-2)
+        model, loader = _make()
+        x, y = _problem(4, seed=9)
+        result = TrainEngine(model, config, callbacks=[EvalCallback(x, y)]).fit(loader)
+        assert len(result.val_losses) == 3
+        assert result.val_losses[-1] < result.val_losses[0]
+
+    def test_lambda_callback_rejects_unknown_hooks(self):
+        with pytest.raises(ValueError, match="unknown hook"):
+            LambdaCallback(on_banana=lambda e: None)
+
+    def test_fit_remaining_epochs_honors_horizon(self):
+        config = TrainConfig(epochs=3, lr=1e-3)
+        model, loader = _make(n=8, batch_size=4)
+        engine = TrainEngine(model, config)
+        engine.fit(loader, epochs=1)
+        assert engine.epoch == 1
+        engine.fit(loader)  # default: up to the horizon
+        assert engine.epoch == 3
+        assert len(engine.history.train_losses) == 3
