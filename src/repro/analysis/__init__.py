@@ -1,0 +1,46 @@
+"""reprolint — invariant-enforcing static analysis for this repo.
+
+The repo's headline guarantees are invariants, not features: kernel
+calls under :mod:`repro.nn`/:mod:`repro.serving` dispatch through the
+:class:`~repro.nn.backend.Backend` protocol (cross-backend bit-parity),
+library randomness flows through seeded generators (replayability),
+lock-guarded state is written under its lock (serving thread-safety),
+and optimizer/scheduler buffers round-trip through ``state_dict``
+(resume bit-identity).  This package enforces them at lint time with an
+AST rule framework: a registry of named rules
+(:mod:`repro.analysis.rules`), inline ``# reprolint: disable=<rule>``
+suppressions, text/JSON reporters, and a CLI::
+
+    python -m repro.analysis src benchmarks tests
+    python -m repro.analysis --select determinism,lock-discipline src
+    python -m repro.analysis --format json --output reprolint.json
+
+The process exits nonzero on findings, so CI can gate on it.
+"""
+
+from __future__ import annotations
+
+from .engine import Report, analyze_paths, analyze_source, iter_python_files
+from .findings import Finding
+from .registry import Rule, all_rules, get_rule, package_path, register_rule, resolve_rules
+from .reporters import render_json, render_text, report_jsonable
+from .suppressions import Suppressions, scan_suppressions
+
+__all__ = [
+    "Finding",
+    "Report",
+    "Rule",
+    "Suppressions",
+    "all_rules",
+    "analyze_paths",
+    "analyze_source",
+    "get_rule",
+    "iter_python_files",
+    "package_path",
+    "register_rule",
+    "render_json",
+    "render_text",
+    "report_jsonable",
+    "resolve_rules",
+    "scan_suppressions",
+]

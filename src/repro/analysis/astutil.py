@@ -1,0 +1,78 @@
+"""Shared AST helpers for reprolint rules."""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+__all__ = ["ImportMap", "attribute_chain", "collect_imports", "is_self_attr"]
+
+
+def attribute_chain(node: ast.expr) -> list[str] | None:
+    """``np.random.seed`` -> ["np", "random", "seed"]; None when the
+    expression roots at anything but a plain name (e.g. a call result)."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        parts.reverse()
+        return parts
+    return None
+
+
+def is_self_attr(node: ast.expr) -> str | None:
+    """The attribute name of a plain ``self.<name>`` expression, else None."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+@dataclass
+class ImportMap:
+    """Where each binding in a module points, for call-site resolution.
+
+    ``modules`` maps a local alias to the dotted module it names
+    (``np`` -> ``numpy``, ``sig`` -> ``scipy.signal``); ``names`` maps a
+    local alias to a fully-qualified attribute imported with ``from``
+    (``einsum`` -> ``numpy.einsum``).
+    """
+
+    modules: dict[str, str] = field(default_factory=dict)
+    names: dict[str, str] = field(default_factory=dict)
+
+    def qualify(self, chain: list[str]) -> str | None:
+        """Resolve an attribute chain to its dotted origin, or None.
+
+        ``["np", "random", "seed"]`` -> ``numpy.random.seed`` given
+        ``import numpy as np``; ``["einsum"]`` -> ``numpy.einsum`` given
+        ``from numpy import einsum``.
+        """
+        head, rest = chain[0], chain[1:]
+        if head in self.modules:
+            return ".".join([self.modules[head], *rest])
+        if head in self.names:
+            return ".".join([self.names[head], *rest])
+        return None
+
+
+def collect_imports(tree: ast.Module) -> ImportMap:
+    """Alias map over every import statement in the module (any depth)."""
+    imports = ImportMap()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".")[0]
+                target = alias.name if alias.asname else alias.name.split(".")[0]
+                imports.modules[local] = target
+        elif isinstance(node, ast.ImportFrom) and node.module and not node.level:
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                imports.names[alias.asname or alias.name] = f"{node.module}.{alias.name}"
+    return imports

@@ -1,0 +1,95 @@
+"""``python -m repro.analysis`` — run reprolint from the command line.
+
+Exit codes: 0 clean, 1 findings, 2 usage errors (unknown rule, missing
+path).  ``--format json`` emits the machine-readable report (the CI
+artifact shape); ``--output`` tees it to a file while keeping the
+summary on stderr so logs stay readable.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from .engine import analyze_paths
+from .registry import all_rules
+from .reporters import render_json, render_text
+
+__all__ = ["build_parser", "main"]
+
+DEFAULT_PATHS = ["src", "benchmarks", "tests"]
+
+
+def _rule_list(spec: str) -> list[str]:
+    return [name.strip() for name in spec.split(",") if name.strip()]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="reprolint: invariant-enforcing static analysis for this repo",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=DEFAULT_PATHS,
+        help=f"files or directories to scan (default: {' '.join(DEFAULT_PATHS)})",
+    )
+    parser.add_argument(
+        "--select",
+        type=_rule_list,
+        default=None,
+        metavar="RULE[,RULE...]",
+        help="run only these rules",
+    )
+    parser.add_argument(
+        "--ignore",
+        type=_rule_list,
+        default=None,
+        metavar="RULE[,RULE...]",
+        help="skip these rules",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--output",
+        default=None,
+        metavar="FILE",
+        help="also write the report to FILE (summary still prints)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="list registered rules and exit"
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.list_rules:
+        for name, rule in all_rules().items():
+            print(f"{name}: {rule.description}")
+        return 0
+
+    try:
+        report = analyze_paths(list(args.paths), select=args.select, ignore=args.ignore)
+    except (KeyError, FileNotFoundError) as exc:
+        print(f"reprolint: error: {exc.args[0]}", file=sys.stderr)
+        return 2
+
+    rendered = render_json(report) if args.format == "json" else render_text(report)
+    print(rendered)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(rendered + "\n")
+        print(f"reprolint: report written to {args.output}", file=sys.stderr)
+    return 0 if report.clean else 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,125 @@
+"""The reprolint driver: file discovery, parsing, rule dispatch.
+
+The entry points mirror how the tool is consumed:
+
+* :func:`analyze_source` — one in-memory module under a caller-chosen
+  path (rules scope by path, so tests hand fixture code a synthetic
+  ``src/repro/...`` location to opt it into path-scoped rules);
+* :func:`analyze_paths` — files and directory trees, as the CLI runs it.
+
+Findings silenced by inline suppressions are kept separately in the
+:class:`Report` so reporters can surface the suppression count — a
+suppressed finding is an auditable decision, not a deleted one.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .findings import Finding
+from .registry import Rule, resolve_rules
+from .suppressions import scan_suppressions
+
+__all__ = ["Report", "analyze_paths", "analyze_source", "iter_python_files"]
+
+#: Directory names never descended into during discovery.
+SKIP_DIRS = {"__pycache__", ".git", ".ruff_cache", ".pytest_cache", "results"}
+
+
+@dataclass
+class Report:
+    """Aggregate result of one analyzer run."""
+
+    findings: list[Finding] = field(default_factory=list)
+    suppressed: list[Finding] = field(default_factory=list)
+    files: int = 0
+    rules: list[str] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+
+def analyze_source(
+    source: str,
+    path: str,
+    rules: list[Rule] | None = None,
+    *,
+    report: Report | None = None,
+) -> list[Finding]:
+    """Run rules over one module's source; returns live findings.
+
+    Suppressed findings are dropped from the return value (and recorded
+    on ``report`` when given).  A syntax error becomes a single
+    ``syntax-error`` finding rather than an exception, so one broken
+    file cannot hide the rest of a CI run.
+    """
+    if rules is None:
+        rules = resolve_rules()
+    path = str(path).replace("\\", "/")
+    if report is not None:
+        report.files += 1
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        finding = Finding(
+            path=path,
+            line=exc.lineno or 1,
+            col=(exc.offset or 1) - 1,
+            rule="syntax-error",
+            message=f"could not parse: {exc.msg}",
+        )
+        if report is not None:
+            report.findings.append(finding)
+        return [finding]
+
+    raw: list[Finding] = []
+    for rule in rules:
+        if rule.applies_to(path):
+            raw.extend(rule.check(tree, path))
+    raw.sort()
+
+    suppressions = scan_suppressions(source)
+    live = [f for f in raw if not suppressions.covers(f)]
+    if report is not None:
+        report.findings.extend(live)
+        report.suppressed.extend(f for f in raw if suppressions.covers(f))
+    return live
+
+
+def iter_python_files(paths: list[str | Path]) -> list[Path]:
+    """Expand files/directories into a sorted, de-duplicated .py list."""
+    out: dict[Path, None] = {}
+    for entry in paths:
+        p = Path(entry)
+        if p.is_dir():
+            for f in sorted(p.rglob("*.py")):
+                if not any(part in SKIP_DIRS or part.startswith(".") for part in f.parts):
+                    out[f] = None
+        elif p.suffix == ".py":
+            out[p] = None
+        elif not p.exists():
+            raise FileNotFoundError(f"no such file or directory: {p}")
+    return list(out)
+
+
+def analyze_paths(
+    paths: list[str | Path],
+    select: list[str] | None = None,
+    ignore: list[str] | None = None,
+) -> Report:
+    """Analyze every ``.py`` file under ``paths`` with the active rules."""
+    rules = resolve_rules(select, ignore)
+    report = Report(rules=[r.name for r in rules])
+    for file in iter_python_files(paths):
+        analyze_source(
+            file.read_text(encoding="utf-8"),
+            file.as_posix(),
+            rules,
+            report=report,
+        )
+    report.findings.sort()
+    report.suppressed.sort()
+    return report

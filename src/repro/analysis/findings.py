@@ -1,0 +1,42 @@
+"""Finding record emitted by reprolint rules."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+__all__ = ["Finding"]
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at a source location.
+
+    ``line``/``col`` are 1-based/0-based respectively (ast conventions);
+    ``end_line`` is the last physical line of the offending node, so the
+    suppression scanner can honor a ``# reprolint: disable=...`` comment
+    placed on any line of a multi-line statement.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+    end_line: int = 0
+
+    def __post_init__(self) -> None:
+        if self.end_line < self.line:
+            object.__setattr__(self, "end_line", self.line)
+
+    def to_jsonable(self) -> dict[str, Any]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col + 1}: [{self.rule}] {self.message}"

@@ -1,0 +1,120 @@
+"""Rule protocol and registry for reprolint.
+
+A rule is a named AST visitor over one module: it receives the parsed
+tree plus the (posix, repo-relative) path and returns
+:class:`~repro.analysis.findings.Finding` records.  Rules self-register
+at import time via :func:`register_rule`, mirroring the experiment and
+backend registries elsewhere in the repo, so adding a rule is one module
+under :mod:`repro.analysis.rules` with a decorated class — the engine,
+CLI and reporters pick it up automatically.
+"""
+
+from __future__ import annotations
+
+import ast
+import posixpath
+
+from .findings import Finding
+
+__all__ = [
+    "Rule",
+    "all_rules",
+    "get_rule",
+    "package_path",
+    "register_rule",
+    "resolve_rules",
+]
+
+
+class Rule:
+    """Base class for reprolint rules.
+
+    Subclasses set ``name`` (the id used in ``--select`` / ``--ignore``
+    and suppression comments) and ``description``, and implement
+    :meth:`check`.  :meth:`applies_to` scopes a rule to part of the tree
+    (e.g. backend dispatch only polices ``repro/nn`` and
+    ``repro/serving``); the engine consults it before parsing so
+    out-of-scope files cost nothing.
+    """
+
+    name: str = ""
+    description: str = ""
+
+    def applies_to(self, path: str) -> bool:
+        return True
+
+    def check(self, tree: ast.Module, path: str) -> list[Finding]:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    def finding(self, path: str, node: ast.AST, message: str) -> Finding:
+        """Build a Finding anchored at ``node``."""
+        return Finding(
+            path=path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            rule=self.name,
+            message=message,
+            end_line=getattr(node, "end_lineno", None) or getattr(node, "lineno", 1),
+        )
+
+
+_RULES: dict[str, Rule] = {}
+
+
+def register_rule(cls: type[Rule]) -> type[Rule]:
+    """Class decorator: instantiate and register a rule under its name."""
+    rule = cls()
+    if not rule.name:
+        raise ValueError(f"rule {cls.__name__} has no name")
+    _RULES[rule.name] = rule
+    return cls
+
+
+def all_rules() -> dict[str, Rule]:
+    """All registered rules, keyed by name (import side effect included)."""
+    from . import rules as _rules_pkg  # noqa: F401  (registers on import)
+
+    return dict(sorted(_RULES.items()))
+
+
+def get_rule(name: str) -> Rule:
+    rules = all_rules()
+    try:
+        return rules[name]
+    except KeyError:
+        known = ", ".join(rules)
+        raise KeyError(f"unknown rule {name!r} (known: {known})") from None
+
+
+def resolve_rules(
+    select: list[str] | None = None, ignore: list[str] | None = None
+) -> list[Rule]:
+    """The active rule set after ``--select`` / ``--ignore`` filtering.
+
+    Unknown names raise so a typo in CI config fails loudly instead of
+    silently disabling a gate.
+    """
+    rules = all_rules()
+    for name in (select or []) + (ignore or []):
+        if name not in rules:
+            known = ", ".join(rules)
+            raise KeyError(f"unknown rule {name!r} (known: {known})")
+    active = list(select) if select else list(rules)
+    if ignore:
+        active = [name for name in active if name not in ignore]
+    return [rules[name] for name in active]
+
+
+def package_path(path: str) -> str | None:
+    """The ``repro/...``-relative form of ``path``, or None outside it.
+
+    ``src/repro/nn/layers.py`` -> ``repro/nn/layers.py``; test modules,
+    benchmarks and examples (which do not live under a ``repro``
+    directory) map to None, which is how rules scoped to library code
+    skip them.
+    """
+    parts = posixpath.normpath(path.replace("\\", "/")).split("/")
+    if "repro" in parts:
+        return "/".join(parts[parts.index("repro") :])
+    return None

@@ -1,0 +1,46 @@
+"""Text and JSON renderers for reprolint reports."""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from .engine import Report
+
+__all__ = ["render_json", "render_text", "report_jsonable"]
+
+JSON_VERSION = 1
+
+
+def render_text(report: Report) -> str:
+    """Human-oriented listing: one line per finding plus a summary."""
+    lines = [finding.render() for finding in report.findings]
+    n = len(report.findings)
+    summary = (
+        f"reprolint: {n} finding{'s' if n != 1 else ''}, "
+        f"{len(report.suppressed)} suppressed, {report.files} files scanned"
+    )
+    if report.findings:
+        lines.append("")
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def report_jsonable(report: Report) -> dict[str, Any]:
+    """The machine-readable report shape (uploaded as a CI artifact)."""
+    return {
+        "version": JSON_VERSION,
+        "tool": "reprolint",
+        "files_scanned": report.files,
+        "rules": report.rules,
+        "counts": {
+            "findings": len(report.findings),
+            "suppressed": len(report.suppressed),
+        },
+        "findings": [f.to_jsonable() for f in report.findings],
+        "suppressed": [f.to_jsonable() for f in report.suppressed],
+    }
+
+
+def render_json(report: Report) -> str:
+    return json.dumps(report_jsonable(report), indent=2, sort_keys=False)

@@ -1,0 +1,17 @@
+"""Built-in reprolint rules; importing this package registers them all."""
+
+from __future__ import annotations
+
+from .determinism import DeterminismRule
+from .dispatch import BackendDispatchRule
+from .locks import LockDisciplineRule
+from .public_api import PublicApiRule
+from .state_dict import StateDictCompletenessRule
+
+__all__ = [
+    "BackendDispatchRule",
+    "DeterminismRule",
+    "LockDisciplineRule",
+    "PublicApiRule",
+    "StateDictCompletenessRule",
+]

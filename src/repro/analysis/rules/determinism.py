@@ -1,0 +1,106 @@
+"""determinism: no global-RNG calls or unseeded generators in library code.
+
+Every reproducibility guarantee in the repo — artifact fingerprints,
+serial-vs-parallel experiment bit-identity (PR 2), train-N+resume-M
+bit-identity (PR 5) — assumes randomness flows through explicitly seeded
+``np.random.Generator`` objects passed as arguments.  A call into the
+legacy global RNG (``np.random.seed`` / ``rand`` / ``shuffle`` / ...)
+couples a library function to hidden process-wide state, and an
+unseeded ``default_rng()`` draws OS entropy, so the same call can never
+be replayed.
+
+The one sanctioned exception: :mod:`repro.train.checkpoint` explicitly
+captures and restores the *global* numpy RNG state with
+``np.random.get_state`` / ``set_state``, because a checkpoint must be
+able to freeze whatever legacy-seeded experiment code is running above
+it.  Those two calls are exempt in that module only.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..astutil import attribute_chain, collect_imports
+from ..findings import Finding
+from ..registry import Rule, package_path, register_rule
+
+__all__ = ["DeterminismRule"]
+
+#: np.random attributes that do NOT touch global state (constructors and
+#: generator machinery); calling anything else on np.random is flagged.
+_ALLOWED = frozenset(
+    {
+        "default_rng",
+        "Generator",
+        "SeedSequence",
+        "BitGenerator",
+        "PCG64",
+        "PCG64DXSM",
+        "Philox",
+        "SFC64",
+        "MT19937",
+    }
+)
+
+#: module allowed to snapshot/restore the global RNG, and with what.
+_CHECKPOINT_MODULE = "repro/train/checkpoint.py"
+_CHECKPOINT_ALLOWED = frozenset({"get_state", "set_state"})
+
+
+@register_rule
+class DeterminismRule(Rule):
+    name = "determinism"
+    description = (
+        "library code must not call the global numpy RNG (np.random.seed/rand/"
+        "shuffle/...) or construct an unseeded default_rng(); randomness flows "
+        "in as a seeded Generator argument"
+    )
+
+    def applies_to(self, path: str) -> bool:
+        # Library code only: tests and benchmarks drive the library and
+        # may seed however they like.
+        return package_path(path) is not None
+
+    def check(self, tree: ast.Module, path: str) -> list[Finding]:
+        imports = collect_imports(tree)
+        pkg = package_path(path)
+        findings: list[Finding] = []
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = attribute_chain(node.func)
+            if chain is None:
+                continue
+            qualified = imports.qualify(chain)
+            if qualified is None or not qualified.startswith("numpy.random."):
+                continue
+            attr = qualified.split(".", 2)[2]
+            if "." in attr:  # e.g. Generator method on an imported name
+                continue
+            if attr == "default_rng":
+                if not node.args and not node.keywords:
+                    findings.append(
+                        self.finding(
+                            path,
+                            node,
+                            "unseeded np.random.default_rng() draws OS entropy and "
+                            "is unreplayable; pass an explicit seed or accept a "
+                            "Generator argument",
+                        )
+                    )
+                continue
+            if attr in _ALLOWED:
+                continue
+            if pkg == _CHECKPOINT_MODULE and attr in _CHECKPOINT_ALLOWED:
+                # Sanctioned: checkpoints snapshot/restore the global RNG
+                # so legacy-seeded experiment state survives a resume.
+                continue
+            findings.append(
+                self.finding(
+                    path,
+                    node,
+                    f"np.random.{attr} mutates/reads hidden global RNG state; "
+                    "thread a seeded np.random.Generator through instead",
+                )
+            )
+        return findings

@@ -1,0 +1,118 @@
+"""public-api: ``__all__`` must be real, and public defs must be exported.
+
+In an ``__all__``-bearing module the export list is the API contract:
+an entry naming nothing is a typo that breaks ``from m import *`` and
+documentation tooling, and a public (non-underscore) top-level def or
+class missing from ``__all__`` is an API leak — callers import it, it
+was never promised, and the next refactor silently breaks them.  PR 1
+already shipped one such bug (``concat`` missing from the tensor
+module's ``__all__``); this rule keeps the contract honest mechanically.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..findings import Finding
+from ..registry import Rule, register_rule
+
+__all__ = ["PublicApiRule"]
+
+
+def _dunder_all(tree: ast.Module) -> tuple[ast.stmt, list[str]] | None:
+    for stmt in tree.body:
+        targets: list[ast.expr] = []
+        if isinstance(stmt, ast.Assign):
+            targets = stmt.targets
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            targets = [stmt.target]
+        if not any(isinstance(t, ast.Name) and t.id == "__all__" for t in targets):
+            continue
+        value = stmt.value if isinstance(stmt, ast.Assign) else stmt.value
+        if isinstance(value, (ast.List, ast.Tuple)):
+            names = [
+                el.value
+                for el in value.elts
+                if isinstance(el, ast.Constant) and isinstance(el.value, str)
+            ]
+            return stmt, names
+    return None
+
+
+def _top_level_bindings(body: list[ast.stmt], out: set[str]) -> None:
+    for stmt in body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            out.add(stmt.name)
+        elif isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                for el in ast.walk(target):
+                    if isinstance(el, ast.Name):
+                        out.add(el.id)
+        elif isinstance(stmt, (ast.AnnAssign, ast.AugAssign)):
+            if isinstance(stmt.target, ast.Name):
+                out.add(stmt.target.id)
+        elif isinstance(stmt, ast.Import):
+            for alias in stmt.names:
+                out.add(alias.asname or alias.name.split(".")[0])
+        elif isinstance(stmt, ast.ImportFrom):
+            for alias in stmt.names:
+                if alias.name != "*":
+                    out.add(alias.asname or alias.name)
+        elif isinstance(stmt, (ast.If, ast.Try)):
+            # Conditional imports (TYPE_CHECKING, optional deps) still
+            # bind at module scope.
+            _top_level_bindings(getattr(stmt, "body", []), out)
+            _top_level_bindings(getattr(stmt, "orelse", []), out)
+            for handler in getattr(stmt, "handlers", []):
+                _top_level_bindings(handler.body, out)
+            _top_level_bindings(getattr(stmt, "finalbody", []), out)
+
+
+@register_rule
+class PublicApiRule(Rule):
+    name = "public-api"
+    description = (
+        "in __all__-bearing modules, every __all__ entry must exist and every "
+        "public top-level def/class must be exported or renamed _private"
+    )
+
+    def check(self, tree: ast.Module, path: str) -> list[Finding]:
+        found = _dunder_all(tree)
+        if found is None:
+            return []
+        all_stmt, exported = found
+        bindings: set[str] = set()
+        _top_level_bindings(tree.body, bindings)
+
+        findings: list[Finding] = []
+        # A module-level __getattr__ (PEP 562) can satisfy any export
+        # lazily — repro/__init__.py resolves `serving` this way — so
+        # the existence check is only decidable without one.
+        lazy = "__getattr__" in bindings
+        for name in exported:
+            if name not in bindings and not lazy:
+                findings.append(
+                    self.finding(
+                        path,
+                        all_stmt,
+                        f"__all__ exports {name!r} but the module defines no such "
+                        "name (broken `import *` / docs contract)",
+                    )
+                )
+        exported_set = set(exported)
+        for stmt in tree.body:
+            if (
+                isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef))
+                and not stmt.name.startswith("_")
+                and stmt.name not in exported_set
+            ):
+                findings.append(
+                    self.finding(
+                        path,
+                        stmt,
+                        f"public {'class' if isinstance(stmt, ast.ClassDef) else 'def'} "
+                        f"{stmt.name!r} is not in __all__; export it or make it "
+                        "_private",
+                    )
+                )
+        return findings

@@ -1,0 +1,207 @@
+"""state-dict-completeness: optimizer/scheduler buffers must checkpoint.
+
+PR 5's resume guarantee — train N epochs, checkpoint, resume M more,
+bit-identical to N+M straight — only holds if *every* mutable buffer an
+optimizer or scheduler carries round-trips through ``state_dict()`` /
+``load_state_dict()``.  The failure mode is quiet: a new optimizer (the
+ROADMAP's K-FAC family) adds a curvature accumulator, forgets to
+serialize it, and resumed runs diverge numerically with no error.
+
+For each class whose base names an Optimizer/LRScheduler family, the
+rule infers the mutable-buffer set:
+
+* any plain ``self.<attr>`` assigned or augmented inside ``step()``;
+* any ``self.<attr>`` assigned in ``__init__`` to a value derived from
+  *no* constructor argument — zero literals, empty containers,
+  comprehensions, ``np.zeros_like(...)`` and friends.  Values built
+  from constructor arguments (``self.lr = float(lr)``) are
+  configuration, which a fresh instance re-derives, not state.
+
+Every inferred buffer must then be mentioned (as ``self.<attr>`` or as
+a ``"<attr>"``/``"_<attr>"``-style string key) in both ``state_dict``
+and ``load_state_dict`` — defined on the class itself, since a parent
+cannot serialize buffers it does not know about.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..astutil import attribute_chain, is_self_attr
+from ..findings import Finding
+from ..registry import Rule, register_rule
+
+__all__ = ["StateDictCompletenessRule"]
+
+_BASE_SUFFIXES = ("Optimizer", "LRScheduler", "Scheduler")
+_BASE_NAMES = frozenset({"Optimizer", "SGD", "Adam", "LRScheduler", "StepLR", "CosineLR"})
+
+#: constructors whose result is a fresh mutable buffer.
+_BUFFER_FACTORIES = frozenset(
+    {
+        "zeros",
+        "zeros_like",
+        "empty",
+        "empty_like",
+        "ones",
+        "ones_like",
+        "full",
+        "full_like",
+        "array",
+        "asarray",
+        "copy",
+        "deque",
+        "defaultdict",
+        "OrderedDict",
+        "dict",
+        "list",
+    }
+)
+
+
+def _base_matches(cls: ast.ClassDef) -> bool:
+    for base in cls.bases:
+        chain = attribute_chain(base)
+        if not chain:
+            continue
+        name = chain[-1]
+        if name in _BASE_NAMES or name.endswith(_BASE_SUFFIXES):
+            return True
+    return False
+
+
+def _method(cls: ast.ClassDef, name: str) -> ast.FunctionDef | None:
+    for stmt in cls.body:
+        if isinstance(stmt, ast.FunctionDef) and stmt.name == name:
+            return stmt
+    return None
+
+
+def _init_params(init: ast.FunctionDef) -> frozenset[str]:
+    args = init.args
+    names = [
+        a.arg
+        for a in [*args.posonlyargs, *args.args, *args.kwonlyargs]
+        if a.arg != "self"
+    ]
+    if args.vararg:
+        names.append(args.vararg.arg)
+    if args.kwarg:
+        names.append(args.kwarg.arg)
+    return frozenset(names)
+
+
+def _references_any(node: ast.expr, names: frozenset[str]) -> bool:
+    return any(
+        isinstance(sub, ast.Name) and sub.id in names for sub in ast.walk(node)
+    )
+
+
+def _is_buffer_value(value: ast.expr) -> bool:
+    """True when ``value`` builds fresh mutable/counter state."""
+    if isinstance(value, ast.Constant):
+        # 0 / 0.0 counters are state; None, bools and strings are config.
+        return isinstance(value.value, (int, float)) and not isinstance(value.value, bool)
+    if isinstance(value, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(value, ast.Call):
+        chain = attribute_chain(value.func)
+        return bool(chain) and chain[-1] in _BUFFER_FACTORIES
+    return False
+
+
+def _self_writes(fn: ast.FunctionDef) -> list[tuple[str, ast.expr | None, ast.stmt]]:
+    out: list[tuple[str, ast.expr | None, ast.stmt]] = []
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                attr = is_self_attr(target)
+                if attr:
+                    out.append((attr, node.value, node))
+        elif isinstance(node, ast.AugAssign):
+            attr = is_self_attr(node.target)
+            if attr:
+                out.append((attr, node.value, node))
+        elif isinstance(node, ast.AnnAssign):
+            attr = is_self_attr(node.target)
+            if attr:
+                out.append((attr, node.value, node))
+    return out
+
+
+def _mentions(fn: ast.FunctionDef, attr: str) -> bool:
+    """Does ``fn`` touch self.<attr> or name it as a string key?"""
+    keys = {attr, attr.lstrip("_")}
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Attribute) and is_self_attr(node) in keys:
+            return True
+        if isinstance(node, ast.Constant) and isinstance(node.value, str) and node.value in keys:
+            return True
+    return False
+
+
+@register_rule
+class StateDictCompletenessRule(Rule):
+    name = "state-dict-completeness"
+    description = (
+        "every mutable buffer an Optimizer/LRScheduler subclass assigns in "
+        "__init__/step must round-trip through its own state_dict() and "
+        "load_state_dict() — resume bit-identity depends on it"
+    )
+
+    def check(self, tree: ast.Module, path: str) -> list[Finding]:
+        findings: list[Finding] = []
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ClassDef) and _base_matches(node):
+                findings.extend(self._check_class(node, path))
+        return findings
+
+    def _check_class(self, cls: ast.ClassDef, path: str) -> list[Finding]:
+        init = _method(cls, "__init__")
+        step = _method(cls, "step")
+        buffers: dict[str, ast.stmt] = {}
+        if step is not None:
+            for attr, _value, stmt in _self_writes(step):
+                buffers.setdefault(attr, stmt)
+        if init is not None:
+            params = _init_params(init)
+            param_derived = {
+                attr
+                for attr, value, _stmt in _self_writes(init)
+                if value is not None and _references_any(value, params)
+            }
+            for attr, value, stmt in _self_writes(init):
+                if (
+                    attr not in param_derived
+                    and value is not None
+                    and _is_buffer_value(value)
+                ):
+                    buffers.setdefault(attr, stmt)
+        if not buffers:
+            return []
+
+        findings: list[Finding] = []
+        for method_name in ("state_dict", "load_state_dict"):
+            fn = _method(cls, method_name)
+            for attr, stmt in sorted(buffers.items()):
+                if fn is None:
+                    findings.append(
+                        self.finding(
+                            path,
+                            stmt,
+                            f"{cls.name} mutates buffer self.{attr} but defines no "
+                            f"{method_name}(); the inherited one cannot serialize "
+                            "it, breaking checkpoint/resume bit-identity",
+                        )
+                    )
+                elif not _mentions(fn, attr):
+                    findings.append(
+                        self.finding(
+                            path,
+                            fn,
+                            f"{cls.name}.{method_name} omits mutable buffer "
+                            f"self.{attr}; resumed training would diverge from an "
+                            "uninterrupted run",
+                        )
+                    )
+        return findings

@@ -1,0 +1,58 @@
+"""Inline suppression comments for reprolint.
+
+Syntax, modeled on pylint's::
+
+    self._cache = None  # reprolint: disable=lock-discipline
+    x = np.einsum(...)  # reprolint: disable=backend-dispatch,determinism
+    anything_goes()     # reprolint: disable=all
+
+A directive silences the named rules for every finding whose source span
+covers that physical line, so multi-line statements can carry the
+comment on any of their lines.  Suppressions are counted and surfaced in
+reports — they lower the exit code, not the visibility.
+"""
+
+from __future__ import annotations
+
+import re
+
+from .findings import Finding
+
+__all__ = ["Suppressions", "scan_suppressions"]
+
+_DIRECTIVE = re.compile(r"#\s*reprolint:\s*disable=([A-Za-z0-9_,\s\-]+)")
+
+
+class Suppressions:
+    """Per-line map of suppressed rule names for one source file."""
+
+    def __init__(self, by_line: dict[int, frozenset[str]]) -> None:
+        self._by_line = by_line
+
+    def __bool__(self) -> bool:
+        return bool(self._by_line)
+
+    def covers(self, finding: Finding) -> bool:
+        """True when ``finding`` is silenced by a directive on any line
+        of its source span."""
+        for line in range(finding.line, finding.end_line + 1):
+            rules = self._by_line.get(line)
+            if rules and (finding.rule in rules or "all" in rules):
+                return True
+        return False
+
+
+def scan_suppressions(source: str) -> Suppressions:
+    """Collect ``# reprolint: disable=...`` directives per physical line."""
+    by_line: dict[int, frozenset[str]] = {}
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        if "reprolint" not in text:
+            continue
+        match = _DIRECTIVE.search(text)
+        if match:
+            names = frozenset(
+                name.strip() for name in match.group(1).split(",") if name.strip()
+            )
+            if names:
+                by_line[lineno] = names
+    return Suppressions(by_line)

@@ -1,0 +1,111 @@
+"""CLI tests for ``python -m repro.analysis``: exit codes + JSON shape."""
+
+import json
+import subprocess
+import sys
+
+import reprolint_fixtures as fx
+from repro.analysis.cli import main
+from repro.analysis.reporters import JSON_VERSION
+
+
+def write_tree(root, entries):
+    for name, source, _expected in entries:
+        path = root / name
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(source)
+    return root
+
+
+class TestExitCodes:
+    def test_zero_on_clean_tree(self, tmp_path, capsys):
+        write_tree(tmp_path, [e for e in fx.FIXTURE_TREE if e[2] == 0])
+        assert main([str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "0 findings" in out
+
+    def test_one_on_findings(self, tmp_path, capsys):
+        write_tree(tmp_path, fx.FIXTURE_TREE)
+        assert main([str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        expected = sum(e[2] for e in fx.FIXTURE_TREE)
+        assert f"{expected} findings" in out
+
+    def test_two_on_unknown_rule(self, tmp_path, capsys):
+        assert main([str(tmp_path), "--select", "no-such-rule"]) == 2
+        assert "unknown rule" in capsys.readouterr().err
+
+    def test_two_on_missing_path(self, capsys):
+        assert main(["definitely/not/a/path"]) == 2
+        assert "no such file" in capsys.readouterr().err
+
+    def test_select_narrows_rules(self, tmp_path, capsys):
+        write_tree(tmp_path, fx.FIXTURE_TREE)
+        assert main([str(tmp_path), "--select", "public-api"]) == 1
+        out = capsys.readouterr().out
+        assert "2 findings" in out  # only the bad_api fixture fires
+
+    def test_ignore_drops_rules(self, tmp_path, capsys):
+        write_tree(
+            tmp_path,
+            [e for e in fx.FIXTURE_TREE if "bad_api" in e[0] or e[2] == 0],
+        )
+        assert main([str(tmp_path), "--ignore", "public-api"]) == 0
+        capsys.readouterr()
+
+    def test_list_rules(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule in (
+            "backend-dispatch",
+            "determinism",
+            "lock-discipline",
+            "state-dict-completeness",
+            "public-api",
+        ):
+            assert rule in out
+
+
+class TestJsonReport:
+    def test_shape(self, tmp_path, capsys):
+        write_tree(tmp_path, fx.FIXTURE_TREE)
+        assert main([str(tmp_path), "--format", "json"]) == 1
+        report = json.loads(capsys.readouterr().out)
+        assert report["version"] == JSON_VERSION
+        assert report["tool"] == "reprolint"
+        assert report["files_scanned"] == len(fx.FIXTURE_TREE)
+        assert set(report["rules"]) >= {"backend-dispatch", "determinism"}
+        assert report["counts"]["findings"] == sum(e[2] for e in fx.FIXTURE_TREE)
+        assert report["counts"]["suppressed"] == 0
+        for finding in report["findings"]:
+            assert set(finding) == {"rule", "path", "line", "col", "message"}
+            assert isinstance(finding["line"], int) and finding["line"] >= 1
+
+    def test_suppressed_counted_not_listed_as_findings(self, tmp_path, capsys):
+        path = tmp_path / "src" / "repro" / "nn" / "suppressed.py"
+        path.parent.mkdir(parents=True)
+        path.write_text(fx.SUPPRESSED_DISPATCH)
+        assert main([str(tmp_path), "--format", "json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["counts"] == {"findings": 0, "suppressed": 1}
+        assert report["suppressed"][0]["rule"] == "backend-dispatch"
+
+    def test_output_file(self, tmp_path, capsys):
+        write_tree(tmp_path, fx.FIXTURE_TREE)
+        out_file = tmp_path / "report.json"
+        assert main([str(tmp_path), "--format", "json", "--output", str(out_file)]) == 1
+        capsys.readouterr()
+        report = json.loads(out_file.read_text())
+        assert report["counts"]["findings"] == sum(e[2] for e in fx.FIXTURE_TREE)
+
+
+class TestModuleEntryPoint:
+    def test_python_dash_m_runs_and_gates(self, tmp_path):
+        write_tree(tmp_path, fx.FIXTURE_TREE)
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.analysis", str(tmp_path)],
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 1
+        assert "reprolint:" in proc.stdout

@@ -1,0 +1,55 @@
+"""Self-check guard: a broken rule module fails the fast smoke gate.
+
+The CI reprolint job only exercises the analyzer against the real tree;
+if a rule module stopped importing (or stopped firing at all), that job
+could go green-by-vacuity.  This smoke test — part of the `-m smoke`
+gate every CI leg runs first — imports every rule module and drives the
+full engine over the in-repo fixture tree, asserting each rule both
+fires on its bad fixture and stays quiet on its good twin.
+"""
+
+import importlib
+import pkgutil
+
+import pytest
+
+import reprolint_fixtures as fx
+from repro.analysis import all_rules, analyze_paths
+from repro.analysis import rules as rules_pkg
+
+
+@pytest.mark.smoke
+def test_reprolint_self_check(tmp_path):
+    # Every rule module imports and registers at least one rule.
+    modules = [name for _, name, _ in pkgutil.iter_modules(rules_pkg.__path__)]
+    assert modules, "no rule modules found"
+    for name in modules:
+        importlib.import_module(f"repro.analysis.rules.{name}")
+    rules = all_rules()
+    assert len(rules) >= 5
+
+    # The analyzer run over the fixture tree reproduces the expected
+    # finding count per file — bad fixtures fire, good twins stay quiet.
+    for name, source, _expected in fx.FIXTURE_TREE:
+        target = tmp_path / name
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(source)
+    report = analyze_paths([tmp_path])
+    assert report.files == len(fx.FIXTURE_TREE)
+
+    by_file = {}
+    for finding in report.findings:
+        by_file[finding.path] = by_file.get(finding.path, 0) + 1
+    for name, _source, expected in fx.FIXTURE_TREE:
+        got = by_file.get((tmp_path / name).as_posix(), 0)
+        assert got == expected, f"{name}: expected {expected} findings, got {got}"
+
+    # Each of the five repo rules fired somewhere in the bad fixtures.
+    fired = {f.rule for f in report.findings}
+    assert fired >= {
+        "backend-dispatch",
+        "determinism",
+        "lock-discipline",
+        "state-dict-completeness",
+        "public-api",
+    }
