@@ -35,6 +35,10 @@ __all__ = [
     "qformat_ablation",
     "format_drelu",
     "format_qformat",
+    "AblationResult",
+    "run",
+    "format_result",
+    "to_jsonable",
 ]
 
 

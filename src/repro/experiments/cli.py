@@ -107,7 +107,7 @@ def _resolve_names(requested: Sequence[str]) -> list[str]:
     return list(seen)
 
 
-def cmd_list(args: argparse.Namespace) -> int:
+def _cmd_list(args: argparse.Namespace) -> int:
     store = artifacts.ArtifactStore(args.results_dir)
     rows = []
     for experiment in registry.all_experiments():
@@ -125,7 +125,7 @@ def cmd_list(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_run(args: argparse.Namespace) -> int:
+def _cmd_run(args: argparse.Namespace) -> int:
     names = _resolve_names(args.experiments)
     store = artifacts.ArtifactStore(args.results_dir)
     jobs = max(1, args.jobs)
@@ -199,7 +199,7 @@ def cmd_run(args: argparse.Namespace) -> int:
     return 1 if failed else 0
 
 
-def cmd_train(args: argparse.Namespace) -> int:
+def _cmd_train(args: argparse.Namespace) -> int:
     # Local imports: `python -m repro list/run` never pays for them.
     import dataclasses
 
@@ -288,7 +288,7 @@ def cmd_train(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_report(args: argparse.Namespace) -> int:
+def _cmd_report(args: argparse.Namespace) -> int:
     names = _resolve_names(args.experiments)
     store = artifacts.ArtifactStore(args.results_dir)
     missing: list[str] = []
@@ -314,7 +314,7 @@ def cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_serve_bench(args: argparse.Namespace) -> int:
+def _cmd_serve_bench(args: argparse.Namespace) -> int:
     # Imported here (not at module top) so `python -m repro list/run`
     # never pays for the serving stack.
     from repro.serving.bench import ServeBenchConfig, run_serve_bench
@@ -382,7 +382,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub_list = subparsers.add_parser("list", help="show registered experiments")
     add_common(sub_list)
-    sub_list.set_defaults(func=cmd_list)
+    sub_list.set_defaults(func=_cmd_list)
 
     sub_run = subparsers.add_parser("run", help="execute experiments, cache artifacts")
     sub_run.add_argument(
@@ -404,7 +404,7 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     add_common(sub_run)
-    sub_run.set_defaults(func=cmd_run)
+    sub_run.set_defaults(func=_cmd_run)
 
     sub_train = subparsers.add_parser(
         "train", help="train one model with the checkpointable engine"
@@ -447,7 +447,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub_train.add_argument("--seed", type=int, default=0, help="model init seed")
     add_common(sub_train)
-    sub_train.set_defaults(func=cmd_train)
+    sub_train.set_defaults(func=_cmd_train)
 
     sub_report = subparsers.add_parser(
         "report", help="render cached artifacts as the paper's tables/figures"
@@ -456,7 +456,7 @@ def build_parser() -> argparse.ArgumentParser:
         "experiments", nargs="*", help="experiment names (default: all)"
     )
     add_common(sub_report)
-    sub_report.set_defaults(func=cmd_report)
+    sub_report.set_defaults(func=_cmd_report)
 
     sub_serve = subparsers.add_parser(
         "serve-bench",
@@ -493,7 +493,7 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     sub_serve.add_argument("--seed", type=int, default=0, help="workload seed")
-    sub_serve.set_defaults(func=cmd_serve_bench)
+    sub_serve.set_defaults(func=_cmd_serve_bench)
 
     return parser
 

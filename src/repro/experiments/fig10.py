@@ -32,7 +32,14 @@ from .settings import SMALL, QualityScale, get_scale
 from .artifacts import to_jsonable as _jsonable
 from .registry import register
 
-__all__ = ["TransformedRingConv2d", "TransformedRingFactory", "run", "format_result", "to_jsonable"]
+__all__ = [
+    "TransformedRingConv2d",
+    "TransformedRingFactory",
+    "Fig10Result",
+    "run",
+    "format_result",
+    "to_jsonable",
+]
 
 
 class TransformedRingConv2d(Module):

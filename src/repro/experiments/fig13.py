@@ -18,7 +18,15 @@ from .settings import SMALL, QualityScale, get_scale
 from .artifacts import to_jsonable as _jsonable
 from .registry import register
 
-__all__ = ["Fig13Target", "Fig13Row", "run", "format_result", "DEFAULT_TARGETS", "to_jsonable"]
+__all__ = [
+    "Fig13Target",
+    "Fig13Row",
+    "run",
+    "format_result",
+    "ring_vs_real_delta",
+    "DEFAULT_TARGETS",
+    "to_jsonable",
+]
 
 
 @dataclasses.dataclass(frozen=True)

@@ -39,6 +39,7 @@ __all__ = [
     "DEFAULT_WEIGHTS_DIR",
     "WARM_START_ENV",
     "warm_start_enabled",
+    "weights_root",
     "training_fingerprint",
     "WeightCache",
 ]

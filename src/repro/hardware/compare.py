@@ -23,6 +23,8 @@ from .accelerator import (
 
 __all__ = [
     "ReferenceAccelerator",
+    "ComparisonRow",
+    "EfficiencyGains",
     "SPARTEN",
     "TIE_CONV",
     "CIRCNN",
@@ -160,7 +162,7 @@ def diffy_comparison(
             ComparisonRow(
                 name=config.name,
                 sparsity_kind="algebraic (ring)",
-                compression=float(get_n(config)),
+                compression=float(_get_n(config)),
                 equivalent_tops_per_watt=eff,
                 gain_vs_reference=eff / DIFFY_40NM.equivalent_tops_per_watt,
             )
@@ -168,7 +170,7 @@ def diffy_comparison(
     return rows
 
 
-def get_n(config: AcceleratorConfig) -> int:
+def _get_n(config: AcceleratorConfig) -> int:
     """Tuple dimension of an accelerator config."""
     return {"real": 1, "ri2": 2, "ri4": 4}[config.ring]
 

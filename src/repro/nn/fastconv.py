@@ -133,7 +133,8 @@ class FastRingConv2d(Module):
         self._cache_lock = threading.Lock()
 
     def _clear_weight_cache(self) -> None:
-        self._weight_cache = None
+        with self._cache_lock:
+            self._weight_cache = None
 
     def _transformed_eval_weight(self) -> np.ndarray:
         """The cached ``g~ = Tg g``, rebuilt when the weights changed.

@@ -40,6 +40,7 @@ __all__ = [
     "GlobalAvgPool",
     "Flatten",
     "Identity",
+    "make_activation",
 ]
 
 
@@ -122,7 +123,8 @@ class RingConv2d(Module):
         self._cache_lock = threading.Lock()
 
     def _clear_weight_cache(self) -> None:
-        self._weight_cache = None
+        with self._cache_lock:
+            self._weight_cache = None
 
     def _expanded_eval_weight(self) -> np.ndarray:
         """The cached real filter bank, rebuilt when ``g`` changed.

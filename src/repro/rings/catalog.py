@@ -48,7 +48,7 @@ from .nonlinearity import (
 )
 from .transforms import hadamard, reflected_householder
 
-__all__ = ["RingSpec", "get_ring", "ring_names", "table1_rings", "proposed_pair"]
+__all__ = ["RingSpec", "get_ring", "ring_names", "table1_rings", "proposed_pair", "proposed_pair_o4"]
 
 
 @dataclasses.dataclass(frozen=True)
