@@ -76,7 +76,7 @@ def test_engine_steps_per_second(record_result):
     engine_s = time.perf_counter() - start
 
     for (name, p), (_, q) in zip(
-        model_legacy.named_parameters(), model_engine.named_parameters()
+        model_legacy.named_parameters(), model_engine.named_parameters(), strict=True
     ):
         assert np.array_equal(p.data, q.data), f"{name} diverged"
 

@@ -20,7 +20,8 @@ import inspect
 import json
 import os
 import pathlib
-from typing import Any, Mapping
+from collections.abc import Mapping
+from typing import Any
 
 import numpy as np
 
@@ -180,14 +181,11 @@ class ArtifactStore:
         self.root = pathlib.Path(root)
 
     def path_for(self, artifact_or_key: "Artifact | tuple[str, str, str]") -> pathlib.Path:
-        if isinstance(artifact_or_key, Artifact):
-            key = (
-                artifact_or_key.experiment,
-                artifact_or_key.scale,
-                artifact_or_key.fingerprint,
-            )
-        else:
-            key = artifact_or_key
+        key = (
+            (artifact_or_key.experiment, artifact_or_key.scale, artifact_or_key.fingerprint)
+            if isinstance(artifact_or_key, Artifact)
+            else artifact_or_key
+        )
         name, scale, digest = key
         return self.root / f"{name}--{scale}--{digest}.json"
 

@@ -36,7 +36,8 @@ import os
 import pathlib
 import sys
 import time
-from typing import Any, Sequence
+from collections.abc import Sequence
+from typing import Any
 
 from repro.nn import backend as nn_backend
 
@@ -220,7 +221,7 @@ def _cmd_train(args: argparse.Namespace) -> int:
     try:
         factory = make_factory(kind) if kind != "real" else None
     except KeyError as exc:
-        raise SystemExit(f"unknown algebra kind {kind!r}: {exc}")
+        raise SystemExit(f"unknown algebra kind {kind!r}: {exc}") from None
 
     scale = get_scale(args.scale)
     ckpt_path = pathlib.Path(
@@ -233,7 +234,7 @@ def _cmd_train(args: argparse.Namespace) -> int:
         try:
             resumed = load_checkpoint(ckpt_path)
         except CheckpointError as exc:
-            raise SystemExit(f"--resume: {exc}")
+            raise SystemExit(f"--resume: {exc}") from None
     # The schedule horizon: explicit --epochs, else whatever the
     # checkpoint trained toward (so a resume continues the same cosine
     # decay), else the scale preset.
@@ -262,7 +263,7 @@ def _cmd_train(args: argparse.Namespace) -> int:
         try:
             engine.load_checkpoint(ckpt_path, loader=loader)
         except (CheckpointError, KeyError, ValueError) as exc:
-            raise SystemExit(f"--resume: checkpoint does not match this model: {exc}")
+            raise SystemExit(f"--resume: checkpoint does not match this model: {exc}") from None
         print(f"{args.model:<12} resumed epoch {engine.epoch} from {ckpt_path}")
 
     todo = (
@@ -326,7 +327,7 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         try:
             nn_backend.make_backend(spec)  # validate before the long run
         except ValueError as exc:
-            raise SystemExit(str(exc))
+            raise SystemExit(str(exc)) from None
     if args.clients < 1 or args.requests < 1 or args.workers < 1 or args.max_batch < 1:
         raise SystemExit("--clients/--requests/--workers/--max-batch must be >= 1")
     if args.image_size < 2 or args.image_size % 2:
@@ -505,7 +506,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         try:
             nn_backend.make_backend(args.backend)  # validate before exporting
         except ValueError as exc:
-            raise SystemExit(str(exc))
+            raise SystemExit(str(exc)) from None
         # Environment (not a context manager) so multiprocessing spawn
         # workers pick the same backend up; precedence stays with any
         # use_backend context active inside the experiment code itself.

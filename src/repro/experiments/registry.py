@@ -20,7 +20,8 @@ from __future__ import annotations
 import dataclasses
 import re
 import zlib
-from typing import Any, Callable, Mapping
+from collections.abc import Callable, Mapping
+from typing import Any
 
 import numpy as np
 

@@ -9,7 +9,8 @@ from __future__ import annotations
 
 import dataclasses
 import hashlib
-from typing import Any, Mapping
+from collections.abc import Mapping
+from typing import Any
 
 from ..imaging.datasets import TaskData, make_denoising_task, make_sr_task
 from ..imaging.metrics import average_psnr

@@ -27,7 +27,8 @@ import hashlib
 import os
 import pathlib
 import re
-from typing import Any, Mapping
+from collections.abc import Mapping
+from typing import Any
 
 from ..nn.module import Module
 from ..nn.trainer import TrainConfig, TrainResult

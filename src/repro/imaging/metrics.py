@@ -31,7 +31,7 @@ def average_psnr(
     preds: np.ndarray, targets: np.ndarray, shave: int = 0, peak: float = 1.0
 ) -> float:
     """Mean per-image PSNR over a stack (the paper averages over test sets)."""
-    values = [psnr(p, t, shave=shave, peak=peak) for p, t in zip(preds, targets)]
+    values = [psnr(p, t, shave=shave, peak=peak) for p, t in zip(preds, targets, strict=True)]
     finite = [v for v in values if np.isfinite(v)]
     return float(np.mean(finite)) if finite else float("inf")
 

@@ -69,7 +69,7 @@ def random_image(size: int, rng: np.random.Generator) -> np.ndarray:
         smooth_gradient(size, rng),
     ]
     weights = rng.dirichlet(np.ones(len(components)))
-    img = sum(w * c for w, c in zip(weights, components))
+    img = sum(w * c for w, c in zip(weights, components, strict=True))
     return np.clip(img, 0.0, 1.0)
 
 

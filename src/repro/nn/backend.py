@@ -51,7 +51,7 @@ from __future__ import annotations
 import os
 import threading
 from concurrent.futures import ThreadPoolExecutor
-from typing import Callable, Sequence
+from collections.abc import Callable, Sequence
 
 import numpy as np
 
@@ -358,7 +358,7 @@ class ThreadedBackend(Backend):
             return [(0, n)]
         parts = min(self.jobs, n)
         bounds = np.linspace(0, n, parts + 1, dtype=int)
-        return [(int(a), int(b)) for a, b in zip(bounds[:-1], bounds[1:]) if a < b]
+        return [(int(a), int(b)) for a, b in zip(bounds[:-1], bounds[1:], strict=True) if a < b]
 
     def _run(self, fn: Callable[[tuple[int, int]], None], spans: Sequence[tuple[int, int]]) -> None:
         if len(spans) == 1:

@@ -3,7 +3,8 @@
 from __future__ import annotations
 
 import copy
-from typing import Any, Iterator
+from collections.abc import Iterator
+from typing import Any
 
 import numpy as np
 

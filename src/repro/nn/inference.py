@@ -252,7 +252,7 @@ class Predictor:
             preds = self._forward(crops)
             if out is None:
                 out = np.empty((n, preds.shape[1], h * s, w * s), dtype=preds.dtype)
-            for pred, (i, y0, x0, cy, cx) in zip(preds, chunk):
+            for pred, (i, y0, x0, cy, cx) in zip(preds, chunk, strict=True):
                 ty, tx = min(th, h - y0), min(tw, w - x0)
                 oy, ox = y0 - cy, x0 - cx
                 out[i, :, s * y0 : s * (y0 + ty), s * x0 : s * (x0 + tx)] = pred[

@@ -148,12 +148,13 @@ class RingConv2d(Module):
         return cached[1]
 
     def forward(self, x: Tensor) -> Tensor:
-        if not self.training and not is_grad_enabled():
-            # Eval mode: reuse the expanded real bank across forwards
-            # instead of re-running ring_expand per call.
-            weight = Tensor(self._expanded_eval_weight())
-        else:
-            weight = ring_expand(self.g, self.ring.m_tensor)
+        # Eval mode: reuse the expanded real bank across forwards
+        # instead of re-running ring_expand per call.
+        weight = (
+            Tensor(self._expanded_eval_weight())
+            if not self.training and not is_grad_enabled()
+            else ring_expand(self.g, self.ring.m_tensor)
+        )
         return conv2d(x, weight, self.bias, stride=self.stride, padding=self.padding)
 
     def expanded_weight(self) -> np.ndarray:

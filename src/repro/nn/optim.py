@@ -45,7 +45,7 @@ def _load_buffers(own: list[np.ndarray], saved: list[np.ndarray], what: str) -> 
     """Copy saved buffers into existing ones, validating the layout."""
     if len(own) != len(saved):
         raise ValueError(f"{what}: expected {len(own)} buffers, got {len(saved)}")
-    for i, (dst, src) in enumerate(zip(own, saved)):
+    for i, (dst, src) in enumerate(zip(own, saved, strict=True)):
         src = np.asarray(src)
         if dst.shape != src.shape:
             raise ValueError(f"{what}[{i}]: shape {src.shape} != parameter shape {dst.shape}")
@@ -92,7 +92,7 @@ class SGD(Optimizer):
         self._velocity = [np.zeros_like(p.data) for p in self.params]
 
     def step(self) -> None:
-        for p, vel in zip(self.params, self._velocity):
+        for p, vel in zip(self.params, self._velocity, strict=True):
             if p.grad is None:
                 continue
             grad = p.grad
@@ -138,7 +138,7 @@ class Adam(Optimizer):
         b1, b2 = self.betas
         bias1 = 1.0 - b1**self._t
         bias2 = 1.0 - b2**self._t
-        for p, m, v in zip(self.params, self._m, self._v):
+        for p, m, v in zip(self.params, self._m, self._v, strict=True):
             if p.grad is None:
                 continue
             grad = p.grad

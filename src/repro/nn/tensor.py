@@ -13,7 +13,7 @@ hand-written vector-Jacobian product.  Convolution lives in
 from __future__ import annotations
 
 import threading
-from typing import Callable, Iterable
+from collections.abc import Callable, Iterable
 
 import numpy as np
 
@@ -234,10 +234,11 @@ class Tensor:
         # backend (1-D operands keep plain numpy semantics); the VJPs
         # stay on np.matmul so gradients are backend-invariant by
         # construction.
-        if self.ndim >= 2 and other.ndim >= 2:
-            out_data = backend_module.current_backend().matmul(self.data, other.data)
-        else:
-            out_data = self.data @ other.data
+        out_data = (
+            backend_module.current_backend().matmul(self.data, other.data)
+            if self.ndim >= 2 and other.ndim >= 2
+            else self.data @ other.data
+        )
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
@@ -432,7 +433,7 @@ def concat(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
     offsets = np.cumsum([0] + sizes)
 
     def backward(grad: np.ndarray) -> None:
-        for t, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
+        for t, start, stop in zip(tensors, offsets[:-1], offsets[1:], strict=True):
             if t.requires_grad:
                 index = [slice(None)] * grad.ndim
                 index[axis] = slice(start, stop)

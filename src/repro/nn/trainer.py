@@ -13,7 +13,7 @@ one-call front door, kept as a thin wrapper over the engine.
 from __future__ import annotations
 
 import dataclasses
-from typing import Callable
+from collections.abc import Callable
 
 import numpy as np
 

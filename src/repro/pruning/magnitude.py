@@ -69,10 +69,11 @@ def sparsity_of(model: Module, masks: dict[str, np.ndarray] | None = None) -> fl
     """Fraction of zeroed prunable weights."""
     params = prunable_parameters(model)
     total = sum(p.data.size for p in params.values())
-    if masks is not None:
-        zeros = sum(int((~m).sum()) for m in masks.values())
-    else:
-        zeros = sum(int((p.data == 0).sum()) for p in params.values())
+    zeros = (
+        sum(int((~m).sum()) for m in masks.values())
+        if masks is not None
+        else sum(int((p.data == 0).sum()) for p in params.values())
+    )
     return zeros / total if total else 0.0
 
 

@@ -105,7 +105,7 @@ def cyclic_sign_patterns(p_mat: np.ndarray) -> list[np.ndarray]:
     patterns = []
     for bits in itertools.product((1.0, -1.0), repeat=len(slots)):
         s_mat = np.ones((n, n))
-        for slot, bit in zip(slots, bits):
+        for slot, bit in zip(slots, bits, strict=True):
             for (i, j) in slot:
                 s_mat[i, j] = bit
         patterns.append(s_mat)

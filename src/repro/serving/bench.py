@@ -18,7 +18,7 @@ the batching-is-bit-exact guarantee of :mod:`repro.nn.inference`.
 from __future__ import annotations
 
 import dataclasses
-from typing import Sequence
+from collections.abc import Sequence
 
 import numpy as np
 

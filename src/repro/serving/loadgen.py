@@ -77,10 +77,15 @@ class LoadResult:
     def bit_identical_to(self, reference: "LoadResult | tuple") -> bool:
         """True when every output array matches ``reference`` bit for bit."""
         other = reference.outputs if isinstance(reference, LoadResult) else reference
+        if len(self.outputs) != len(other):
+            return False
         return all(
-            np.array_equal(mine, theirs)
-            for my_seq, their_seq in zip(self.outputs, other)
-            for mine, theirs in zip(my_seq, their_seq)
+            len(my_seq) == len(their_seq)
+            and all(
+                np.array_equal(mine, theirs)
+                for mine, theirs in zip(my_seq, their_seq, strict=True)
+            )
+            for my_seq, their_seq in zip(self.outputs, other, strict=True)
         )
 
 

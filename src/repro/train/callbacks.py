@@ -24,7 +24,7 @@ to the bare loop.
 from __future__ import annotations
 
 import typing
-from typing import Callable
+from collections.abc import Callable
 
 import numpy as np
 

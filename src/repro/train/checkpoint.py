@@ -20,7 +20,8 @@ import json
 import os
 import pathlib
 import zipfile
-from typing import Any, Mapping
+from collections.abc import Mapping
+from typing import Any
 
 import numpy as np
 

@@ -21,7 +21,8 @@ engine adds around that core:
 from __future__ import annotations
 
 import dataclasses
-from typing import Any, Iterable, Sequence
+from collections.abc import Iterable, Sequence
+from typing import Any
 
 from ..nn.data import DataLoader
 from ..nn.module import Module

@@ -139,7 +139,7 @@ class TestConvParity:
         bd = rng.standard_normal(4)
         base = _conv_case(NumpyBackend(), xd, wd, bd, stride, padding, grouped=False)
         got = _conv_case(backend, xd, wd, bd, stride, padding, grouped=False)
-        for name, ref, other in zip(("out", "infer", "dx", "dw", "db"), base, got):
+        for name, ref, other in zip(("out", "infer", "dx", "dw", "db"), base, got, strict=True):
             assert np.array_equal(ref, other), f"{name} differs on {backend!r}"
 
     def test_conv2d_grouped_bit_identical(self, backend, stride, padding):
@@ -149,7 +149,7 @@ class TestConvParity:
         bd = rng.standard_normal((4, 3))
         base = _conv_case(NumpyBackend(), xd, wd, bd, stride, padding, grouped=True)
         got = _conv_case(backend, xd, wd, bd, stride, padding, grouped=True)
-        for name, ref, other in zip(("out", "infer", "dx", "dw", "db"), base, got):
+        for name, ref, other in zip(("out", "infer", "dx", "dw", "db"), base, got, strict=True):
             assert np.array_equal(ref, other), f"{name} differs on {backend!r}"
 
 
@@ -161,7 +161,7 @@ def test_grouped_batch_one_splits_group_axis_bit_identical():
     bd = rng.standard_normal((8, 3))
     base = _conv_case(NumpyBackend(), xd, wd, bd, 1, 1, grouped=True)
     got = _conv_case(_threaded_forced(), xd, wd, bd, 1, 1, grouped=True)
-    for name, ref, other in zip(("out", "infer", "dx", "dw", "db"), base, got):
+    for name, ref, other in zip(("out", "infer", "dx", "dw", "db"), base, got, strict=True):
         assert np.array_equal(ref, other), f"{name} differs on group-axis split"
 
 
@@ -238,7 +238,7 @@ def test_fastringconv_forward_backward_bit_identical(ring_name, n, stride, paddi
     base = run(NumpyBackend())
     for backend in _alternative_backends():
         got = run(backend)
-        for name, ref, other in zip(("out", "dx", "dg", "dbias"), base, got):
+        for name, ref, other in zip(("out", "dx", "dg", "dbias"), base, got, strict=True):
             assert np.array_equal(ref, other), f"{name} differs on {backend!r} ({ring_name})"
 
 

@@ -87,10 +87,11 @@ class TestEvalWeightCache:
     @pytest.mark.parametrize("layer_cls", ["rconv", "frconv"])
     def test_eval_cache_matches_train_forward(self, layer_cls):
         spec = get_ring("rh4")
-        if layer_cls == "rconv":
-            layer = RingConv2d(4, 4, 3, spec.ring, seed=0)
-        else:
-            layer = FastRingConv2d(4, 4, 3, spec, seed=0)
+        layer = (
+            RingConv2d(4, 4, 3, spec.ring, seed=0)
+            if layer_cls == "rconv"
+            else FastRingConv2d(4, 4, 3, spec, seed=0)
+        )
         x = Tensor(np.random.default_rng(7).standard_normal((2, 4, 6, 6)))
         train_out = layer(x).data
         layer.eval()
@@ -147,7 +148,7 @@ class TestEvalWeightCache:
         assert ring_layers and all(c is not None for c in caches)
         # A second predict must not wipe the caches by re-entering eval().
         predictor(x)
-        for layer, cache in zip(ring_layers, caches):
+        for layer, cache in zip(ring_layers, caches, strict=True):
             assert layer._weight_cache is cache
 
     def test_cache_cleared_by_train_and_load(self):

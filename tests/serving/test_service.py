@@ -52,9 +52,8 @@ class TestRoundTrip:
         assert np.array_equal(out, expected)
 
     def test_input_validation(self):
-        with InferenceServer(SlowIdentity(), workers=1) as server:
-            with pytest.raises(ValueError):
-                server.submit(np.zeros((16, 16)))  # missing channel axis
+        with InferenceServer(SlowIdentity(), workers=1) as server, pytest.raises(ValueError):
+            server.submit(np.zeros((16, 16)))  # missing channel axis
         with pytest.raises(ValueError):
             InferenceServer(SlowIdentity(), workers=0)
         with pytest.raises(ValueError):

@@ -27,7 +27,7 @@ def _make(batch_size=4):
 
 def _assert_same_weights(model_a, model_b):
     for (name, p), (_, q) in zip(
-        model_a.named_parameters(), model_b.named_parameters()
+        model_a.named_parameters(), model_b.named_parameters(), strict=True
     ):
         np.testing.assert_array_equal(p.data, q.data, err_msg=name)
 

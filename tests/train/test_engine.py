@@ -51,7 +51,7 @@ class TestEngineNumerics:
         model, loader = _make()
         TrainEngine(model, config).fit(loader)
         for (name, p), (_, q) in zip(
-            ref_model.named_parameters(), model.named_parameters()
+            ref_model.named_parameters(), model.named_parameters(), strict=True
         ):
             np.testing.assert_array_equal(p.data, q.data, err_msg=name)
 
@@ -64,7 +64,7 @@ class TestEngineNumerics:
         assert res_a.train_losses == res_b.train_losses
         assert res_a.grad_norms == res_b.grad_norms
         for (_, p), (_, q) in zip(
-            model_a.named_parameters(), model_b.named_parameters()
+            model_a.named_parameters(), model_b.named_parameters(), strict=True
         ):
             np.testing.assert_array_equal(p.data, q.data)
 
@@ -154,7 +154,7 @@ class TestCallbacks:
         )
         engine.fit(loader_b)
         for (_, p), (_, q) in zip(
-            model_a.named_parameters(), model_b.named_parameters()
+            model_a.named_parameters(), model_b.named_parameters(), strict=True
         ):
             np.testing.assert_array_equal(p.data, q.data)
 
