@@ -237,12 +237,22 @@ def ring_expand(g: Tensor, m_tensor: np.ndarray) -> Tensor:
     if m_tensor.shape[2] != n:
         raise ValueError("indexing tensor must be (n, k, n)")
     expand = m_tensor.transpose(0, 2, 1)  # E[i, j, k]
-    w = np.einsum("ijk,ockst->oicjst", expand, g.data).reshape(cot * n, cit * n, kh, kw)
+    # Ring expansion is a *weight-space* transform, not a data-path
+    # kernel: it must produce the same bits under every backend so that
+    # expanded filter banks (and their fingerprinted eval caches) stay
+    # backend-invariant.  It therefore stays pinned to np.einsum's fixed
+    # reduction order instead of dispatching through the Backend.
+    w = np.einsum(  # reprolint: disable=backend-dispatch
+        "ijk,ockst->oicjst", expand, g.data
+    ).reshape(cot * n, cit * n, kh, kw)
 
     def backward(grad: np.ndarray) -> None:
         if g.requires_grad:
             grad6 = grad.reshape(cot, n, cit, n, kh, kw)
-            dg = np.einsum("ijk,oicjst->ockst", expand, grad6)
+            # Same invariance argument as the forward expansion above.
+            dg = np.einsum(  # reprolint: disable=backend-dispatch
+                "ijk,oicjst->ockst", expand, grad6
+            )
             g._accumulate(dg)
 
     return Tensor._make(w, (g,), backward)
