@@ -26,6 +26,7 @@ def _rule_list(spec: str) -> list[str]:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    """Build the ``python -m repro.analysis`` argument parser."""
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis",
         description="reprolint: invariant-enforcing static analysis for this repo",
@@ -69,6 +70,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Sequence[str] | None = None) -> int:
+    """Run the analyzer CLI; returns the process exit code (0/1/2)."""
     args = build_parser().parse_args(argv)
 
     if args.list_rules:

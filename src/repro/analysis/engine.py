@@ -38,8 +38,17 @@ class Report:
     rules: list[str] = field(default_factory=list)
 
     @property
+    def errors(self) -> list[Finding]:
+        return [f for f in self.findings if f.severity == "error"]
+
+    @property
     def clean(self) -> bool:
-        return not self.findings
+        """True when no *error*-severity findings are live.
+
+        Warn-level findings (e.g. ``public-docstring``) are reported
+        and counted but never gate the scan.
+        """
+        return not self.errors
 
 
 def analyze_source(

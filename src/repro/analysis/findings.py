@@ -15,7 +15,9 @@ class Finding:
     ``line``/``col`` are 1-based/0-based respectively (ast conventions);
     ``end_line`` is the last physical line of the offending node, so the
     suppression scanner can honor a ``# reprolint: disable=...`` comment
-    placed on any line of a multi-line statement.
+    placed on any line of a multi-line statement.  ``severity`` is
+    ``"error"`` (gates the scan) or ``"warn"`` (reported, counted, but
+    never fails the run).
     """
 
     path: str
@@ -24,6 +26,7 @@ class Finding:
     rule: str
     message: str
     end_line: int = 0
+    severity: str = "error"
 
     def __post_init__(self) -> None:
         if self.end_line < self.line:
@@ -32,6 +35,7 @@ class Finding:
     def to_jsonable(self) -> dict[str, Any]:
         return {
             "rule": self.rule,
+            "severity": self.severity,
             "path": self.path,
             "line": self.line,
             "col": self.col,
@@ -39,4 +43,5 @@ class Finding:
         }
 
     def render(self) -> str:
-        return f"{self.path}:{self.line}:{self.col + 1}: [{self.rule}] {self.message}"
+        tag = self.rule if self.severity == "error" else f"{self.rule} {self.severity}"
+        return f"{self.path}:{self.line}:{self.col + 1}: [{tag}] {self.message}"

@@ -34,11 +34,14 @@ class Rule:
     :meth:`check`.  :meth:`applies_to` scopes a rule to part of the tree
     (e.g. backend dispatch only polices ``repro/nn`` and
     ``repro/serving``); the engine consults it before parsing so
-    out-of-scope files cost nothing.
+    out-of-scope files cost nothing.  ``severity`` defaults to
+    ``"error"`` (findings gate the scan); a ``"warn"`` rule's findings
+    are reported but never flip the exit code.
     """
 
     name: str = ""
     description: str = ""
+    severity: str = "error"
 
     def applies_to(self, path: str) -> bool:
         return True
@@ -56,6 +59,7 @@ class Rule:
             rule=self.name,
             message=message,
             end_line=getattr(node, "end_lineno", None) or getattr(node, "lineno", 1),
+            severity=self.severity,
         )
 
 
@@ -79,6 +83,7 @@ def all_rules() -> dict[str, Rule]:
 
 
 def get_rule(name: str) -> Rule:
+    """Look up one registered rule by name; KeyError lists the known set."""
     rules = all_rules()
     try:
         return rules[name]

@@ -9,15 +9,17 @@ from .engine import Report
 
 __all__ = ["render_json", "render_text", "report_jsonable"]
 
-JSON_VERSION = 1
+JSON_VERSION = 2
 
 
 def render_text(report: Report) -> str:
     """Human-oriented listing: one line per finding plus a summary."""
     lines = [finding.render() for finding in report.findings]
     n = len(report.findings)
+    warn = n - len(report.errors)
     summary = (
-        f"reprolint: {n} finding{'s' if n != 1 else ''}, "
+        f"reprolint: {n} finding{'s' if n != 1 else ''}"
+        f"{f' ({warn} warn-level)' if warn else ''}, "
         f"{len(report.suppressed)} suppressed, {report.files} files scanned"
     )
     if report.findings:
@@ -35,6 +37,8 @@ def report_jsonable(report: Report) -> dict[str, Any]:
         "rules": report.rules,
         "counts": {
             "findings": len(report.findings),
+            "errors": len(report.errors),
+            "warnings": len(report.findings) - len(report.errors),
             "suppressed": len(report.suppressed),
         },
         "findings": [f.to_jsonable() for f in report.findings],
@@ -43,4 +47,5 @@ def report_jsonable(report: Report) -> dict[str, Any]:
 
 
 def render_json(report: Report) -> str:
+    """Serialize the report to the machine-readable JSON artifact."""
     return json.dumps(report_jsonable(report), indent=2, sort_keys=False)

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from .determinism import DeterminismRule
 from .dispatch import BackendDispatchRule
+from .docstrings import PublicDocstringRule
 from .locks import LockDisciplineRule
 from .public_api import PublicApiRule
 from .state_dict import StateDictCompletenessRule
@@ -13,5 +14,6 @@ __all__ = [
     "DeterminismRule",
     "LockDisciplineRule",
     "PublicApiRule",
+    "PublicDocstringRule",
     "StateDictCompletenessRule",
 ]

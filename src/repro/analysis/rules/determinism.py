@@ -49,6 +49,7 @@ _CHECKPOINT_ALLOWED = frozenset({"get_state", "set_state"})
 
 @register_rule
 class DeterminismRule(Rule):
+    """Flag global-RNG use and unseeded generators in library code."""
     name = "determinism"
     description = (
         "library code must not call the global numpy RNG (np.random.seed/rand/"

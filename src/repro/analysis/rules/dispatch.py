@@ -32,6 +32,7 @@ _EXEMPT = "repro/nn/backend.py"
 
 @register_rule
 class BackendDispatchRule(Rule):
+    """Flag direct numpy/scipy kernel calls inside repro.nn / repro.serving."""
     name = "backend-dispatch"
     description = (
         "repro.nn / repro.serving code must not call numpy/scipy GEMM kernels "

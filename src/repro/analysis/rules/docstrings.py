@@ -1,0 +1,62 @@
+"""public-docstring: exported defs and classes carry docstrings.
+
+``__all__`` is the promise of what a module supports; a docstring is
+the promise of *how*.  An exported function or class with no docstring
+forces the next caller to reverse-engineer the contract from the body —
+exactly the failure mode README's API sections exist to prevent.  The
+rule is **warn-level**: findings are reported and counted but never
+fail the scan, so docstring debt is visible without turning a missing
+sentence into a red CI.
+
+Scope mirrors :mod:`.public_api`: only ``__all__``-bearing modules are
+checked, and only top-level ``def``/``class`` statements whose name
+appears in ``__all__``.  Exported constants and re-exports are exempt —
+assignments cannot carry a docstring, and a re-exported name is
+documented at its definition site.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..findings import Finding
+from ..registry import Rule, register_rule
+from .public_api import _dunder_all
+
+__all__ = ["PublicDocstringRule"]
+
+
+@register_rule
+class PublicDocstringRule(Rule):
+    """Warn when a def/class exported via ``__all__`` lacks a docstring."""
+    name = "public-docstring"
+    description = (
+        "every def/class exported via __all__ has a docstring "
+        "(warn-level: reported, never fails the scan)"
+    )
+    severity = "warn"
+
+    def check(self, tree: ast.Module, path: str) -> list[Finding]:
+        found = _dunder_all(tree)
+        if found is None:
+            return []
+        _, exported = found
+        exported_set = set(exported)
+
+        findings: list[Finding] = []
+        for stmt in tree.body:
+            if (
+                isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef))
+                and stmt.name in exported_set
+                and ast.get_docstring(stmt) is None
+            ):
+                kind = "class" if isinstance(stmt, ast.ClassDef) else "def"
+                findings.append(
+                    self.finding(
+                        path,
+                        stmt,
+                        f"exported {kind} {stmt.name!r} has no docstring — "
+                        "callers only have __all__'s word that it exists",
+                    )
+                )
+        return findings

@@ -131,6 +131,7 @@ class _ClassScan:
 
 @register_rule
 class LockDisciplineRule(Rule):
+    """Flag writes to lock-guarded fields made outside ``with self._lock``."""
     name = "lock-discipline"
     description = (
         "in classes holding a Lock/RLock, any field written under `with "

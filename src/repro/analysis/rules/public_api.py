@@ -70,6 +70,7 @@ def _top_level_bindings(body: list[ast.stmt], out: set[str]) -> None:
 
 @register_rule
 class PublicApiRule(Rule):
+    """Flag ghost ``__all__`` entries and unexported public defs."""
     name = "public-api"
     description = (
         "in __all__-bearing modules, every __all__ entry must exist and every "

@@ -142,6 +142,7 @@ def _mentions(fn: ast.FunctionDef, attr: str) -> bool:
 
 @register_rule
 class StateDictCompletenessRule(Rule):
+    """Flag optimizer/scheduler buffers missing from state_dict round-trips."""
     name = "state-dict-completeness"
     description = (
         "every mutable buffer an Optimizer/LRScheduler subclass assigns in "

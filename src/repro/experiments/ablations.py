@@ -138,6 +138,7 @@ def qformat_ablation(n: int = 4, word_bits: int = 8, seed: int = 0) -> QformatRe
 
 
 def format_drelu(result: DreluPipelineResult) -> str:
+    """Render the dRELU threshold ablation as the paper-style text table."""
     return "\n".join(
         [
             f"directional-ReLU fixed-point pipelines ({result.task}):",
@@ -150,6 +151,7 @@ def format_drelu(result: DreluPipelineResult) -> str:
 
 
 def format_qformat(result: QformatResult) -> str:
+    """Render the quantization-format ablation as the paper-style text table."""
     return "\n".join(
         [
             f"Q-format ablation for the directional ReLU (n={result.n}):",
@@ -186,6 +188,7 @@ def run(
 
 
 def format_result(result: AblationResult) -> str:
+    """Render the cached result as the paper-style text report."""
     return format_drelu(result.drelu) + "\n\n" + format_qformat(result.qformat)
 
 

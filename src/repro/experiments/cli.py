@@ -341,6 +341,7 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         max_wait_ms=args.max_wait_ms,
         backends=tuple(backends),
         seed=args.seed,
+        compiled=args.compiled,
     )
     report = run_serve_bench(config)
     print(report.format())
@@ -351,6 +352,7 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    """Build the ``python -m repro`` argument parser."""
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Run and report the paper's experiments (registry-driven).",
@@ -494,12 +496,21 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     sub_serve.add_argument("--seed", type=int, default=0, help="workload seed")
+    sub_serve.add_argument(
+        "--compiled",
+        action="store_true",
+        help=(
+            "serve through the trace-once compiled path (Predictor.compile); "
+            "bit-identical to eager, checked against the eager serial reference"
+        ),
+    )
     sub_serve.set_defaults(func=_cmd_serve_bench)
 
     return parser
 
 
 def main(argv: Sequence[str] | None = None) -> int:
+    """Run the experiment CLI; returns the process exit code."""
     _ensure_registered()
     args = build_parser().parse_args(argv)
     if getattr(args, "backend", None):

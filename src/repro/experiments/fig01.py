@@ -144,6 +144,7 @@ def run(
 
 
 def format_result(points: list[Fig1Point] | None = None, **kwargs) -> str:
+    """Render the cached result as the paper-style text report."""
     points = points if points is not None else run(**kwargs)
     lines = [f"{'method':<24} {'comp-eff':>9} {'PSNR dB':>8} {'params':>8}"]
     for p in points:

@@ -75,6 +75,7 @@ def run(
 
 
 def format_result(result: Fig9Result) -> str:
+    """Render the cached result as the paper-style text report."""
     lines = [f"Fig.9 panel: task={result.task}, n={result.n}"]
     best = max(r.psnr_db for r in result.results)
     for r in sorted(result.results, key=lambda r: -r.psnr_db):

@@ -129,6 +129,7 @@ def run(
     data: TaskData | None = None,
     seed: int = 0,
 ) -> Fig10Result:
+    """Run the experiment and return its artifact payload."""
     data = data if data is not None else make_task(task, scale)
     spec = get_ring(ring)
     n = spec.n
@@ -149,6 +150,7 @@ def run(
 
 
 def format_result(result: Fig10Result) -> str:
+    """Render the cached result as the paper-style text report."""
     return "\n".join(
         [
             f"Fig.10 ablation on {result.task}:",

@@ -39,6 +39,7 @@ def run(
     data: TaskData | None = None,
     seed: int = 0,
 ) -> list[Fig11Point]:
+    """Run the experiment and return its artifact payload."""
     data = data if data is not None else make_task(task, scale)
     points: list[Fig11Point] = []
 
@@ -73,6 +74,7 @@ def run(
 
 
 def format_result(points: list[Fig11Point]) -> str:
+    """Render the cached result as the paper-style text report."""
     lines = [f"{'method':<10} {'compression':>11} {'PSNR dB':>8}"]
     for p in sorted(points, key=lambda p: (p.compression, p.method)):
         lines.append(f"{p.method:<10} {p.compression:>10.0f}x {p.psnr_db:>8.2f}")

@@ -78,6 +78,7 @@ def run(
     kinds: list[str] | None = None,
     data: TaskData | None = None,
 ) -> list[Fig12Point]:
+    """Run the experiment and return its artifact payload."""
     kinds = kinds if kinds is not None else DEFAULT_RINGS
     data = data if data is not None else make_task(task, scale)
     base_area = real_engine(3).total.area_um2
@@ -102,6 +103,7 @@ def run(
 
 
 def format_result(points: list[Fig12Point]) -> str:
+    """Render the cached result as the paper-style text report."""
     lines = [f"{'ring':<10} {'area-eff':>9} {'PSNR(8b)':>9} {'PSNR(fp)':>9}"]
     for p in sorted(points, key=lambda p: -p.area_efficiency):
         lines.append(

@@ -65,6 +65,7 @@ def run(
     kinds: tuple[str, ...] = ("real", "ri2+fh", "ri4+fh"),
     targets: list[Fig13Target] | None = None,
 ) -> list[Fig13Row]:
+    """Run the experiment and return its artifact payload."""
     targets = targets if targets is not None else DEFAULT_TARGETS
     rows = []
     for target in targets:
@@ -95,6 +96,7 @@ def ring_vs_real_delta(rows: list[Fig13Row], ring_kind: str) -> float:
 
 
 def format_result(rows: list[Fig13Row]) -> str:
+    """Render the cached result as the paper-style text report."""
     lines = [f"{'target':<10} {'ring':<8} {'float dB':>9} {'8-bit dB':>9} {'drop dB':>8}"]
     for row in rows:
         lines.append(

@@ -15,10 +15,12 @@ PAPER_GAINS = {
 
 
 def run() -> list[EfficiencyGains]:
+    """Run the experiment and return its artifact payload."""
     return fig14_efficiencies()
 
 
 def format_result(gains: list[EfficiencyGains] | None = None) -> str:
+    """Render the cached result as the paper-style text report."""
     gains = gains if gains is not None else run()
     lines = [
         f"{'design':<13} {'eng-area':>9} {'eng-energy':>10} {'chip-area':>9} {'chip-energy':>11}   (paper)"

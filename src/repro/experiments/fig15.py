@@ -52,6 +52,7 @@ def run(
     scale: QualityScale = SMALL,
     block_sweep: tuple[int, ...] = (1, 2, 3),
 ) -> list[Fig15Point]:
+    """Run the experiment and return its artifact payload."""
     points = []
     for config in (ECNN, ERINGCNN_N2, ERINGCNN_N4):
         kind = _KIND_FOR[config.name]
@@ -72,6 +73,7 @@ def run(
 
 
 def format_result(points: list[Fig15Point]) -> str:
+    """Render the cached result as the paper-style text report."""
     lines = [f"{'accelerator':<13} {'blocks':>6} {'PSNR dB':>8} {'nJ/pixel':>9}"]
     for p in sorted(points, key=lambda p: (p.accelerator, p.blocks)):
         lines.append(

@@ -83,6 +83,7 @@ def run(
     test_count: int = 60,
     seed: int = 0,
 ) -> list[FigC1Point]:
+    """Run the experiment and return its artifact payload."""
     x_train, y_train = make_classification_data(train_count, seed=seed)
     x_test, y_test = make_classification_data(test_count, seed=seed + 999)
     points = []
@@ -114,6 +115,7 @@ def run(
 
 
 def format_result(points: list[FigC1Point]) -> str:
+    """Render the cached result as the paper-style text report."""
     lines = [f"{'method':<14} {'comp-eff':>9} {'accuracy':>9}"]
     for p in points:
         lines.append(f"{p.method:<14} {p.computation_efficiency:>8.2f}x {p.accuracy:>8.1%}")

@@ -56,6 +56,7 @@ def run() -> list[Table2Row]:
 
 
 def format_result(rows: list[Table2Row] | None = None) -> str:
+    """Render the cached result as the paper-style text report."""
     rows = rows if rows is not None else run()
     lines = []
     for row in rows:

@@ -61,6 +61,7 @@ def run(
     targets: tuple[str, ...] = ("HD30", "UHD30"),
     tasks: tuple[str, ...] = ("denoise", "sr4"),
 ) -> list[Table4Row]:
+    """Run the experiment and return its artifact payload."""
     rows: list[Table4Row] = []
     for task in tasks:
         for target in targets:
@@ -101,6 +102,7 @@ def _cnn_baseline_rows(
 
 
 def format_result(rows: list[Table4Row]) -> str:
+    """Render the cached result as the paper-style text report."""
     lines = [f"{'task':<8} {'target':<7} {'method':<18} {'PSNR dB':>8}"]
     for row in rows:
         lines.append(f"{row.task:<8} {row.target:<7} {row.method:<18} {row.psnr_db:>8.2f}")

@@ -42,6 +42,7 @@ class Table5Row:
 
 
 def run() -> list[Table5Row]:
+    """Run the experiment and return its artifact payload."""
     rows = []
     for config, n in ((ERINGCNN_N2, 2), (ERINGCNN_N4, 4)):
         report = model_accelerator(config)
@@ -64,6 +65,7 @@ def run() -> list[Table5Row]:
 
 
 def format_result(rows: list[Table5Row] | None = None) -> str:
+    """Render the cached result as the paper-style text report."""
     rows = rows if rows is not None else run()
     lines = [
         f"{'design':<13} {'n':>2} {'sparsity':>8} {'weights':>8} {'MACs/cyc':>9} "

@@ -30,6 +30,7 @@ class Table6Row:
 
 
 def run() -> list[Table6Row]:
+    """Run the experiment and return its artifact payload."""
     rows = []
     for config in (ERINGCNN_N2, ERINGCNN_N4):
         report = model_accelerator(config)
@@ -48,6 +49,7 @@ def run() -> list[Table6Row]:
 
 
 def format_result(rows: list[Table6Row] | None = None) -> str:
+    """Render the cached result as the paper-style text report."""
     rows = rows if rows is not None else run()
     lines = []
     for row in rows:

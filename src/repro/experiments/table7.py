@@ -13,10 +13,12 @@ PAPER_GAINS = {"eRingCNN-n2": 2.71, "eRingCNN-n4": 4.59}
 
 
 def run() -> list[ComparisonRow]:
+    """Run the experiment and return its artifact payload."""
     return diffy_comparison()
 
 
 def format_result(rows: list[ComparisonRow] | None = None) -> str:
+    """Render the cached result as the paper-style text report."""
     rows = rows if rows is not None else run()
     lines = [f"{'design':<20} {'eq.TOPS/W':>10} {'gain vs Diffy':>14}   (paper)"]
     for row in rows:

@@ -13,10 +13,12 @@ PAPER_BAND = (19.1, 28.4)
 
 
 def run() -> list[ComparisonRow]:
+    """Run the experiment and return its artifact payload."""
     return table8_comparison()
 
 
 def format_result(rows: list[ComparisonRow] | None = None) -> str:
+    """Render the cached result as the paper-style text report."""
     rows = rows if rows is not None else run()
     lines = [f"{'design':<20} {'sparsity':<28} {'compress':>8} {'eq.TOPS/W':>10}"]
     for row in rows:

@@ -131,8 +131,10 @@ def srresnet(blocks: int = 4, width: int = 16, factory=None, seed: int = 0) -> S
 
 
 def vdsr(depth: int = 6, width: int = 16, factory=None, seed: int = 0) -> VDSR:
+    """VDSR-style real-valued CNN baseline at the paper's depth/width."""
     return VDSR(depth=depth, width=width, factory=factory, seed=seed)
 
 
 def ffdnet(depth: int = 4, width: int = 16, factory=None, seed: int = 0) -> FFDNet:
+    """FFDNet-style real-valued denoising baseline (shuffle-downsampled)."""
     return FFDNet(depth=depth, width=width, factory=factory, seed=seed)

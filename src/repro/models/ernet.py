@@ -20,6 +20,7 @@ from __future__ import annotations
 import dataclasses
 
 from ..imaging.degrade import bicubic_upsample
+from ..nn.compile import traced_call
 from ..nn.functional import pixel_shuffle, pixel_unshuffle
 from ..nn.layers import Sequential
 from ..nn.module import Module
@@ -133,7 +134,10 @@ class ERNet(Module):
         z = self.tail(z)
         # Global bicubic skip keeps tiny-scale training stable: the net
         # learns the residual over bicubic upsampling (VDSR-style).
-        upsampled = Tensor(bicubic_upsample(x.data, 4))
+        # traced_call keeps the skip gradient-free (as the plain Tensor
+        # wrap did) while letting Predictor.compile() replay it instead
+        # of constant-folding one input's upsampling into the plan.
+        upsampled = traced_call(bicubic_upsample, x, 4)
         return upsampled + pixel_shuffle(z, 4)
 
 

@@ -17,6 +17,15 @@ from .backend import (
     get_backend,
     use_backend,
 )
+from .compile import (
+    CompileError,
+    ExecutionPlan,
+    TraceError,
+    Tracer,
+    build_plan,
+    model_stamp,
+    traced_call,
+)
 from .data import ArrayDataset, DataLoader
 from .fastconv import FastRingConv2d, frconv2d
 from .functional import (
@@ -28,7 +37,7 @@ from .functional import (
     ring_expand,
 )
 from .gradcheck import check_gradients, numeric_gradient
-from .inference import Predictor, TilingPlan, plan_for_model
+from .inference import CompiledPredictor, Predictor, TilingPlan, plan_for_model
 from .layers import (
     AvgPool2d,
     BatchNorm2d,
@@ -63,6 +72,13 @@ __all__ = [
     "current_backend",
     "get_backend",
     "use_backend",
+    "CompileError",
+    "ExecutionPlan",
+    "TraceError",
+    "Tracer",
+    "build_plan",
+    "model_stamp",
+    "traced_call",
     "ArrayDataset",
     "DataLoader",
     "FastRingConv2d",
@@ -75,6 +91,7 @@ __all__ = [
     "ring_expand",
     "check_gradients",
     "numeric_gradient",
+    "CompiledPredictor",
     "Predictor",
     "TilingPlan",
     "plan_for_model",

@@ -192,10 +192,121 @@ class Backend:
         return out, cols, dims
 
     def conv2d_infer(
-        self, x: np.ndarray, w_mat: np.ndarray, kh: int, kw: int, stride: int, padding: int
+        self,
+        x: np.ndarray,
+        w_mat: np.ndarray,
+        kh: int,
+        kw: int,
+        stride: int,
+        padding: int,
+        out: np.ndarray | None = None,
     ) -> np.ndarray:
-        """Inference forward: same values as :meth:`conv2d`, cols discarded."""
-        out, _, _ = self.conv2d(x, w_mat, kh, kw, stride, padding)
+        """Inference forward: same values as :meth:`conv2d`, cols discarded.
+
+        ``out``, when given, receives the result (the compiled replay
+        path's arena buffers); writing into it must not change any bit
+        of the result.  This base implementation computes through the
+        subclass's :meth:`conv2d` and copies, which preserves the
+        subclass's reduction semantics (e.g. :class:`EinsumBackend`);
+        BLAS-backed subclasses override with direct-write paths.
+        """
+        res, _, _ = self.conv2d(x, w_mat, kh, kw, stride, padding)
+        if out is None:
+            return res
+        np.copyto(out, res)
+        return out
+
+    def _infer_scratch(self, key: tuple, shape: tuple[int, ...], dtype) -> tuple[np.ndarray, bool]:
+        """Recycled per-thread buffer for the direct-write inference
+        paths; one live array per key per thread, pool bounded like
+        :class:`BlockedBackend`'s scratch.  Returns (buffer, fresh) so
+        callers can run one-time initialisation (pad borders) only when
+        the buffer was actually (re)allocated.
+        """
+        local = getattr(self, "_infer_local", None)
+        if local is None:
+            # Benign race: concurrent first calls may each build a
+            # threading.local and one wins — scratch carries no state
+            # across calls, so the losers only cost an extra allocation.
+            local = self._infer_local = threading.local()
+        pool: dict | None = getattr(local, "buffers", None)
+        if pool is None:
+            pool = local.buffers = {}
+        buf = pool.get(key)
+        if buf is None:
+            if len(pool) >= 16:
+                pool.clear()
+            buf = pool[key] = np.empty(shape, dtype=dtype)
+            return buf, True
+        return buf, False
+
+    def _padded_scratch(self, x: np.ndarray, padding: int) -> np.ndarray:
+        """``x`` zero-padded on its last two axes into recycled scratch.
+
+        Same values as ``np.pad`` with zero mode; no allocation in
+        steady state.  Accepts any leading-dim layout (4-D batched or
+        5-D grouped) and strided views — the centre assignment handles
+        non-contiguous sources without an extra compaction pass.  The
+        border strips are zeroed only when the buffer is freshly
+        allocated: the scratch key includes ``padding``, so every later
+        hit writes the identical centre region and the borders stay
+        zero between calls.
+        """
+        if not padding:
+            return x
+        h, w = x.shape[-2], x.shape[-1]
+        shape = (*x.shape[:-2], h + 2 * padding, w + 2 * padding)
+        xp, fresh = self._infer_scratch(("pad", shape, x.dtype.str, padding), shape, x.dtype)
+        if fresh:
+            xp[..., :padding, :] = 0.0
+            xp[..., -padding:, :] = 0.0
+            xp[..., padding:-padding, :padding] = 0.0
+            xp[..., padding:-padding, -padding:] = 0.0
+        xp[..., padding:-padding, padding:-padding] = x
+        return xp
+
+    def _cols_scratch(
+        self, xp: np.ndarray, kh: int, kw: int, stride: int, ho: int, wo: int
+    ) -> np.ndarray:
+        """im2col of a pre-padded input into recycled scratch.
+
+        Element-for-element the same copy :meth:`im2col` makes via
+        ``ascontiguousarray`` — only the destination is recycled.  Leading
+        dims pass through, so grouped (N, G, Ci, Hp, Wp) inputs produce
+        (N, G, Ci, kh, kw, Ho, Wo) directly.
+        """
+        lead = xp.shape[:-2]
+        strides = xp.strides
+        sh, sw = strides[-2], strides[-1]
+        windows = np.lib.stride_tricks.as_strided(
+            xp,
+            shape=(*lead, kh, kw, ho, wo),
+            strides=(*strides[:-2], sh, sw, sh * stride, sw * stride),
+            writeable=False,
+        )
+        shape = (*lead, kh, kw, ho, wo)
+        buf, _ = self._infer_scratch(("cols", shape, xp.dtype.str), shape, xp.dtype)
+        np.copyto(buf, windows)
+        return buf
+
+    def _conv2d_infer_into(
+        self, x: np.ndarray, w_mat: np.ndarray, kh: int, kw: int, stride: int, padding: int, out: np.ndarray
+    ) -> np.ndarray:
+        """Reference inference conv writing straight into ``out``.
+
+        The GEMM call is dimension-identical to the allocating path in
+        :meth:`conv2d` (only the source/destination buffers differ, via
+        recycled scratch), so the bits are too.  Only BLAS-parity
+        backends may use this; einsum semantics go through the
+        compute-then-copy base path.
+        """
+        n, c, h, w = x.shape
+        co = w_mat.shape[0]
+        _, _, ho, wo = conv_geometry(h, w, kh, kw, stride, padding)
+        cols = self._cols_scratch(self._padded_scratch(x, padding), kh, kw, stride, ho, wo)
+        np.matmul(
+            w_mat, cols.reshape(n, c * kh * kw, ho * wo), out=out.reshape(n, co, ho * wo)
+        )
         return out
 
     def conv2d_grad_weight(self, grad_flat: np.ndarray, cols: np.ndarray) -> np.ndarray:
@@ -256,8 +367,36 @@ class Backend:
         kw: int,
         stride: int,
         padding: int,
+        out: np.ndarray | None = None,
     ) -> np.ndarray:
-        out, _, _ = self.conv2d_grouped(x, w_flat, kh, kw, stride, padding)
+        """Grouped inference forward; ``out`` as in :meth:`conv2d_infer`."""
+        res, _, _ = self.conv2d_grouped(x, w_flat, kh, kw, stride, padding)
+        if out is None:
+            return res
+        np.copyto(out, res)
+        return out
+
+    def _conv2d_grouped_infer_into(
+        self,
+        x: np.ndarray,
+        w_flat: np.ndarray,
+        kh: int,
+        kw: int,
+        stride: int,
+        padding: int,
+        out: np.ndarray,
+    ) -> np.ndarray:
+        """Grouped analogue of :meth:`_conv2d_infer_into` (same caveats)."""
+        n, groups, ci, h, w = x.shape
+        co = w_flat.shape[1]
+        _, _, ho, wo = conv_geometry(h, w, kh, kw, stride, padding)
+        cols = self._cols_scratch(self._padded_scratch(x, padding), kh, kw, stride, ho, wo)
+        p = ho * wo
+        np.matmul(
+            w_flat[None],
+            cols.reshape(n, groups, ci * kh * kw, p),
+            out=out.reshape(n, groups, co, p),
+        )
         return out
 
     def conv2d_grouped_grad_weight(
@@ -304,6 +443,16 @@ class NumpyBackend(Backend):
     """The reference single-call numpy/BLAS backend (seed behavior)."""
 
     name = "numpy"
+
+    def conv2d_infer(self, x, w_mat, kh, kw, stride, padding, out=None):
+        if out is None:
+            return Backend.conv2d_infer(self, x, w_mat, kh, kw, stride, padding)
+        return self._conv2d_infer_into(x, w_mat, kh, kw, stride, padding, out)
+
+    def conv2d_grouped_infer(self, x, w_flat, kh, kw, stride, padding, out=None):
+        if out is None:
+            return Backend.conv2d_grouped_infer(self, x, w_flat, kh, kw, stride, padding)
+        return self._conv2d_grouped_infer_into(x, w_flat, kh, kw, stride, padding, out)
 
 
 class ThreadedBackend(Backend):
@@ -461,15 +610,18 @@ class ThreadedBackend(Backend):
         self._run(work, spans)
         return out, cols, dims
 
-    def conv2d_infer(self, x, w_mat, kh, kw, stride, padding):
+    def conv2d_infer(self, x, w_mat, kh, kw, stride, padding, out=None):
         n, c, h, w = x.shape
         co = w_mat.shape[0]
         dims = conv_geometry(h, w, kh, kw, stride, padding)
         ho, wo = dims[2], dims[3]
         spans = self._spans(n, n * co * ho * wo)
         if len(spans) == 1:
+            if out is not None:
+                return self._conv2d_infer_into(x, w_mat, kh, kw, stride, padding, out)
             return Backend.conv2d_infer(self, x, w_mat, kh, kw, stride, padding)
-        out = np.empty((n, co, ho, wo), dtype=np.result_type(x, w_mat))
+        if out is None:
+            out = np.empty((n, co, ho, wo), dtype=np.result_type(x, w_mat))
 
         def work(span: tuple[int, int]) -> None:
             i0, i1 = span
@@ -541,15 +693,20 @@ class ThreadedBackend(Backend):
         self._run(work, spans)
         return out, cols, dims
 
-    def conv2d_grouped_infer(self, x, w_flat, kh, kw, stride, padding):
+    def conv2d_grouped_infer(self, x, w_flat, kh, kw, stride, padding, out=None):
         n, groups, ci, h, w = x.shape
         co = w_flat.shape[1]
         dims = conv_geometry(h, w, kh, kw, stride, padding)
         ho, wo = dims[2], dims[3]
         axis, spans = self._grouped_spans(n, groups, n * groups * co * ho * wo)
         if len(spans) == 1:
+            if out is not None:
+                return self._conv2d_grouped_infer_into(
+                    x, w_flat, kh, kw, stride, padding, out
+                )
             return Backend.conv2d_grouped_infer(self, x, w_flat, kh, kw, stride, padding)
-        out = np.empty((n, groups, co, ho, wo), dtype=np.result_type(x, w_flat))
+        if out is None:
+            out = np.empty((n, groups, co, ho, wo), dtype=np.result_type(x, w_flat))
 
         def work(span: tuple[int, int]) -> None:
             i0, i1 = span
@@ -662,14 +819,17 @@ class BlockedBackend(Backend):
         np.copyto(buf, windows)
         return buf.reshape(n, c * kh * kw, ho * wo)
 
-    def conv2d_infer(self, x, w_mat, kh, kw, stride, padding):
+    def conv2d_infer(self, x, w_mat, kh, kw, stride, padding, out=None):
         n, c, h, w = x.shape
         if n <= self.block:
+            if out is not None:
+                return self._conv2d_infer_into(x, w_mat, kh, kw, stride, padding, out)
             return Backend.conv2d_infer(self, x, w_mat, kh, kw, stride, padding)
         co = w_mat.shape[0]
         _, _, ho, wo = conv_geometry(h, w, kh, kw, stride, padding)
         pad = ((0, 0), (0, 0), (padding, padding), (padding, padding))
-        out = np.empty((n, co, ho, wo), dtype=np.result_type(x, w_mat))
+        if out is None:
+            out = np.empty((n, co, ho, wo), dtype=np.result_type(x, w_mat))
         for i0 in range(0, n, self.block):
             i1 = min(n, i0 + self.block)
             xb = np.pad(x[i0:i1], pad) if padding else x[i0:i1]
@@ -677,15 +837,20 @@ class BlockedBackend(Backend):
             out[i0:i1] = (w_mat @ cols).reshape(i1 - i0, co, ho, wo)
         return out
 
-    def conv2d_grouped_infer(self, x, w_flat, kh, kw, stride, padding):
+    def conv2d_grouped_infer(self, x, w_flat, kh, kw, stride, padding, out=None):
         n, groups, ci, h, w = x.shape
         if n <= self.block:
+            if out is not None:
+                return self._conv2d_grouped_infer_into(
+                    x, w_flat, kh, kw, stride, padding, out
+                )
             return Backend.conv2d_grouped_infer(self, x, w_flat, kh, kw, stride, padding)
         co = w_flat.shape[1]
         _, _, ho, wo = conv_geometry(h, w, kh, kw, stride, padding)
         pad = ((0, 0), (0, 0), (padding, padding), (padding, padding))
         k = ci * kh * kw
-        out = np.empty((n, groups, co, ho, wo), dtype=np.result_type(x, w_flat))
+        if out is None:
+            out = np.empty((n, groups, co, ho, wo), dtype=np.result_type(x, w_flat))
         for i0 in range(0, n, self.block):
             i1 = min(n, i0 + self.block)
             xb = x[i0:i1].reshape((i1 - i0) * groups, ci, h, w)

@@ -14,7 +14,7 @@ from __future__ import annotations
 import numpy as np
 
 from .backend import current_backend
-from .tensor import Tensor, as_tensor, is_grad_enabled
+from .tensor import Tensor, _trace_op, as_tensor, is_grad_enabled
 
 __all__ = [
     "im2col",
@@ -111,9 +111,12 @@ def conv2d(
     parents = (x, weight) if bias is None else (x, weight, bias)
     if not (is_grad_enabled() and any(p.requires_grad for p in parents)):
         out = backend.conv2d_infer(x.data, w_mat, kh, kw, stride, padding)
+        inputs = (x.data, w_mat)
         if bias is not None:
-            out = out + bias.data.reshape(1, co, 1, 1)
-        return Tensor(out)
+            bias4 = bias.data.reshape(1, co, 1, 1)
+            inputs = (x.data, w_mat, bias4)
+            out = out + bias4
+        return _trace_op(Tensor(out), "conv2d", inputs, kh, kw, stride, padding)
 
     out, cols, (hp, wp, ho, wo) = backend.conv2d(x.data, w_mat, kh, kw, stride, padding)
     if bias is not None:
@@ -187,9 +190,14 @@ def conv2d_grouped(
     parents = (x, weight) if bias is None else (x, weight, bias)
     if not (is_grad_enabled() and any(p.requires_grad for p in parents)):
         out = backend.conv2d_grouped_infer(x.data, w_flat, kh, kw, stride, padding)
+        inputs = (x.data, w_flat)
         if bias is not None:
-            out = out + bias.data.reshape(1, groups, co, 1, 1)
-        return Tensor(out)
+            bias5 = bias.data.reshape(1, groups, co, 1, 1)
+            inputs = (x.data, w_flat, bias5)
+            out = out + bias5
+        return _trace_op(
+            Tensor(out), "conv2d_grouped", inputs, kh, kw, stride, padding
+        )
 
     out, cols, (hp, wp, ho, wo) = backend.conv2d_grouped(
         x.data, w_flat, kh, kw, stride, padding
@@ -281,7 +289,7 @@ def pixel_shuffle(x: Tensor, factor: int) -> Tensor:
             )
             x._accumulate(g)
 
-    return Tensor._make(out, (x,), backward)
+    return _trace_op(Tensor._make(out, (x,), backward), "pixel_shuffle", (x.data,), r)
 
 
 def pixel_unshuffle(x: Tensor, factor: int) -> Tensor:
@@ -307,7 +315,7 @@ def pixel_unshuffle(x: Tensor, factor: int) -> Tensor:
             )
             x._accumulate(g)
 
-    return Tensor._make(out, (x,), backward)
+    return _trace_op(Tensor._make(out, (x,), backward), "pixel_unshuffle", (x.data,), r)
 
 
 def avg_pool2d(x: Tensor, kernel: int) -> Tensor:
@@ -324,7 +332,7 @@ def avg_pool2d(x: Tensor, kernel: int) -> Tensor:
         if x.requires_grad:
             x._accumulate(backend.avg_pool2d_grad(grad, k))
 
-    return Tensor._make(out, (x,), backward)
+    return _trace_op(Tensor._make(out, (x,), backward), "avg_pool", (x.data,), k)
 
 
 def softmax_cross_entropy(logits: Tensor, labels: np.ndarray) -> Tensor:

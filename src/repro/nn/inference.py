@@ -33,14 +33,16 @@ from __future__ import annotations
 
 import contextlib
 import dataclasses
+import threading
 
 import numpy as np
 
-from .backend import Backend, get_backend, use_backend
+from .backend import Backend, current_backend, get_backend, use_backend
+from .compile import ExecutionPlan, _model_walk, build_plan, model_stamp
 from .module import Module
 from .tensor import Tensor, no_grad
 
-__all__ = ["TilingPlan", "Predictor", "plan_for_model"]
+__all__ = ["TilingPlan", "Predictor", "CompiledPredictor", "plan_for_model"]
 
 
 @dataclasses.dataclass(frozen=True)
@@ -186,6 +188,20 @@ class Predictor:
             backend=self.backend,
         )
 
+    def compile(self) -> "CompiledPredictor":
+        """A predictor serving this model via trace-once plan replay.
+
+        The returned :class:`CompiledPredictor` shares this predictor's
+        model, tiling plan, batch size and backend; its forwards replay
+        lazily built, bit-identical :class:`~repro.nn.compile.ExecutionPlan`
+        objects instead of re-running the eager Tensor graph.  See
+        :mod:`repro.nn.compile` for the plan format and invalidation
+        rules.
+        """
+        return CompiledPredictor(
+            self.model, batch_size=self.batch_size, plan=self.plan, backend=self.backend
+        )
+
     # ------------------------------------------------------------------
     def __call__(self, inputs: np.ndarray) -> np.ndarray:
         return self.predict(inputs)
@@ -260,3 +276,80 @@ class Predictor:
                 ]
         assert out is not None
         return out
+
+
+class CompiledPredictor(Predictor):
+    """A :class:`Predictor` whose forwards replay compiled execution plans.
+
+    Built by :meth:`Predictor.compile`.  The first forward per input
+    shape traces the model into an
+    :class:`~repro.nn.compile.ExecutionPlan` (and verifies it bit-exact
+    against eager, see :func:`~repro.nn.compile.build_plan`); later
+    forwards replay the cached plan with zero Tensor/graph allocation.
+    Plans are keyed on the full input shape — batched prediction and
+    tiled large-image prediction each warm their own bucket (full
+    chunks, the remainder chunk, tile-crop stacks) and then replay.
+
+    Every cached plan is stamped with
+    :func:`~repro.nn.compile.model_stamp`; weight mutations,
+    ``load_state_dict`` and ``train()``/``eval()`` transitions change
+    the stamp and transparently rebuild the plan on the next forward —
+    the same invalidation discipline as the layers' eval weight caches.
+
+    Clones (one per serving worker) share the plan cache and its build
+    lock, so a fleet of workers compiles each shape once; replay itself
+    is lock-free and thread-safe (arena buffers are per-thread).
+    """
+
+    def __init__(
+        self,
+        model: Module,
+        batch_size: int = 8,
+        plan: TilingPlan | None = None,
+        tile: int | None = None,
+        backend: Backend | str | None = None,
+    ) -> None:
+        super().__init__(model, batch_size=batch_size, plan=plan, tile=tile, backend=backend)
+        self._plans: dict[tuple[int, ...], tuple[tuple, ExecutionPlan]] = {}
+        self._compile_lock = threading.Lock()
+        self._walk: tuple[tuple, tuple] | None = None  # lazy _model_walk cache
+
+    def compile(self) -> "CompiledPredictor":
+        """Already compiled; returns self (idempotent)."""
+        return self
+
+    def clone(self, batch_size: int | None = None) -> "CompiledPredictor":
+        """A compiled clone sharing model, tiling plan, backend *and*
+        the compiled-plan cache (plans are thread-safe to share)."""
+        twin = CompiledPredictor(
+            self.model,
+            batch_size=batch_size if batch_size is not None else self.batch_size,
+            plan=self.plan,
+            backend=self.backend,
+        )
+        twin._plans = self._plans
+        twin._compile_lock = self._compile_lock
+        return twin
+
+    def _plan_for(self, arr: np.ndarray) -> ExecutionPlan:
+        """The cached plan for this input shape, (re)built when the
+        shape is new or the model stamp went stale."""
+        if self.model.training:
+            self.model.eval()
+        walk = self._walk
+        if walk is None:
+            walk = self._walk = _model_walk(self.model)
+        stamp = model_stamp(self.model, _walk=walk)
+        entry = self._plans.get(arr.shape)
+        if entry is None or entry[0] != stamp:
+            with self._compile_lock:
+                entry = self._plans.get(arr.shape)
+                if entry is None or entry[0] != stamp:
+                    built = build_plan(self.model, arr, backend=self.backend)
+                    entry = (model_stamp(self.model, _walk=walk), built)
+                    self._plans[arr.shape] = entry
+        return entry[1]
+
+    def _forward(self, arr: np.ndarray) -> np.ndarray:
+        backend = self.backend if self.backend is not None else current_backend()
+        return self._plan_for(arr).run(arr, backend)

@@ -177,6 +177,7 @@ class ReLU(Module):
 
 
 class LeakyReLU(Module):
+    """Elementwise ``max(x, slope * x)`` activation."""
     def __init__(self, slope: float = 0.1) -> None:
         super().__init__()
         self.slope = slope
@@ -285,6 +286,7 @@ class BatchNorm2d(Module):
 
 
 class PixelShuffle(Module):
+    """Rearrange ``(N, C*r^2, H, W)`` to ``(N, C, H*r, W*r)`` (depth-to-space)."""
     def __init__(self, factor: int) -> None:
         super().__init__()
         self.factor = factor
@@ -294,6 +296,7 @@ class PixelShuffle(Module):
 
 
 class PixelUnshuffle(Module):
+    """Rearrange ``(N, C, H*r, W*r)`` to ``(N, C*r^2, H, W)`` (space-to-depth)."""
     def __init__(self, factor: int) -> None:
         super().__init__()
         self.factor = factor
@@ -303,6 +306,7 @@ class PixelUnshuffle(Module):
 
 
 class AvgPool2d(Module):
+    """Non-overlapping average pooling over ``kernel``-sized windows."""
     def __init__(self, kernel: int) -> None:
         super().__init__()
         self.kernel = kernel
@@ -312,15 +316,18 @@ class AvgPool2d(Module):
 
 
 class GlobalAvgPool(Module):
+    """Average each channel over all spatial positions to ``(N, C)``."""
     def forward(self, x: Tensor) -> Tensor:
         return x.mean(axis=(2, 3))
 
 
 class Flatten(Module):
+    """Flatten all non-batch axes to ``(N, -1)``."""
     def forward(self, x: Tensor) -> Tensor:
         return x.reshape(x.shape[0], -1)
 
 
 class Identity(Module):
+    """Pass the input through unchanged (placeholder in layer factories)."""
     def forward(self, x: Tensor) -> Tensor:
         return x

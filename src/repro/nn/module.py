@@ -34,6 +34,11 @@ class Module:
 
     def __init__(self) -> None:
         self.training = True
+        # Bumped whenever module state changes through a sanctioned
+        # channel (train()/eval(), load_state_dict); consumed by
+        # repro.nn.compile.model_stamp to invalidate compiled plans
+        # together with the eval weight caches.
+        self._state_version = 0
 
     # ------------------------------------------------------------------
     def forward(self, *args, **kwargs) -> Tensor:
@@ -90,6 +95,7 @@ class Module:
     def train(self, mode: bool = True) -> "Module":
         for module in self.modules():
             module.training = mode
+            module._state_version = getattr(module, "_state_version", 0) + 1
             module._clear_weight_cache()
         return self
 
@@ -116,4 +122,5 @@ class Module:
                 raise ValueError(f"shape mismatch for {name}")
             param.data[...] = state[name]
         for module in self.modules():
+            module._state_version = getattr(module, "_state_version", 0) + 1
             module._clear_weight_cache()

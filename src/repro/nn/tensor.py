@@ -61,6 +61,46 @@ def is_grad_enabled() -> bool:
     return _GRAD_STATE.enabled
 
 
+class _TraceState(threading.local):
+    """Per-thread active compile tracer (see :mod:`repro.nn.compile`).
+
+    Thread-local for the same reason as :class:`_GradState`: a trace in
+    one serving worker must never observe forwards running concurrently
+    on other threads.
+    """
+
+    def __init__(self) -> None:
+        self.tracer = None
+
+
+_TRACE_STATE = _TraceState()
+
+
+def _active_tracer():
+    """The compile tracer active on this thread, or None."""
+    return _TRACE_STATE.tracer
+
+
+def _set_active_tracer(tracer) -> None:
+    _TRACE_STATE.tracer = tracer
+
+
+def _trace_ew(out: "Tensor", op: str, src, operand=None, extra=None) -> "Tensor":
+    """Report one elementwise op to the active tracer (if any)."""
+    tracer = _TRACE_STATE.tracer
+    if tracer is not None:
+        tracer.record_ew(op, src, operand, out.data, extra)
+    return out
+
+
+def _trace_op(out: "Tensor", kind: str, inputs: tuple, *params) -> "Tensor":
+    """Report one structured op to the active tracer (if any)."""
+    tracer = _TRACE_STATE.tracer
+    if tracer is not None:
+        tracer.record(kind, inputs, out.data, params)
+    return out
+
+
 def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
     """Reduce a broadcasted gradient back to ``shape``."""
     while grad.ndim > len(shape):
@@ -127,6 +167,9 @@ class Tensor:
         backward: Callable[[np.ndarray], None],
     ) -> "Tensor":
         """Create an op output; drops the graph when grads are off."""
+        tracer = _TRACE_STATE.tracer
+        if tracer is not None:
+            tracer.note_make(parents, data)
         needs = _GRAD_STATE.enabled and any(p.requires_grad for p in parents)
         if not needs:
             return Tensor(data)
@@ -175,7 +218,8 @@ class Tensor:
             if other.requires_grad:
                 other._accumulate(_unbroadcast(grad, other.shape))
 
-        return Tensor._make(self.data + other.data, (self, other), backward)
+        out = Tensor._make(self.data + other.data, (self, other), backward)
+        return _trace_ew(out, "add", self.data, other.data)
 
     __radd__ = __add__
 
@@ -184,7 +228,7 @@ class Tensor:
             if self.requires_grad:
                 self._accumulate(-grad)
 
-        return Tensor._make(-self.data, (self,), backward)
+        return _trace_ew(Tensor._make(-self.data, (self,), backward), "neg", self.data)
 
     def __sub__(self, other) -> "Tensor":
         return self + (-as_tensor(other))
@@ -201,7 +245,8 @@ class Tensor:
             if other.requires_grad:
                 other._accumulate(_unbroadcast(grad * self.data, other.shape))
 
-        return Tensor._make(self.data * other.data, (self, other), backward)
+        out = Tensor._make(self.data * other.data, (self, other), backward)
+        return _trace_ew(out, "mul", self.data, other.data)
 
     __rmul__ = __mul__
 
@@ -216,7 +261,8 @@ class Tensor:
                     _unbroadcast(-grad * self.data / (other.data**2), other.shape)
                 )
 
-        return Tensor._make(self.data / other.data, (self, other), backward)
+        out = Tensor._make(self.data / other.data, (self, other), backward)
+        return _trace_ew(out, "div", self.data, other.data)
 
     def __pow__(self, exponent: float) -> "Tensor":
         if not np.isscalar(exponent):
@@ -226,7 +272,8 @@ class Tensor:
             if self.requires_grad:
                 self._accumulate(grad * exponent * self.data ** (exponent - 1))
 
-        return Tensor._make(self.data**exponent, (self,), backward)
+        out = Tensor._make(self.data**exponent, (self,), backward)
+        return _trace_ew(out, "pow", self.data, extra=exponent)
 
     def __matmul__(self, other) -> "Tensor":
         other = as_tensor(other)
@@ -250,7 +297,8 @@ class Tensor:
                     _unbroadcast(np.swapaxes(self.data, -1, -2) @ grad, other.shape)
                 )
 
-        return Tensor._make(out_data, (self, other), backward)
+        out = Tensor._make(out_data, (self, other), backward)
+        return _trace_op(out, "matmul", (self.data, other.data))
 
     # ------------------------------------------------------------------
     # shape ops
@@ -264,7 +312,8 @@ class Tensor:
             if self.requires_grad:
                 self._accumulate(grad.reshape(original))
 
-        return Tensor._make(self.data.reshape(shape), (self,), backward)
+        out = Tensor._make(self.data.reshape(shape), (self,), backward)
+        return _trace_op(out, "reshape", (self.data,))
 
     def transpose(self, *axes) -> "Tensor":
         if len(axes) == 1 and isinstance(axes[0], (tuple, list)):
@@ -277,7 +326,8 @@ class Tensor:
             if self.requires_grad:
                 self._accumulate(grad.transpose(inverse))
 
-        return Tensor._make(self.data.transpose(axes), (self,), backward)
+        out = Tensor._make(self.data.transpose(axes), (self,), backward)
+        return _trace_op(out, "transpose", (self.data,), axes)
 
     def pad2d(self, padding: int) -> "Tensor":
         """Zero-pad the last two (spatial) axes symmetrically."""
@@ -290,7 +340,8 @@ class Tensor:
                 sl = (Ellipsis, slice(padding, -padding), slice(padding, -padding))
                 self._accumulate(grad[sl])
 
-        return Tensor._make(np.pad(self.data, widths), (self,), backward)
+        out = Tensor._make(np.pad(self.data, widths), (self,), backward)
+        return _trace_op(out, "pad2d", (self.data,), padding)
 
     def crop2d(self, margin: int) -> "Tensor":
         """Remove ``margin`` pixels from each side of the spatial axes."""
@@ -305,7 +356,8 @@ class Tensor:
                 full[sl] = grad
                 self._accumulate(full)
 
-        return Tensor._make(self.data[sl], (self,), backward)
+        out = Tensor._make(self.data[sl], (self,), backward)
+        return _trace_op(out, "crop2d", (self.data,), margin)
 
     # ------------------------------------------------------------------
     # reductions and elementwise
@@ -321,7 +373,8 @@ class Tensor:
                 g = np.expand_dims(g, axis=axis)
             self._accumulate(np.broadcast_to(g, original).copy())
 
-        return Tensor._make(self.data.sum(axis=axis, keepdims=keepdims), (self,), backward)
+        out = Tensor._make(self.data.sum(axis=axis, keepdims=keepdims), (self,), backward)
+        return _trace_op(out, "sum", (self.data,), axis, keepdims)
 
     def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
         count = self.size if axis is None else np.prod(
@@ -336,7 +389,8 @@ class Tensor:
             if self.requires_grad:
                 self._accumulate(grad * mask)
 
-        return Tensor._make(self.data * mask, (self,), backward)
+        out = Tensor._make(self.data * mask, (self,), backward)
+        return _trace_ew(out, "relu", self.data)
 
     def leaky_relu(self, slope: float = 0.1) -> "Tensor":
         factor = np.where(self.data > 0, 1.0, slope)
@@ -345,7 +399,8 @@ class Tensor:
             if self.requires_grad:
                 self._accumulate(grad * factor)
 
-        return Tensor._make(self.data * factor, (self,), backward)
+        out = Tensor._make(self.data * factor, (self,), backward)
+        return _trace_ew(out, "leaky_relu", self.data, extra=slope)
 
     def abs(self) -> "Tensor":
         sign = np.sign(self.data)
@@ -354,7 +409,8 @@ class Tensor:
             if self.requires_grad:
                 self._accumulate(grad * sign)
 
-        return Tensor._make(np.abs(self.data), (self,), backward)
+        out = Tensor._make(np.abs(self.data), (self,), backward)
+        return _trace_ew(out, "abs", self.data)
 
     def exp(self) -> "Tensor":
         out_data = np.exp(self.data)
@@ -363,14 +419,16 @@ class Tensor:
             if self.requires_grad:
                 self._accumulate(grad * out_data)
 
-        return Tensor._make(out_data, (self,), backward)
+        out = Tensor._make(out_data, (self,), backward)
+        return _trace_ew(out, "exp", self.data)
 
     def log(self) -> "Tensor":
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
                 self._accumulate(grad / self.data)
 
-        return Tensor._make(np.log(self.data), (self,), backward)
+        out = Tensor._make(np.log(self.data), (self,), backward)
+        return _trace_ew(out, "log", self.data)
 
     def select(self, axis: int, index: int) -> "Tensor":
         """Pick one slice along ``axis`` (the axis is dropped)."""
@@ -385,7 +443,8 @@ class Tensor:
                 full[sl_t] = grad
                 self._accumulate(full)
 
-        return Tensor._make(self.data[sl_t].copy(), (self,), backward)
+        out = Tensor._make(self.data[sl_t].copy(), (self,), backward)
+        return _trace_op(out, "select", (self.data,), axis, index)
 
     # ------------------------------------------------------------------
     # tuple-axis transforms (ring machinery)
@@ -406,7 +465,8 @@ class Tensor:
                 g_moved = np.moveaxis(grad, axis, -1)
                 self._accumulate(np.moveaxis(g_moved @ mat, -1, axis))
 
-        return Tensor._make(out, (self,), backward)
+        result = Tensor._make(out, (self,), backward)
+        return _trace_op(result, "tuple_transform", (self.data, mat), axis)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"Tensor(shape={self.shape}, requires_grad={self.requires_grad})"
@@ -440,4 +500,5 @@ def concat(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
                 t._accumulate(grad[tuple(index)])
 
     data = np.concatenate([t.data for t in tensors], axis=axis)
-    return Tensor._make(data, tuple(tensors), backward)
+    out = Tensor._make(data, tuple(tensors), backward)
+    return _trace_op(out, "concat", tuple(t.data for t in tensors), axis)

@@ -33,6 +33,14 @@ __all__ = ["ServeBenchConfig", "ServeBenchReport", "make_bench_model", "run_serv
 
 @dataclasses.dataclass(frozen=True)
 class ServeBenchConfig:
+    """Knobs for one :func:`run_serve_bench` run.
+
+    ``compiled`` serves every server mode through the trace-once
+    compiled path (:meth:`repro.nn.inference.Predictor.compile`); the
+    serial reference stays eager, so the run doubles as a
+    compiled-vs-eager bit-identity check under concurrency.
+    """
+
     clients: int = 8
     requests_per_client: int = 16
     image_size: int = 24
@@ -42,10 +50,12 @@ class ServeBenchConfig:
     queue_depth: int = 64
     backends: Sequence[str] = ("numpy",)
     seed: int = 0
+    compiled: bool = False
 
 
 @dataclasses.dataclass(frozen=True)
 class ServeBenchReport:
+    """Per-mode results of one serve-bench run plus the bit-identity verdict."""
     config: ServeBenchConfig
     rows: list[dict]
     bit_identical: bool
@@ -64,7 +74,8 @@ class ServeBenchReport:
         lines = [
             f"serve-bench: {cfg.clients} clients x {cfg.requests_per_client} requests, "
             f"{cfg.image_size}x{cfg.image_size} images, {cfg.workers} workers, "
-            f"max_batch={cfg.max_batch}, max_wait={cfg.max_wait_ms}ms",
+            f"max_batch={cfg.max_batch}, max_wait={cfg.max_wait_ms}ms"
+            + (", compiled" if cfg.compiled else ""),
             f"  {'backend':<12} {'mode':<14} {'req/s':>8} {'lat ms':>8} "
             f"{'p95 ms':>8} {'mean batch':>10}",
         ]
@@ -112,6 +123,7 @@ def _row(backend: str, mode: str, result: LoadResult, extra: dict | None = None)
 
 
 def run_serve_bench(config: ServeBenchConfig) -> ServeBenchReport:
+    """Run the closed-loop serial / per-request / micro-batched comparison."""
     if config.clients < 1 or config.requests_per_client < 1:
         raise ValueError(
             "serve-bench needs at least 1 client and 1 request per client, got "
@@ -145,6 +157,7 @@ def run_serve_bench(config: ServeBenchConfig) -> ServeBenchReport:
                 queue_depth=config.queue_depth,
                 backend=backend,
                 tile=max(48, size),
+                compiled=config.compiled,
             ) as server:
                 result = run_closed_loop(server, workload)
                 stats = server.stats()

@@ -174,6 +174,10 @@ class InferenceServer:
             worker's forwards, via the Predictor.
         plan / tile / batch_size: Forwarded to the prototype
             :class:`~repro.nn.inference.Predictor`.
+        compiled: Serve through :meth:`Predictor.compile` — workers share
+            one execution-plan cache (plans build once per request shape
+            under the compile lock, then replay lock-free).  Replay is
+            bit-identical to eager, so this changes latency, never bytes.
 
     The server starts serving on construction and is a context manager;
     leaving the ``with`` block drains the queue and joins the workers.
@@ -191,6 +195,7 @@ class InferenceServer:
         backend: Backend | str | None = None,
         plan: TilingPlan | None = None,
         tile: int | None = None,
+        compiled: bool = False,
     ) -> None:
         if workers <= 0:
             raise ValueError("workers must be positive")
@@ -204,6 +209,11 @@ class InferenceServer:
         prototype = Predictor(
             model, batch_size=max_batch, plan=plan, tile=tile, backend=backend
         )
+        if compiled:
+            # Clones of a CompiledPredictor share its plan cache, so the
+            # trace cost is paid once per shape across all workers.
+            prototype = prototype.compile()
+        self.compiled = compiled
         self.max_batch = max_batch
         self.max_wait_s = max_wait_ms / 1e3
         self.queue_depth = queue_depth

@@ -235,6 +235,7 @@ BAD_PUBLIC_API = """\
 __all__ = ["exists", "ghost"]
 
 def exists():
+    \"\"\"Documented so only public-api fires here.\"\"\"
     return 1
 
 def leaked():
@@ -245,6 +246,7 @@ GOOD_PUBLIC_API = """\
 __all__ = ["exists", "lazy"]
 
 def exists():
+    \"\"\"Documented export.\"\"\"
     return 1
 
 def _helper():
@@ -254,6 +256,38 @@ def __getattr__(name):
     if name == "lazy":
         return object()
     raise AttributeError(name)
+"""
+
+# ----------------------------------------------------------------------
+# public-docstring (warn-level)
+# ----------------------------------------------------------------------
+BAD_PUBLIC_DOCSTRING = """\
+__all__ = ["LIMIT", "bare", "documented"]
+
+LIMIT = 8
+
+def documented():
+    \"\"\"Has the contract written down.\"\"\"
+    return 1
+
+def bare():
+    return 2
+"""
+
+GOOD_PUBLIC_DOCSTRING = """\
+__all__ = ["LIMIT", "Widget", "documented"]
+
+LIMIT = 8  # constants are exempt: assignments cannot carry docstrings
+
+class Widget:
+    \"\"\"A documented export.\"\"\"
+
+def documented():
+    \"\"\"Also documented.\"\"\"
+    return 1
+
+def _private_can_stay_bare():
+    return 2
 """
 
 # ----------------------------------------------------------------------
@@ -303,4 +337,6 @@ FIXTURE_TREE = [
     ("src/repro/train/good_optim.py", GOOD_STATE_DICT_ADAM, 0),
     ("src/repro/hardware/bad_api.py", BAD_PUBLIC_API, 2),
     ("src/repro/hardware/good_api.py", GOOD_PUBLIC_API, 0),
+    ("src/repro/hardware/bad_docstring.py", BAD_PUBLIC_DOCSTRING, 1),
+    ("src/repro/hardware/good_docstring.py", GOOD_PUBLIC_DOCSTRING, 0),
 ]

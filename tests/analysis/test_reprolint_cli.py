@@ -31,6 +31,15 @@ class TestExitCodes:
         expected = sum(e[2] for e in fx.FIXTURE_TREE)
         assert f"{expected} findings" in out
 
+    def test_zero_on_warnings_only(self, tmp_path, capsys):
+        write_tree(
+            tmp_path, [("src/repro/hardware/bad_docstring.py", fx.BAD_PUBLIC_DOCSTRING, 1)]
+        )
+        assert main([str(tmp_path)]) == 0  # warn-level findings never gate
+        out = capsys.readouterr().out
+        assert "1 finding (1 warn-level)" in out
+        assert "[public-docstring warn]" in out
+
     def test_two_on_unknown_rule(self, tmp_path, capsys):
         assert main([str(tmp_path), "--select", "no-such-rule"]) == 2
         assert "unknown rule" in capsys.readouterr().err
@@ -62,6 +71,7 @@ class TestExitCodes:
             "lock-discipline",
             "state-dict-completeness",
             "public-api",
+            "public-docstring",
         ):
             assert rule in out
 
@@ -78,7 +88,8 @@ class TestJsonReport:
         assert report["counts"]["findings"] == sum(e[2] for e in fx.FIXTURE_TREE)
         assert report["counts"]["suppressed"] == 0
         for finding in report["findings"]:
-            assert set(finding) == {"rule", "path", "line", "col", "message"}
+            assert set(finding) == {"rule", "severity", "path", "line", "col", "message"}
+            assert finding["severity"] in ("error", "warn")
             assert isinstance(finding["line"], int) and finding["line"] >= 1
 
     def test_suppressed_counted_not_listed_as_findings(self, tmp_path, capsys):
@@ -87,7 +98,12 @@ class TestJsonReport:
         path.write_text(fx.SUPPRESSED_DISPATCH)
         assert main([str(tmp_path), "--format", "json"]) == 0
         report = json.loads(capsys.readouterr().out)
-        assert report["counts"] == {"findings": 0, "suppressed": 1}
+        assert report["counts"] == {
+            "findings": 0,
+            "errors": 0,
+            "warnings": 0,
+            "suppressed": 1,
+        }
         assert report["suppressed"][0]["rule"] == "backend-dispatch"
 
     def test_output_file(self, tmp_path, capsys):

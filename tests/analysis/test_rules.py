@@ -149,6 +149,42 @@ class TestPublicApi:
         assert run("def anything():\n    pass\n", fx.LIB_PATH, only="public-api") == []
 
 
+class TestPublicDocstring:
+    def test_fires_on_bare_export_at_warn_severity(self):
+        findings = run(fx.BAD_PUBLIC_DOCSTRING, fx.LIB_PATH, only="public-docstring")
+        assert len(findings) == 1
+        assert "bare" in findings[0].message
+        assert findings[0].severity == "warn"
+
+    def test_silent_on_documented_exports_and_constants(self):
+        findings = run(fx.GOOD_PUBLIC_DOCSTRING, fx.LIB_PATH, only="public-docstring")
+        assert findings == []
+
+    def test_modules_without_all_are_skipped(self):
+        source = "def anything():\n    pass\n"
+        assert run(source, fx.LIB_PATH, only="public-docstring") == []
+
+    def test_warn_findings_do_not_gate_the_report(self):
+        from repro.analysis.engine import Report
+
+        report = Report()
+        analyze_source(
+            fx.BAD_PUBLIC_DOCSTRING,
+            fx.LIB_PATH,
+            resolve_rules(select=["public-docstring"]),
+            report=report,
+        )
+        assert len(report.findings) == 1
+        assert report.errors == []
+        assert report.clean
+
+    def test_suppression_directive_silences_it(self):
+        source = fx.BAD_PUBLIC_DOCSTRING.replace(
+            "def bare():", "def bare():  # reprolint: disable=public-docstring"
+        )
+        assert run(source, fx.LIB_PATH, only="public-docstring") == []
+
+
 class TestSuppressions:
     def test_matching_rule_suppressed(self):
         assert run(fx.SUPPRESSED_DISPATCH, fx.NN_PATH) == []
@@ -165,7 +201,7 @@ class TestSuppressions:
 
 
 class TestFramework:
-    def test_five_repo_rules_registered(self):
+    def test_repo_rules_registered(self):
         rules = all_rules()
         assert set(rules) >= {
             "backend-dispatch",
@@ -173,8 +209,10 @@ class TestFramework:
             "lock-discipline",
             "state-dict-completeness",
             "public-api",
+            "public-docstring",
         }
         assert all(r.description for r in rules.values())
+        assert all(r.severity in ("error", "warn") for r in rules.values())
 
     def test_unknown_rule_name_raises(self):
         with pytest.raises(KeyError, match="unknown rule"):

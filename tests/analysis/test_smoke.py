@@ -26,7 +26,7 @@ def test_reprolint_self_check(tmp_path):
     for name in modules:
         importlib.import_module(f"repro.analysis.rules.{name}")
     rules = all_rules()
-    assert len(rules) >= 5
+    assert len(rules) >= 6
 
     # The analyzer run over the fixture tree reproduces the expected
     # finding count per file — bad fixtures fire, good twins stay quiet.
@@ -44,7 +44,7 @@ def test_reprolint_self_check(tmp_path):
         got = by_file.get((tmp_path / name).as_posix(), 0)
         assert got == expected, f"{name}: expected {expected} findings, got {got}"
 
-    # Each of the five repo rules fired somewhere in the bad fixtures.
+    # Each of the repo rules fired somewhere in the bad fixtures.
     fired = {f.rule for f in report.findings}
     assert fired >= {
         "backend-dispatch",
@@ -52,4 +52,5 @@ def test_reprolint_self_check(tmp_path):
         "lock-discipline",
         "state-dict-completeness",
         "public-api",
+        "public-docstring",
     }

@@ -97,6 +97,35 @@ class TestBitIdentityUnderConcurrency:
             result = run_closed_loop(server, workload)
         assert result.bit_identical_to(reference)
 
+    def test_100_concurrent_compiled_requests_bit_identical(self):
+        """The serving side of the compiled-inference contract: a
+        ``compiled=True`` server (workers replay shared execution plans)
+        returns the same bytes as the serial *eager* Predictor for 100
+        concurrent requests — compiling changes latency, never outputs."""
+        model = make_bench_model(seed=0)
+        workload = make_workload(10, 10, (1, 16, 16), seed=4)
+        reference = serial_reference(Predictor(model, batch_size=8), workload)
+        with InferenceServer(
+            model, workers=3, max_batch=8, max_wait_ms=4.0, compiled=True
+        ) as server:
+            result = run_closed_loop(server, workload)
+            stats = server.stats()
+        assert result.bit_identical_to(reference)
+        assert stats.requests == 100
+        assert stats.failed == 0
+
+    def test_compiled_mixed_shapes_are_bucketed_and_exact(self):
+        """Mixed request shapes build one plan per shape bucket; every
+        bucket must still match eager bit for bit."""
+        model = make_bench_model(seed=0)
+        workload = make_workload(6, 5, [(1, 16, 16), (1, 24, 24), (1, 16, 32)], seed=5)
+        reference = serial_reference(Predictor(model, batch_size=8), workload)
+        with InferenceServer(
+            model, workers=2, max_batch=4, max_wait_ms=4.0, compiled=True
+        ) as server:
+            result = run_closed_loop(server, workload)
+        assert result.bit_identical_to(reference)
+
     def test_batches_are_shape_pure(self):
         """A worker must never stack two request shapes into one batch."""
         model = SlowIdentity(delay_s=0.002)
