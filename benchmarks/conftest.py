@@ -4,20 +4,44 @@ Each benchmark regenerates one table/figure of the paper and, besides
 the timing pytest-benchmark records, writes the formatted rows to
 ``benchmarks/results/<name>.txt`` so the reproduction output survives
 pytest's output capture.  A machine-readable ``<name>.json`` twin is
-written alongside (structured rows via the experiment artifact encoder)
-so CI can archive perf numbers as workflow artifacts.
+written alongside (structured rows via the experiment artifact encoder,
+plus the host metadata perf numbers can't be compared without) so CI
+can archive perf numbers as workflow artifacts and the perf-regression
+gate (``benchmarks/perf_gate.py``) can judge them.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import pathlib
+import platform
+import sys
 
 import pytest
 
 from repro.experiments.artifacts import to_jsonable
+from repro.nn.backend import BACKEND_ENV_VAR, usable_cpu_count
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def host_metadata() -> dict:
+    """The environment facts a perf number depends on.
+
+    Recorded in every benchmark JSON twin so regressions can be told
+    apart from hardware differences: a 4-core baseline number means
+    nothing on a 1-core runner, and the perf gate uses ``usable_cpus``
+    to skip ratio assertions the host cannot express.
+    """
+    return {
+        "cpu_count": os.cpu_count(),
+        "usable_cpus": usable_cpu_count(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "python": sys.version.split()[0],
+        "backend_env": os.environ.get(BACKEND_ENV_VAR),
+    }
 
 
 @pytest.fixture()
@@ -26,14 +50,20 @@ def record_result():
 
     ``data``, when given, is the benchmark's structured result (the
     experiment rows/points); it lands in ``<name>.json`` next to the
-    text rendering so downstream tooling never has to parse tables.
+    text rendering — together with :func:`host_metadata` — so
+    downstream tooling never has to parse tables.
     """
 
     def _record(name: str, text: str, data: object = None) -> pathlib.Path:
         RESULTS_DIR.mkdir(exist_ok=True)
         path = RESULTS_DIR / f"{name}.txt"
         path.write_text(text + "\n")
-        payload = {"name": name, "text": text, "data": to_jsonable(data)}
+        payload = {
+            "name": name,
+            "text": text,
+            "data": to_jsonable(data),
+            "host": host_metadata(),
+        }
         json_path = RESULTS_DIR / f"{name}.json"
         json_path.write_text(json.dumps(payload, sort_keys=True, indent=2) + "\n")
         return path

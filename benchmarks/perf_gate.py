@@ -1,0 +1,118 @@
+"""Perf-regression gate: judge benchmark JSON twins against baselines.
+
+``python benchmarks/perf_gate.py`` compares the metrics named in
+``benchmarks/baselines/perf_baseline.json`` against the freshly written
+``benchmarks/results/*.json`` twins and fails (exit 1) when a
+higher-is-better metric regresses past the tolerance band — by default
+a >20% drop below the committed baseline.
+
+Baseline entries::
+
+    {
+      "name":  "sharded-1proc-throughput",   # shown in the verdict
+      "file":  "sharded.json",               # twin under results/
+      "value_path": ["data", "rows", 0, "throughput_rps"],
+      "denominator_path": [...],             # optional: gate a ratio
+      "baseline": 18.4,                      # committed reference value
+      "min_cpus": 1                          # skip on smaller hosts
+    }
+
+``value_path`` walks dict keys and list indices into the twin's
+payload; with ``denominator_path`` the gated value is the quotient of
+the two lookups (for speedup ratios).  ``min_cpus`` is judged against
+the *recorded* host metadata in the twin, so a result file produced on
+a 1-CPU runner is never held to a 4-core ratio bar even if the gate
+itself runs elsewhere.  Baselines are intentionally conservative (slow
+reference host): the gate exists to catch code-made regressions, not to
+benchmark the hardware.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+__all__ = ["check_metric", "run_gate", "main"]
+
+DEFAULT_TOLERANCE = 0.20
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+BASELINE_PATH = pathlib.Path(__file__).parent / "baselines" / "perf_baseline.json"
+
+
+def _walk(payload, path):
+    value = payload
+    for step in path:
+        value = value[step]
+    return float(value)
+
+
+def check_metric(metric: dict, payload: dict, tolerance: float) -> tuple[str, str]:
+    """Judge one baseline entry against one twin payload.
+
+    Returns ``(status, detail)`` where status is ``"ok"``, ``"skip"``
+    or ``"fail"``.
+    """
+    min_cpus = int(metric.get("min_cpus", 1))
+    host_cpus = int(payload.get("host", {}).get("usable_cpus") or 1)
+    if host_cpus < min_cpus:
+        return "skip", f"host has {host_cpus} usable CPU(s), metric needs {min_cpus}"
+    value = _walk(payload, metric["value_path"])
+    if "denominator_path" in metric:
+        value /= _walk(payload, metric["denominator_path"])
+    baseline = float(metric["baseline"])
+    floor = baseline * (1.0 - tolerance)
+    detail = f"value {value:.3f} vs baseline {baseline:.3f} (floor {floor:.3f})"
+    if value < floor:
+        return "fail", detail
+    return "ok", detail
+
+
+def run_gate(
+    baseline_path: pathlib.Path, results_dir: pathlib.Path
+) -> int:
+    """Judge every baseline metric; returns the count of failures."""
+    spec = json.loads(baseline_path.read_text())
+    tolerance = float(spec.get("tolerance", DEFAULT_TOLERANCE))
+    failures = 0
+    for metric in spec["metrics"]:
+        name = metric["name"]
+        twin = results_dir / metric["file"]
+        if not twin.exists():
+            print(f"FAIL {name}: missing result file {twin}")
+            failures += 1
+            continue
+        payload = json.loads(twin.read_text())
+        try:
+            status, detail = check_metric(metric, payload, tolerance)
+        except (KeyError, IndexError, TypeError, ValueError) as exc:
+            print(f"FAIL {name}: cannot evaluate ({type(exc).__name__}: {exc})")
+            failures += 1
+            continue
+        print(f"{status.upper():<4} {name}: {detail}")
+        if status == "fail":
+            failures += 1
+    return failures
+
+
+def main(argv=None) -> int:
+    """CLI entry point; exit 0 iff no gated metric regressed."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline", default=str(BASELINE_PATH), help="baseline spec JSON"
+    )
+    parser.add_argument(
+        "--results-dir", default=str(RESULTS_DIR), help="benchmark twin directory"
+    )
+    args = parser.parse_args(argv)
+    failures = run_gate(pathlib.Path(args.baseline), pathlib.Path(args.results_dir))
+    if failures:
+        print(f"perf gate: {failures} metric(s) regressed past tolerance")
+        return 1
+    print("perf gate: all metrics within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -23,6 +23,7 @@ from . import (
     fig15,
     figc1,
     registry,
+    spawn,
     table1,
     table2,
     table4,
@@ -54,6 +55,7 @@ __all__ = [
     "fig15",
     "figc1",
     "registry",
+    "spawn",
     "table1",
     "table2",
     "table4",

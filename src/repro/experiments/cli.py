@@ -17,6 +17,9 @@ Subcommands:
 * ``serve-bench`` — benchmark the :mod:`repro.serving` inference server:
   closed-loop concurrent clients, per-request vs micro-batched dispatch,
   per-backend rows, with a bit-identity check against serial inference.
+  ``--procs N`` switches to the process-sharded server
+  (:class:`repro.serving.ShardedInferenceServer`): N spawn workers with
+  shared-memory tensor transport, compared against a 1-proc baseline.
 
 Parallel runs use ``multiprocessing`` with the spawn start method and
 per-(experiment, scale) deterministic seeding, so ``--jobs N`` output
@@ -31,7 +34,6 @@ fingerprints are backend-invariant.
 from __future__ import annotations
 
 import argparse
-import multiprocessing
 import os
 import pathlib
 import sys
@@ -42,17 +44,9 @@ from typing import Any
 from repro.nn import backend as nn_backend
 
 from . import artifacts, registry
+from .spawn import ensure_registered, export_env, spawn_context
 
 __all__ = ["build_parser", "run_one", "main"]
-
-
-def _ensure_registered() -> None:
-    """Import the experiment package so every module self-registers.
-
-    Needed explicitly in spawn workers, which start from a fresh
-    interpreter where only this module has been imported.
-    """
-    import repro.experiments  # noqa: F401
 
 
 def run_one(name: str, scale: str) -> dict[str, Any]:
@@ -62,7 +56,7 @@ def run_one(name: str, scale: str) -> dict[str, Any]:
     ``multiprocessing.Pool``; the serial path calls the same function so
     both paths produce identical artifacts.
     """
-    _ensure_registered()
+    ensure_registered()
     experiment = registry.get(name)
     settings, digest = artifacts.settings_digest(experiment, scale)
     result = experiment.execute(scale)
@@ -131,15 +125,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
     store = artifacts.ArtifactStore(args.results_dir)
     jobs = max(1, args.jobs)
     if args.warm_start:
-        # Environment (like --backend) so spawn workers inherit it; the
+        # Exported (like --backend) so spawn workers inherit it; the
         # flag stays out of artifact fingerprints because a warm start
         # reproduces the cold result byte for byte.  The cache lives
         # beside the artifacts so --results-dir isolates both.
         from . import weights
 
-        os.environ[weights.WARM_START_ENV] = "1"
-        os.environ[weights.WEIGHTS_DIR_ENV] = str(
-            pathlib.Path(args.results_dir) / "weights"
+        export_env(weights.WARM_START_ENV, "1")
+        export_env(
+            weights.WEIGHTS_DIR_ENV, str(pathlib.Path(args.results_dir) / "weights")
         )
 
     pending: list[str] = []
@@ -182,7 +176,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     else:
         # Spawn (not fork) so workers start from identical interpreter
         # state on every platform; run_one reseeds deterministically.
-        context = multiprocessing.get_context("spawn")
+        context = spawn_context()
         with context.Pool(processes=min(jobs, len(pending))) as pool:
             tasks = [(name, args.scale) for name in pending]
             # Unordered: each artifact lands the moment its worker
@@ -318,7 +312,12 @@ def _cmd_report(args: argparse.Namespace) -> int:
 def _cmd_serve_bench(args: argparse.Namespace) -> int:
     # Imported here (not at module top) so `python -m repro list/run`
     # never pays for the serving stack.
-    from repro.serving.bench import ServeBenchConfig, run_serve_bench
+    from repro.serving.bench import (
+        ServeBenchConfig,
+        ShardedBenchConfig,
+        run_serve_bench,
+        run_sharded_bench,
+    )
 
     backends = [spec.strip() for spec in args.backends.split(",") if spec.strip()]
     if not backends:
@@ -332,6 +331,28 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         raise SystemExit("--clients/--requests/--workers/--max-batch must be >= 1")
     if args.image_size < 2 or args.image_size % 2:
         raise SystemExit("--image-size must be even (pixel-unshuffle by 2) and >= 2")
+    if args.procs:
+        # Process-sharded mode: compare a 1-proc baseline against the
+        # requested shard count on the same seeded mixed-shape workload.
+        if args.procs < 1:
+            raise SystemExit("--procs must be >= 1")
+        procs = (1,) if args.procs == 1 else (1, args.procs)
+        config = ShardedBenchConfig(
+            clients=args.clients,
+            requests_per_client=args.requests,
+            image_size=args.image_size,
+            procs=procs,
+            max_batch=args.max_batch,
+            backend=backends[0],
+            seed=args.seed,
+            compiled=args.compiled,
+        )
+        report = run_sharded_bench(config)
+        print(report.format())
+        if not report.bit_identical:
+            print("ERROR: sharded outputs differ from serial inference")
+            return 1
+        return 0
     config = ServeBenchConfig(
         clients=args.clients,
         requests_per_client=args.requests,
@@ -478,6 +499,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=2, help="server worker threads"
     )
     sub_serve.add_argument(
+        "--procs",
+        type=int,
+        default=0,
+        metavar="N",
+        help=(
+            "benchmark the process-sharded server with N worker processes "
+            "(shared-memory transport) against a 1-proc baseline instead of "
+            "the thread server; uses the first --backends entry"
+        ),
+    )
+    sub_serve.add_argument(
         "--max-batch", type=int, default=8, help="micro-batch flush threshold"
     )
     sub_serve.add_argument(
@@ -511,17 +543,17 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Sequence[str] | None = None) -> int:
     """Run the experiment CLI; returns the process exit code."""
-    _ensure_registered()
+    ensure_registered()
     args = build_parser().parse_args(argv)
     if getattr(args, "backend", None):
         try:
             nn_backend.make_backend(args.backend)  # validate before exporting
         except ValueError as exc:
             raise SystemExit(str(exc)) from None
-        # Environment (not a context manager) so multiprocessing spawn
+        # Exported (not a context manager) so multiprocessing spawn
         # workers pick the same backend up; precedence stays with any
         # use_backend context active inside the experiment code itself.
-        os.environ[nn_backend.BACKEND_ENV_VAR] = args.backend
+        export_env(nn_backend.BACKEND_ENV_VAR, args.backend)
     try:
         return args.func(args)
     except BrokenPipeError:

@@ -19,11 +19,12 @@ from __future__ import annotations
 
 import dataclasses
 import re
-import zlib
 from collections.abc import Callable, Mapping
 from typing import Any
 
 import numpy as np
+
+from .spawn import worker_seed
 
 __all__ = [
     "Experiment",
@@ -72,11 +73,12 @@ class Experiment:
     def seed_for(self, scale: str) -> int:
         """Deterministic global-RNG seed for one (experiment, scale) run.
 
-        Derived from stable string hashes only, so serial and parallel
-        executions (and re-runs in fresh processes) start from the same
-        NumPy global state and produce bit-identical results.
+        Derived from stable string hashes only (via
+        :func:`repro.experiments.spawn.worker_seed`), so serial and
+        parallel executions (and re-runs in fresh processes) start from
+        the same NumPy global state and produce bit-identical results.
         """
-        return zlib.crc32(f"{self.name}:{scale}".encode()) & 0x7FFFFFFF
+        return worker_seed(self.name, scale)
 
     def execute(self, scale: str) -> Any:
         """Run at a scale preset with deterministic global seeding."""

@@ -1,37 +1,75 @@
 """Concurrent inference serving (the ROADMAP's "heavy traffic" layer).
 
-:class:`InferenceServer` coalesces single-image requests from many
-client threads into dynamic, shape-bucketed micro-batches over a pool of
-:class:`~repro.nn.inference.Predictor` workers — with bounded-queue
-backpressure, graceful shutdown and latency/throughput stats — while
-keeping every served output bit-identical to a serial Predictor call.
-:mod:`~repro.serving.loadgen` drives it with deterministic closed-loop
-load; :mod:`~repro.serving.bench` is the harness behind
+Two servers, one bit-identity contract:
+
+* :class:`InferenceServer` — in-process thread pool that coalesces
+  single-image requests into dynamic, shape-bucketed micro-batches over
+  :class:`~repro.nn.inference.Predictor` workers, with bounded-queue
+  backpressure, graceful shutdown and latency/throughput stats.
+* :class:`ShardedInferenceServer` — a spawn-backed worker *process*
+  pool (one Predictor replica per process, shared-memory tensor
+  transport via :mod:`~repro.serving.shm`, shape-affine routing,
+  admission control and crash recovery) for workloads where the GIL is
+  the bottleneck.
+
+Every served output — threaded, sharded, compiled or degraded-tile for
+in-tile requests — is bit-identical to a serial Predictor call on the
+same bytes.  :mod:`~repro.serving.loadgen` drives either server with
+deterministic closed-loop or open-loop Poisson load;
+:mod:`~repro.serving.bench` is the harness behind
 ``python -m repro serve-bench``.
 """
 
-from .bench import ServeBenchConfig, ServeBenchReport, make_bench_model, run_serve_bench
+from .bench import (
+    ServeBenchConfig,
+    ServeBenchReport,
+    ShardedBenchConfig,
+    ShardedBenchReport,
+    make_bench_model,
+    run_serve_bench,
+    run_sharded_bench,
+)
+from .cluster import OVERLOAD_POLICIES, ClusterStats, ShardedInferenceServer, WorkerCrashed
 from .loadgen import (
+    ArrivalTrace,
     LoadResult,
+    OpenLoopResult,
     Workload,
+    make_poisson_trace,
     make_workload,
     run_closed_loop,
+    run_open_loop,
     serial_reference,
 )
 from .server import InferenceServer, ServerClosed, ServerOverloaded, ServerStats
+from .shm import RingClient, ShmRing, active_segments
 
 __all__ = [
     "InferenceServer",
     "ServerClosed",
     "ServerOverloaded",
     "ServerStats",
+    "ShardedInferenceServer",
+    "ClusterStats",
+    "WorkerCrashed",
+    "OVERLOAD_POLICIES",
+    "ShmRing",
+    "RingClient",
+    "active_segments",
     "LoadResult",
     "Workload",
+    "ArrivalTrace",
+    "OpenLoopResult",
     "make_workload",
+    "make_poisson_trace",
     "run_closed_loop",
+    "run_open_loop",
     "serial_reference",
     "ServeBenchConfig",
     "ServeBenchReport",
+    "ShardedBenchConfig",
+    "ShardedBenchReport",
     "make_bench_model",
     "run_serve_bench",
+    "run_sharded_bench",
 ]

@@ -18,6 +18,7 @@ the batching-is-bit-exact guarantee of :mod:`repro.nn.inference`.
 from __future__ import annotations
 
 import dataclasses
+import functools
 from collections.abc import Sequence
 
 import numpy as np
@@ -25,10 +26,25 @@ import numpy as np
 from ..models.ernet import dn_ernet_pu
 from ..nn.inference import Predictor
 from ..nn.module import Module
-from .loadgen import LoadResult, make_workload, run_closed_loop, serial_reference
+from .loadgen import (
+    LoadResult,
+    make_poisson_trace,
+    make_workload,
+    run_closed_loop,
+    run_open_loop,
+    serial_reference,
+)
 from .server import InferenceServer
 
-__all__ = ["ServeBenchConfig", "ServeBenchReport", "make_bench_model", "run_serve_bench"]
+__all__ = [
+    "ServeBenchConfig",
+    "ServeBenchReport",
+    "ShardedBenchConfig",
+    "ShardedBenchReport",
+    "make_bench_model",
+    "run_serve_bench",
+    "run_sharded_bench",
+]
 
 
 @dataclasses.dataclass(frozen=True)
@@ -120,6 +136,178 @@ def _row(backend: str, mode: str, result: LoadResult, extra: dict | None = None)
     if extra:
         row.update(extra)
     return row
+
+
+# ----------------------------------------------------------------------
+# process-sharded serving bench
+# ----------------------------------------------------------------------
+@dataclasses.dataclass(frozen=True)
+class ShardedBenchConfig:
+    """Knobs for one :func:`run_sharded_bench` run.
+
+    The closed-loop phase compares proc counts in ``procs`` (each run
+    serves the same seeded mixed-shape workload, checked bit-identical
+    against a serial Predictor); the open-loop phase replays a Poisson
+    trace at ``overload_rate_rps`` against a deliberately small cluster
+    to exercise the ``overload_policy`` (rejections/degrades, tail
+    latency).
+    """
+
+    clients: int = 8
+    requests_per_client: int = 6
+    image_size: int = 24
+    procs: Sequence[int] = (1, 2)
+    queue_depth: int = 32
+    max_batch: int = 8
+    backend: str | None = None
+    seed: int = 0
+    compiled: bool = False
+    overload_rate_rps: float = 40.0
+    overload_requests: int = 48
+    overload_policy: str = "degrade"
+    overload_queue_depth: int = 4
+    slo_ms: float = 250.0
+
+
+@dataclasses.dataclass(frozen=True)
+class ShardedBenchReport:
+    """Per-proc-count closed-loop rows, the open-loop overload row, and
+    the bit-identity verdict of one sharded bench run."""
+
+    config: ShardedBenchConfig
+    rows: list[dict]
+    overload: dict
+    bit_identical: bool
+
+    def speedup(self, procs: int) -> float:
+        """Closed-loop throughput at ``procs`` workers over 1 worker."""
+        by_procs = {row["procs"]: row for row in self.rows}
+        return by_procs[procs]["throughput_rps"] / by_procs[1]["throughput_rps"]
+
+    def format(self) -> str:
+        """Human-readable report (same shape as :class:`ServeBenchReport`)."""
+        cfg = self.config
+        lines = [
+            f"sharded-bench: {cfg.clients} clients x {cfg.requests_per_client} requests, "
+            f"{cfg.image_size}px mixed shapes, queue_depth={cfg.queue_depth}"
+            + (", compiled" if cfg.compiled else ""),
+            f"  {'procs':>5} {'req/s':>8} {'lat ms':>8} {'p50 ms':>8} "
+            f"{'p95 ms':>8} {'p99 ms':>8} {'SLO att':>8}",
+        ]
+        for row in self.rows:
+            lines.append(
+                f"  {row['procs']:>5} {row['throughput_rps']:8.1f} "
+                f"{row['latency_ms_mean']:8.2f} {row['latency_ms_p50']:8.2f} "
+                f"{row['latency_ms_p95']:8.2f} {row['latency_ms_p99']:8.2f} "
+                f"{row['slo_attainment']:8.3f}"
+            )
+        for procs in self.config.procs:
+            if procs != 1:
+                lines.append(f"  {procs} procs vs 1: {self.speedup(procs):.2f}x throughput")
+        over = self.overload
+        lines.append(
+            f"  overload ({cfg.overload_policy} @ {cfg.overload_rate_rps:.0f} req/s): "
+            f"{over['completed']} completed, {over['rejected']} rejected, "
+            f"{over['degraded']} degraded; p99 {over['latency_ms_p99']:.1f} ms, "
+            f"SLO {cfg.slo_ms:.0f}ms attainment {over['slo_attainment']:.3f}"
+        )
+        lines.append(
+            f"  outputs bit-identical to serial Predictor: {self.bit_identical}"
+        )
+        return "\n".join(lines)
+
+
+def run_sharded_bench(config: ShardedBenchConfig) -> ShardedBenchReport:
+    """Run the process-sharded closed-loop comparison plus an overload replay.
+
+    The serial reference and every sharded run share one seeded
+    mixed-shape workload (two request sizes interleaved across clients),
+    so the bit-identity verdict covers shape-affine routing and
+    cross-process transport, not just a single shape.
+    """
+    # Imported here so `repro.serving` stays importable without the
+    # experiments package (the cluster pulls in spawn helpers lazily too).
+    from .cluster import ShardedInferenceServer
+
+    if 1 not in config.procs:
+        raise ValueError("procs must include 1 (the sharding speedup baseline)")
+    size = config.image_size
+    shapes = [(1, size, size), (1, size + 8, size + 8)]
+    workload = make_workload(
+        config.clients, config.requests_per_client, shapes, seed=config.seed
+    )
+    factory = functools.partial(make_bench_model, config.seed)
+    model = factory()
+    serial = Predictor(
+        model, batch_size=config.max_batch, tile=max(48, size), backend=config.backend
+    )
+    reference = serial_reference(serial, workload)
+    rows: list[dict] = []
+    bit_identical = True
+    for procs in config.procs:
+        with ShardedInferenceServer(
+            factory,
+            procs=procs,
+            queue_depth=config.queue_depth,
+            batch_size=config.max_batch,
+            tile=max(48, size),
+            backend=config.backend,
+            compiled=config.compiled,
+            slo_ms=config.slo_ms,
+        ) as server:
+            result = run_closed_loop(server, workload)
+            stats = server.stats()
+        bit_identical = bit_identical and result.bit_identical_to(reference)
+        rows.append(
+            {
+                "procs": procs,
+                "requests": result.requests,
+                "duration_s": result.duration_s,
+                "throughput_rps": result.throughput_rps,
+                "latency_ms_mean": result.latency_ms_mean,
+                "latency_ms_p50": result.latency_ms_p50,
+                "latency_ms_p95": result.latency_ms_p95,
+                "latency_ms_p99": result.latency_ms_p99,
+                "slo_attainment": result.slo_attainment,
+                "respawns": stats.respawns,
+            }
+        )
+    trace = make_poisson_trace(
+        config.overload_rate_rps,
+        config.overload_requests,
+        shapes,
+        seed=config.seed + 1,
+    )
+    with ShardedInferenceServer(
+        factory,
+        procs=min(config.procs),
+        queue_depth=config.overload_queue_depth,
+        overload=config.overload_policy,
+        batch_size=config.max_batch,
+        tile=max(48, size),
+        backend=config.backend,
+        compiled=config.compiled,
+        slo_ms=config.slo_ms,
+    ) as server:
+        open_result = run_open_loop(server, trace, slo_ms=config.slo_ms)
+        open_stats = server.stats()
+    overload = {
+        "policy": config.overload_policy,
+        "offered": open_result.offered,
+        "offered_rps": open_result.offered_rps,
+        "completed": open_result.completed,
+        "rejected": open_result.rejected,
+        "degraded": open_stats.degraded,
+        "failed": open_result.failed,
+        "throughput_rps": open_result.throughput_rps,
+        "latency_ms_p50": open_result.latency_ms_p50,
+        "latency_ms_p95": open_result.latency_ms_p95,
+        "latency_ms_p99": open_result.latency_ms_p99,
+        "slo_attainment": open_result.slo_attainment,
+    }
+    return ShardedBenchReport(
+        config=config, rows=rows, overload=overload, bit_identical=bit_identical
+    )
 
 
 def run_serve_bench(config: ServeBenchConfig) -> ServeBenchReport:

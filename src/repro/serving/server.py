@@ -62,7 +62,13 @@ class _Request:
 
 @dataclasses.dataclass(frozen=True)
 class ServerStats:
-    """Aggregate snapshot of a server's request/batch accounting."""
+    """Aggregate snapshot of a server's request/batch accounting.
+
+    The latency schema (p50/p95/p99 + ``slo_attainment`` against
+    ``slo_ms``) is shared with the process-sharded server's
+    :class:`~repro.serving.cluster.ClusterStats`, so thread- and
+    process-based serving report comparably.
+    """
 
     requests: int
     batches: int
@@ -73,7 +79,10 @@ class ServerStats:
     latency_ms_mean: float
     latency_ms_p50: float
     latency_ms_p95: float
+    latency_ms_p99: float
     latency_ms_max: float
+    slo_ms: float
+    slo_attainment: float
     batch_ms_mean: float
     wall_s: float
     throughput_rps: float
@@ -84,7 +93,9 @@ class ServerStats:
             f"(mean {self.mean_batch_size:.2f}, max {self.max_batch_size}); "
             f"{self.throughput_rps:.1f} req/s; latency ms "
             f"mean {self.latency_ms_mean:.2f} p50 {self.latency_ms_p50:.2f} "
-            f"p95 {self.latency_ms_p95:.2f} max {self.latency_ms_max:.2f}"
+            f"p95 {self.latency_ms_p95:.2f} p99 {self.latency_ms_p99:.2f} "
+            f"max {self.latency_ms_max:.2f}; "
+            f"SLO {self.slo_ms:.0f}ms attainment {self.slo_attainment:.3f}"
         )
 
 
@@ -100,9 +111,10 @@ class _StatsAccumulator:
 
     MAX_SAMPLES = 100_000
 
-    def __init__(self) -> None:
+    def __init__(self, slo_ms: float = 100.0) -> None:
         self._lock = threading.Lock()
         self._started = time.perf_counter()
+        self.slo_ms = slo_ms
         self._latencies: deque[float] = deque(maxlen=self.MAX_SAMPLES)
         self._batches = 0
         self._batch_size_max = 0
@@ -146,7 +158,10 @@ class _StatsAccumulator:
             latency_ms_mean=float(lat_ms.mean()) if have_lat else float("nan"),
             latency_ms_p50=float(np.percentile(lat_ms, 50)) if have_lat else float("nan"),
             latency_ms_p95=float(np.percentile(lat_ms, 95)) if have_lat else float("nan"),
+            latency_ms_p99=float(np.percentile(lat_ms, 99)) if have_lat else float("nan"),
             latency_ms_max=float(lat_ms[-1]) if have_lat else float("nan"),
+            slo_ms=self.slo_ms,
+            slo_attainment=float((lat_ms <= self.slo_ms).mean()) if have_lat else float("nan"),
             batch_ms_mean=batch_seconds_sum / batches * 1e3 if batches else float("nan"),
             wall_s=wall,
             throughput_rps=requests / wall if wall > 0 else float("nan"),
@@ -174,6 +189,8 @@ class InferenceServer:
             worker's forwards, via the Predictor.
         plan / tile / batch_size: Forwarded to the prototype
             :class:`~repro.nn.inference.Predictor`.
+        slo_ms: Latency objective used for the ``slo_attainment``
+            statistic (reporting only; never changes scheduling).
         compiled: Serve through :meth:`Predictor.compile` — workers share
             one execution-plan cache (plans build once per request shape
             under the compile lock, then replay lock-free).  Replay is
@@ -196,6 +213,7 @@ class InferenceServer:
         plan: TilingPlan | None = None,
         tile: int | None = None,
         compiled: bool = False,
+        slo_ms: float = 100.0,
     ) -> None:
         if workers <= 0:
             raise ValueError("workers must be positive")
@@ -218,7 +236,7 @@ class InferenceServer:
         self.max_wait_s = max_wait_ms / 1e3
         self.queue_depth = queue_depth
         self.reject_when_full = reject_when_full
-        self._stats = _StatsAccumulator()
+        self._stats = _StatsAccumulator(slo_ms=slo_ms)
         self._lock = threading.Lock()
         self._has_work = threading.Condition(self._lock)
         self._has_space = threading.Condition(self._lock)
