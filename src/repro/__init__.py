@@ -31,6 +31,7 @@ def __getattr__(name: str):
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
+    "comms",
     "experiments",
     "hardware",
     "imaging",

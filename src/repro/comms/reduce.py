@@ -1,0 +1,86 @@
+"""Deterministic-order reductions and flat parameter/gradient views.
+
+Float addition is not associative, so "sum these gradient shards" only
+has one answer if the *shape* of the summation is pinned.
+:func:`tree_reduce` is that pin: a fixed pairwise (balanced binary
+tree) summation whose result is a pure function of the operand list —
+its order and length — and never of how the operands were produced,
+which process computed them, or how many workers there are.  The
+data-parallel trainer (:mod:`repro.train.parallel`) reduces per-grain
+gradient vectors with it, which is what makes ``--jobs N`` checkpoints
+bit-identical for every ``N``: the same grains are summed in the same
+tree no matter how they were farmed out.
+
+:func:`flatten_arrays` / :func:`unflatten_into` convert between a list
+of parameter-shaped arrays and one contiguous float64 vector — the
+transport representation a gradient or weight broadcast travels in
+through a :class:`repro.comms.shm.ShmRing` slot.  Both directions are
+exact byte copies; no reduction, rounding or dtype change happens in
+transit.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+__all__ = ["tree_reduce", "flatten_arrays", "unflatten_into"]
+
+
+def tree_reduce(items: Sequence[np.ndarray]):
+    """Sum ``items`` by fixed pairwise (balanced binary tree) reduction.
+
+    Level by level, adjacent pairs are combined — ``[a+b, c+d, ...]``,
+    with an odd trailing operand carried up unchanged — until one value
+    remains.  The reduction tree depends only on ``len(items)``, so the
+    result is bit-reproducible for a given operand list regardless of
+    who computed the operands.  Works for any operands supporting
+    ``+`` (nd-arrays, ``np.float64`` scalars).
+    """
+    if len(items) == 0:
+        raise ValueError("tree_reduce needs at least one operand")
+    level = list(items)
+    while len(level) > 1:
+        paired = [level[i] + level[i + 1] for i in range(0, len(level) - 1, 2)]
+        if len(level) % 2:
+            paired.append(level[-1])
+        level = paired
+    return level[0]
+
+
+def flatten_arrays(arrays: Sequence[np.ndarray | None], like: Sequence[np.ndarray]) -> np.ndarray:
+    """Concatenate ``arrays`` into one contiguous float64 vector.
+
+    ``like`` supplies the template shapes: a ``None`` entry in
+    ``arrays`` (e.g. a parameter whose gradient was never touched)
+    contributes zeros of the matching template's shape, so the flat
+    layout is always the full ``like`` layout.
+    """
+    parts = [
+        np.zeros(t.shape, dtype=np.float64).ravel()
+        if a is None
+        else np.asarray(a, dtype=np.float64).ravel()
+        for a, t in zip(arrays, like, strict=True)
+    ]
+    if not parts:
+        return np.zeros(0, dtype=np.float64)
+    return np.concatenate(parts)
+
+
+def unflatten_into(vector: np.ndarray, arrays: Sequence[np.ndarray]) -> None:
+    """Copy a flat vector back into parameter-shaped ``arrays`` in place.
+
+    The inverse of :func:`flatten_arrays` for a fully-materialized
+    target list; sizes must match exactly.
+    """
+    vector = np.asarray(vector)
+    total = sum(a.size for a in arrays)
+    if vector.size != total:
+        raise ValueError(
+            f"flat vector has {vector.size} elements, targets need {total}"
+        )
+    offset = 0
+    for array in arrays:
+        array[...] = vector[offset : offset + array.size].reshape(array.shape)
+        offset += array.size

@@ -197,6 +197,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
 def _cmd_train(args: argparse.Namespace) -> int:
     # Local imports: `python -m repro list/run` never pays for them.
     import dataclasses
+    import functools
 
     import numpy as np
 
@@ -204,9 +205,15 @@ def _cmd_train(args: argparse.Namespace) -> int:
     from repro.models.factory import make_factory
     from repro.nn.data import ArrayDataset, DataLoader
     from repro.nn.trainer import TrainConfig
-    from repro.train import CheckpointCallback, CheckpointError, TrainEngine, load_checkpoint
+    from repro.train import (
+        CheckpointCallback,
+        CheckpointError,
+        ParallelTrainEngine,
+        TrainEngine,
+        load_checkpoint,
+    )
 
-    from .runner import evaluate_psnr, make_task, model_for_task
+    from .runner import build_task_model, evaluate_psnr, make_task, model_for_task
 
     task, _, kind = args.model.partition(":")
     kind = kind or "real"
@@ -248,11 +255,26 @@ def _cmd_train(args: argparse.Namespace) -> int:
         seed=scale.seed,
     )
     model_spec = {"family": "ernet", "kind": kind, **dataclasses.asdict(model.config)}
-    engine = TrainEngine(
-        model,
-        config,
-        callbacks=[CheckpointCallback(ckpt_path, every=args.save_every, model_spec=model_spec)],
-    )
+    callbacks = [CheckpointCallback(ckpt_path, every=args.save_every, model_spec=model_spec)]
+    if args.grain is not None and args.jobs is None:
+        raise SystemExit("--grain only applies to the data-parallel engine; pass --jobs")
+    if args.jobs is not None:
+        # Grain-sharded engine: byte-identical checkpoints for every N,
+        # so --jobs may change freely between a run and its resume.
+        if args.jobs < 1:
+            raise SystemExit("--jobs must be >= 1")
+        engine = ParallelTrainEngine(
+            model,
+            config,
+            callbacks=callbacks,
+            jobs=args.jobs,
+            **({"grain": args.grain} if args.grain is not None else {}),
+            model_factory=functools.partial(
+                build_task_model, task, kind, scale, args.seed
+            ),
+        )
+    else:
+        engine = TrainEngine(model, config, callbacks=callbacks)
     if resumed is not None:
         try:
             engine.load_checkpoint(ckpt_path, loader=loader)
@@ -269,11 +291,16 @@ def _cmd_train(args: argparse.Namespace) -> int:
         print(f"{args.model:<12} already at epoch {engine.epoch}/{epochs}; nothing to train")
     else:
         started = time.perf_counter()
-        result = engine.fit(loader, epochs=todo)
+        try:
+            result = engine.fit(loader, epochs=todo)
+        finally:
+            if isinstance(engine, ParallelTrainEngine):
+                engine.close()
         elapsed = time.perf_counter() - started
+        jobs_note = f" (jobs={args.jobs})" if args.jobs is not None else ""
         print(
             f"{args.model:<12} {args.scale:<6} trained {todo} epoch(s) "
-            f"to {engine.epoch}/{epochs} in {elapsed:.1f}s "
+            f"to {engine.epoch}/{epochs} in {elapsed:.1f}s{jobs_note} "
             f"(loss {result.final_loss:.5f}, lr {result.lr_trace[-1]:.2e}, "
             f"grad-norm {float(np.mean(result.grad_norms)):.3f} mean)"
         )
@@ -470,6 +497,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="checkpoint cadence in epochs (default 1)",
     )
     sub_train.add_argument("--seed", type=int, default=0, help="model init seed")
+    sub_train.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="data-parallel worker processes; grain-sharded numerics make "
+        "checkpoints byte-identical for every N (default: the classic "
+        "serial engine)",
+    )
+    sub_train.add_argument(
+        "--grain",
+        type=int,
+        default=None,
+        metavar="G",
+        help="samples per gradient grain under --jobs (default 2); part of "
+        "the numerics, like batch size — keep it fixed across resumes",
+    )
     add_common(sub_train)
     sub_train.set_defaults(func=_cmd_train)
 

@@ -28,6 +28,7 @@ __all__ = [
     "QualityResult",
     "make_task",
     "model_for_task",
+    "build_task_model",
     "model_spec_for",
     "evaluate_psnr",
     "train_with_cache",
@@ -93,6 +94,19 @@ def model_for_task(
             blocks=scale.blocks, ratio=scale.ratio, factory=factory, seed=seed
         )
     return sr4_ernet(blocks=scale.blocks, ratio=scale.ratio, factory=factory, seed=seed)
+
+
+def build_task_model(task: str, kind: str, scale: QualityScale, seed: int = 0) -> Module:
+    """Picklable zero-state builder of a task's backbone.
+
+    Equivalent to ``model_for_task(task, make_factory(kind), scale,
+    seed)``, but importable by name — which is what lets it cross a
+    spawn boundary: the data-parallel trainer's workers receive
+    ``functools.partial(build_task_model, ...)`` and rebuild the
+    architecture themselves, where a :class:`LayerFactory` instance
+    (which may close over unpicklable kernels) could not travel.
+    """
+    return model_for_task(task, make_factory(kind), scale, seed=seed)
 
 
 def evaluate_psnr(

@@ -33,13 +33,15 @@ class TrainConfig:
     learning rate, MSE loss; epochs/batches are sized for CPU training.
     ``epochs`` is the *total* schedule horizon — the cosine decay always
     spans it, whether the epochs run in one sitting or across several
-    checkpoint/resume segments.
+    checkpoint/resume segments.  ``grad_clip`` is the global-L2 clip
+    threshold; ``None`` disables clipping entirely, while ``0.0`` is an
+    honest (if unusual) request to clip every gradient to zero.
     """
 
     epochs: int = 6
     lr: float = 2e-3
     batch_size: int = 8
-    grad_clip: float = 5.0
+    grad_clip: float | None = 5.0
     min_lr_ratio: float = 0.05
     seed: int = 0
     loss_fn: Callable[[Tensor, np.ndarray], Tensor] = staticmethod(mse_loss)

@@ -7,6 +7,12 @@
 capture (epoch losses, lr trace, per-step gradient norms).  Its
 numerics are bit-identical to the original ``train_model`` loop.
 
+:class:`ParallelTrainEngine` is the data-parallel sibling: ``jobs``
+spawn workers each compute per-grain gradients that are combined by a
+deterministic-order tree all-reduce over shared memory
+(:mod:`repro.comms`), with checkpoints byte-identical for any worker
+count (see :mod:`repro.train.parallel` for the grain invariant).
+
 :class:`Checkpoint` bundles model + optimizer + scheduler + data-loader
 RNG + epoch + history into one ``.npz`` file, with the engine's
 guarantee that train-N → save → load → train-M equals training N+M
@@ -21,6 +27,7 @@ from ..nn.trainer import TrainConfig, TrainResult
 from .callbacks import Callback, CheckpointCallback, EvalCallback, LambdaCallback
 from .checkpoint import Checkpoint, CheckpointError, load_checkpoint
 from .engine import TrainEngine, TrainHistory
+from .parallel import DEFAULT_GRAIN, ParallelTrainEngine
 
 __all__ = [
     "TrainConfig",
@@ -34,4 +41,6 @@ __all__ = [
     "load_checkpoint",
     "TrainEngine",
     "TrainHistory",
+    "ParallelTrainEngine",
+    "DEFAULT_GRAIN",
 ]

@@ -21,6 +21,7 @@ engine adds around that core:
 from __future__ import annotations
 
 import dataclasses
+import warnings
 from collections.abc import Iterable, Sequence
 from typing import Any
 
@@ -123,11 +124,29 @@ class TrainEngine:
         self.epoch = 0
         self.history = TrainHistory()
         self._loader: DataLoader | None = None
+        self._loader_untracked = False
 
     # ------------------------------------------------------------------
     def _emit(self, hook: str, *args) -> None:
         for callback in self.callbacks:
             getattr(callback, hook)(self, *args)
+
+    # ------------------------------------------------------------------
+    def _batch_gradients(self, inputs, targets) -> float:
+        """Leave the batch gradient in ``param.grad``; return the batch loss.
+
+        The one step subclasses reschedule: :class:`TrainEngine` runs
+        the classic full-batch ``zero_grad → forward → loss → backward``;
+        the data-parallel engine (:mod:`repro.train.parallel`) shards
+        the batch into grains and all-reduces per-grain gradients in a
+        deterministic order.  Clipping, the optimizer step and all
+        bookkeeping stay in :meth:`fit`, shared by both.
+        """
+        self.optimizer.zero_grad()
+        pred = self.model(Tensor(inputs))
+        loss = self.config.loss_fn(pred, targets)
+        loss.backward()
+        return float(loss.data)
 
     # ------------------------------------------------------------------
     def fit(
@@ -140,11 +159,30 @@ class TrainEngine:
         Returns the full-history :class:`TrainResult` — after a resume
         it covers the restored epochs too, identical to what one
         uninterrupted run would report.
+
+        Raises:
+            ValueError: if an epoch yields no batches at all (e.g. a
+                ``drop_last`` loader over a dataset smaller than one
+                batch) — recording a fabricated 0.0 epoch loss would
+                poison :class:`TrainHistory` and the lr schedule.
         """
         remaining = (
             epochs if epochs is not None else max(0, self.config.epochs - self.epoch)
         )
-        self._loader = loader if isinstance(loader, DataLoader) else None
+        if isinstance(loader, DataLoader):
+            self._loader = loader
+            self._loader_untracked = False
+        else:
+            # A plain iterable has no shuffle RNG to checkpoint; remember
+            # that so save_checkpoint can warn about unrestorable resume.
+            self._loader = None
+            self._loader_untracked = True
+        # Clipping is off only when grad_clip is None; an explicit 0.0
+        # means clip-to-zero (freeze), not "disabled" — a truthiness
+        # test here once silently dropped that case.
+        max_norm = (
+            float("inf") if self.config.grad_clip is None else self.config.grad_clip
+        )
         self.model.train()
         self._emit("on_train_start")
         for _ in range(remaining):
@@ -152,24 +190,25 @@ class TrainEngine:
             self._emit("on_epoch_start")
             weighted_loss, samples = 0.0, 0
             for inputs, targets in loader:
-                self.optimizer.zero_grad()
-                pred = self.model(Tensor(inputs))
-                loss = self.config.loss_fn(pred, targets)
-                loss.backward()
+                loss_value = self._batch_gradients(inputs, targets)
                 # Pre-clip global norm; with clipping off the infinite
                 # threshold makes this a pure measurement.
-                grad_norm = clip_grad_norm(
-                    self.params, self.config.grad_clip or float("inf")
-                )
+                grad_norm = clip_grad_norm(self.params, max_norm)
                 self.optimizer.step()
                 batch = len(inputs)
-                weighted_loss += float(loss.data) * batch
+                weighted_loss += loss_value * batch
                 samples += batch
                 self.history.grad_norms.append(grad_norm)
-                self._emit("on_batch_end", float(loss.data), grad_norm)
+                self._emit("on_batch_end", loss_value, grad_norm)
+            if samples == 0:
+                raise ValueError(
+                    "epoch produced no batches: the loader is empty (a drop_last "
+                    "loader over fewer samples than one batch?); refusing to "
+                    "record a fabricated 0.0 epoch loss"
+                )
             self.history.lr_trace.append(self.optimizer.lr)
             self.scheduler.step()
-            self.history.train_losses.append(weighted_loss / max(1, samples))
+            self.history.train_losses.append(weighted_loss / samples)
             self.epoch += 1
             self._emit("on_epoch_end", self.history.train_losses[-1])
         self.model.eval()
@@ -194,7 +233,23 @@ class TrainEngine:
         )
 
     def save_checkpoint(self, path, model_spec: dict | None = None) -> Checkpoint:
-        """Serialize the engine state to ``path`` (.npz) and notify hooks."""
+        """Serialize the engine state to ``path`` (.npz) and notify hooks.
+
+        Warns (``RuntimeWarning``) when the last ``fit`` was driven by a
+        plain iterable instead of a :class:`~repro.nn.data.DataLoader`:
+        such a checkpoint carries no shuffle-RNG state, so a resumed run
+        cannot replay the batch order and the bit-identical-resume
+        guarantee does not hold.
+        """
+        if self._loader is None and self._loader_untracked:
+            warnings.warn(
+                "checkpoint carries no data-loader RNG state: fit() was driven "
+                "by a plain iterable, so a resumed run cannot restore the "
+                "shuffle order; pass a repro.nn.data.DataLoader to fit() for "
+                "bit-identical resume",
+                RuntimeWarning,
+                stacklevel=2,
+            )
         checkpoint = self.capture(model_spec=model_spec)
         checkpoint.save(path)
         self._emit("on_checkpoint", path, checkpoint)

@@ -10,6 +10,7 @@ def test_package_imports_and_version():
 
     assert repro.__version__ == "1.0.0"
     for sub in (
+        "comms",
         "rings",
         "nn",
         "models",
@@ -60,9 +61,22 @@ def test_train_namespace_exports():
         "TrainEngine", "TrainHistory", "TrainConfig", "TrainResult",
         "Callback", "CheckpointCallback", "EvalCallback", "LambdaCallback",
         "Checkpoint", "CheckpointError", "load_checkpoint",
+        "ParallelTrainEngine", "DEFAULT_GRAIN",
     ):
         assert name in train.__all__, f"{name} missing from repro.train.__all__"
         assert hasattr(train, name), f"{name} not importable from repro.train"
+
+
+def test_comms_namespace_exports():
+    """The process-communication layer's surface needs no deep paths."""
+    from repro import comms
+
+    for name in (
+        "ShmRing", "RingClient", "active_segments",
+        "tree_reduce", "flatten_arrays", "unflatten_into",
+    ):
+        assert name in comms.__all__, f"{name} missing from repro.comms.__all__"
+        assert hasattr(comms, name), f"{name} not importable from repro.comms"
 
 
 def test_rings_namespace_exports():

@@ -96,11 +96,37 @@ class TestEngineNumerics:
         assert result.lr_trace[1] < result.lr_trace[0]
 
     def test_grad_norms_recorded_with_clipping_disabled(self):
-        config = TrainConfig(epochs=1, lr=1e-3, grad_clip=0.0)
+        config = TrainConfig(epochs=1, lr=1e-3, grad_clip=None)
         model, loader = _make(n=8, batch_size=4)
         result = TrainEngine(model, config).fit(loader)
         assert len(result.grad_norms) == 2
         assert all(np.isfinite(g) for g in result.grad_norms)
+
+    def test_grad_clip_zero_clips_to_zero(self):
+        # Regression: `grad_clip or float("inf")` once treated 0.0 as
+        # "clipping disabled"; 0.0 must freeze the weights instead.
+        config = TrainConfig(epochs=2, lr=0.1, grad_clip=0.0)
+        model, loader = _make(n=8, batch_size=4)
+        before = {k: v.copy() for k, v in model.state_dict().items()}
+        opt = SGD(model.parameters(), lr=config.lr)  # stateless: zero grad = no-op
+        result = TrainEngine(model, config, optimizer=opt).fit(loader)
+        for key, arr in model.state_dict().items():
+            np.testing.assert_array_equal(arr, before[key], err_msg=key)
+        # The recorded norms are still the true pre-clip norms.
+        assert all(g > 0 for g in result.grad_norms)
+
+    def test_grad_clip_none_differs_from_small_threshold(self):
+        def run(clip):
+            model, loader = _make(n=8, batch_size=4)
+            TrainEngine(
+                model, TrainConfig(epochs=1, lr=0.05, grad_clip=clip)
+            ).fit(loader)
+            return model.state_dict()
+
+        unclipped, clipped = run(None), run(1e-3)
+        assert any(
+            not np.array_equal(unclipped[k], clipped[k]) for k in unclipped
+        ), "a tiny clip threshold must change the trajectory vs grad_clip=None"
 
     def test_custom_optimizer_and_scheduler(self):
         config = TrainConfig(epochs=4, lr=0.5)
@@ -109,6 +135,63 @@ class TestEngineNumerics:
         sched = StepLR(opt, step_size=2, gamma=0.1)
         result = TrainEngine(model, config, optimizer=opt, scheduler=sched).fit(loader)
         assert result.lr_trace == [0.5, 0.5, pytest.approx(0.05), pytest.approx(0.05)]
+
+
+class TestFitGuards:
+    def test_empty_loader_raises_instead_of_recording_zero_loss(self):
+        # Regression: `weighted_loss / max(1, samples)` once recorded a
+        # fabricated 0.0 epoch loss when the loader yielded nothing.
+        config = TrainConfig(epochs=1, lr=1e-3)
+        x, y = _problem(n=2)
+        loader = DataLoader(
+            ArrayDataset(x, y), batch_size=4, seed=3, drop_last=True
+        )
+        model = Sequential(Conv2d(1, 1, 3, seed=7))
+        engine = TrainEngine(model, config)
+        with pytest.raises(ValueError, match="no batches"):
+            engine.fit(loader)
+        # Nothing was recorded: history is not poisoned by the aborted epoch.
+        assert engine.history.train_losses == []
+        assert engine.history.lr_trace == []
+        assert engine.epoch == 0
+
+    def test_empty_plain_iterable_raises_too(self):
+        model = Sequential(Conv2d(1, 1, 3, seed=7))
+        engine = TrainEngine(model, TrainConfig(epochs=1, lr=1e-3))
+        with pytest.raises(ValueError, match="no batches"):
+            engine.fit([])
+
+    def test_save_checkpoint_warns_without_loader_state(self, tmp_path):
+        # Regression: fit() over a plain iterable silently dropped the
+        # loader RNG from checkpoints; now the save warns that resume
+        # cannot restore the shuffle order.
+        x, y = _problem(n=4)
+        model = Sequential(Conv2d(1, 1, 3, seed=7))
+        engine = TrainEngine(model, TrainConfig(epochs=1, lr=1e-3))
+        engine.fit([(x, y)])
+        with pytest.warns(RuntimeWarning, match="no data-loader RNG state"):
+            engine.save_checkpoint(tmp_path / "plain.npz")
+
+    def test_save_checkpoint_silent_with_dataloader(self, tmp_path):
+        import warnings
+
+        model, loader = _make(n=8, batch_size=4)
+        engine = TrainEngine(model, TrainConfig(epochs=1, lr=1e-3))
+        engine.fit(loader)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", RuntimeWarning)
+            engine.save_checkpoint(tmp_path / "tracked.npz")
+
+    def test_save_checkpoint_before_any_fit_is_silent(self, tmp_path):
+        # An engine that never ran fit() has nothing to warn about —
+        # the warning is specifically about an untracked loader.
+        import warnings
+
+        model, _ = _make()
+        engine = TrainEngine(model, TrainConfig(epochs=1, lr=1e-3))
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", RuntimeWarning)
+            engine.save_checkpoint(tmp_path / "fresh.npz")
 
 
 class TestCallbacks:
