@@ -21,13 +21,13 @@ __version__ = "1.0.0"
 
 
 def __getattr__(name: str):
-    # repro.serving is resolved lazily (PEP 562): the CLI's list/run
-    # paths — and every multiprocessing spawn worker they launch — must
-    # not pay the serving stack's import unless serving is actually used.
-    if name == "serving":
+    # repro.serving and repro.tune are resolved lazily (PEP 562): the
+    # CLI's list/run paths — and every multiprocessing spawn worker they
+    # launch — must not pay those stacks' imports unless actually used.
+    if name in ("serving", "tune"):
         import importlib
 
-        return importlib.import_module(".serving", __name__)
+        return importlib.import_module(f".{name}", __name__)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
@@ -42,5 +42,6 @@ __all__ = [
     "rings",
     "serving",
     "train",
+    "tune",
     "__version__",
 ]

@@ -24,7 +24,7 @@ __all__ = ["BackendDispatchRule", "NUMPY_KERNELS"]
 NUMPY_KERNELS = frozenset({"matmul", "dot", "einsum", "inner", "tensordot", "vdot"})
 
 #: Package subtrees whose kernel calls must go through the Backend.
-_SCOPED = ("repro/nn/", "repro/serving/")
+_SCOPED = ("repro/nn/", "repro/serving/", "repro/tune/")
 
 #: The one module allowed to touch kernels directly.
 _EXEMPT = "repro/nn/backend.py"
@@ -32,12 +32,12 @@ _EXEMPT = "repro/nn/backend.py"
 
 @register_rule
 class BackendDispatchRule(Rule):
-    """Flag direct numpy/scipy kernel calls inside repro.nn / repro.serving."""
+    """Flag direct numpy/scipy kernel calls inside repro.nn / repro.serving / repro.tune."""
     name = "backend-dispatch"
     description = (
-        "repro.nn / repro.serving code must not call numpy/scipy GEMM kernels "
-        "(np.matmul, np.dot, np.einsum, scipy.*) directly; route through the "
-        "Backend protocol so cross-backend bit-parity holds"
+        "repro.nn / repro.serving / repro.tune code must not call numpy/scipy "
+        "GEMM kernels (np.matmul, np.dot, np.einsum, scipy.*) directly; route "
+        "through the Backend protocol so cross-backend bit-parity holds"
     )
 
     def applies_to(self, path: str) -> bool:

@@ -20,6 +20,11 @@ Subcommands:
   ``--procs N`` switches to the process-sharded server
   (:class:`repro.serving.ShardedInferenceServer`): N spawn workers with
   shared-memory tensor transport, compared against a 1-proc baseline.
+* ``tune`` — run the :mod:`repro.tune` autotuner for one model
+  (``<task>[:<kind>]``) over a shape grid, persisting fingerprinted
+  winners under ``<results-dir>/tuning``; re-invocations are cache hits.
+  ``--tuned`` on ``run`` / ``serve-bench`` makes inference paths consult
+  that cache (bit-identical to untuned; schedule only).
 
 Parallel runs use ``multiprocessing`` with the spawn start method and
 per-(experiment, scale) deterministic seeding, so ``--jobs N`` output
@@ -124,6 +129,16 @@ def _cmd_run(args: argparse.Namespace) -> int:
     names = _resolve_names(args.experiments)
     store = artifacts.ArtifactStore(args.results_dir)
     jobs = max(1, args.jobs)
+    if args.tuned:
+        # Schedule-only: tuned inference is bit-identical to untuned, so
+        # (like --warm-start) the flag stays out of artifact
+        # fingerprints; the cache sits beside the artifacts so
+        # --results-dir isolates it too.  Exported so spawn workers
+        # consult the same cache.
+        from repro.tune.cache import TUNED_ENV, TUNING_DIR_ENV
+
+        export_env(TUNED_ENV, "1")
+        export_env(TUNING_DIR_ENV, str(pathlib.Path(args.results_dir) / "tuning"))
     if args.warm_start:
         # Exported (like --backend) so spawn workers inherit it; the
         # flag stays out of artifact fingerprints because a warm start
@@ -373,6 +388,7 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
             backend=backends[0],
             seed=args.seed,
             compiled=args.compiled,
+            tuned=args.tuned,
         )
         report = run_sharded_bench(config)
         print(report.format())
@@ -390,12 +406,82 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         backends=tuple(backends),
         seed=args.seed,
         compiled=args.compiled,
+        tuned=args.tuned,
     )
     report = run_serve_bench(config)
     print(report.format())
     if not report.bit_identical:
         print("ERROR: served outputs differ from serial inference")
         return 1
+    return 0
+
+
+def _cmd_tune(args: argparse.Namespace) -> int:
+    # Local imports: list/run/report never pay for the tuning stack.
+    from repro.experiments.settings import get_scale
+    from repro.models.factory import make_factory
+    from repro.tune import TuningCache, lookup, tune_model
+
+    from .runner import model_for_task
+
+    task, _, kind = args.model.partition(":")
+    kind = kind or "real"
+    if task not in ("denoise", "sr4"):
+        raise SystemExit(f"unknown task {task!r}; model is <task>[:<kind>], task denoise|sr4")
+    try:
+        factory = make_factory(kind) if kind != "real" else None
+    except KeyError as exc:
+        raise SystemExit(f"unknown algebra kind {kind!r}: {exc}") from None
+    sizes = []
+    for token in args.shapes.split(","):
+        token = token.strip()
+        if not token:
+            continue
+        size = int(token)
+        if size < 2 or (task == "denoise" and size % 2):
+            raise SystemExit(
+                f"--shapes entries must be >= 2 (and even for denoise), got {size}"
+            )
+        sizes.append(size)
+    if not sizes or args.batch < 1 or args.trials < 1:
+        raise SystemExit("--shapes needs at least one size; --batch/--trials must be >= 1")
+
+    scale = get_scale(args.scale)
+    model = model_for_task(task, factory, scale, seed=args.seed)
+    model.eval()
+    cache = TuningCache(pathlib.Path(args.results_dir) / "tuning")
+    print(
+        f"tuning {args.model} ({args.scale}) over sizes {sizes}, batch {args.batch}; "
+        f"cache {cache.root}"
+    )
+    for size in sizes:
+        shape = (1, size, size)
+        if not args.force:
+            existing = lookup(model, shape, args.batch, cache=cache)
+            if existing is not None:
+                print(
+                    f"  {size:>4}px  cache hit   {existing.fingerprint}  "
+                    f"winner {existing.winner.label()} (speedup {existing.speedup:.2f}x)"
+                )
+                continue
+        t0 = time.perf_counter()
+        entry = tune_model(
+            model,
+            shape,
+            args.batch,
+            seed=args.seed,
+            trials=args.trials,
+            warmup=args.warmup,
+            top_k=args.top_k,
+            cache=cache,
+        )
+        measured = sum(1 for t in entry.trials if t["median_s"] is not None)
+        print(
+            f"  {size:>4}px  tuned       {entry.fingerprint}  "
+            f"winner {entry.winner.label()} (default {entry.default.label()}, "
+            f"speedup {entry.speedup:.2f}x, {measured} measured of "
+            f"{len(entry.trials)} candidates, {time.perf_counter() - t0:.1f}s)"
+        )
     return 0
 
 
@@ -452,6 +538,15 @@ def build_parser() -> argparse.ArgumentParser:
             "reuse cached trained weights (results/weights/) for "
             "experiments whose training fingerprint matches; results are "
             "byte-identical to cold runs"
+        ),
+    )
+    sub_run.add_argument(
+        "--tuned",
+        action="store_true",
+        help=(
+            "serve inference through cached autotuned schedules "
+            "(<results-dir>/tuning, populated by `python -m repro tune`); "
+            "bit-identical to untuned, so artifacts are unaffected"
         ),
     )
     add_common(sub_run)
@@ -580,7 +675,52 @@ def build_parser() -> argparse.ArgumentParser:
             "bit-identical to eager, checked against the eager serial reference"
         ),
     )
+    sub_serve.add_argument(
+        "--tuned",
+        action="store_true",
+        help=(
+            "servers consult the autotuning cache (REPRO_TUNING_DIR, default "
+            "results/tuning); the serial reference stays untuned, so the "
+            "bit-identity verdict certifies tuned == untuned"
+        ),
+    )
     sub_serve.set_defaults(func=_cmd_serve_bench)
+
+    sub_tune = subparsers.add_parser(
+        "tune",
+        help="autotune backend x tile x micro-batch for one model (repro.tune)",
+    )
+    sub_tune.add_argument(
+        "model",
+        help="what to tune: <task>[:<kind>], e.g. denoise:real or sr4:ri4+fh",
+    )
+    sub_tune.add_argument(
+        "--shapes",
+        default="16,24",
+        metavar="SIZE[,SIZE...]",
+        help="square request sizes (pixels) to tune, comma-separated (default 16,24)",
+    )
+    sub_tune.add_argument(
+        "--batch", type=int, default=8, help="offered batch ceiling (default 8)"
+    )
+    sub_tune.add_argument(
+        "--trials", type=int, default=3, help="timed runs per candidate (default 3)"
+    )
+    sub_tune.add_argument(
+        "--warmup", type=int, default=1, help="discarded runs per candidate (default 1)"
+    )
+    sub_tune.add_argument(
+        "--top-k",
+        type=int,
+        default=6,
+        help="analytically best candidates to measure (default 6)",
+    )
+    sub_tune.add_argument("--seed", type=int, default=0, help="probe input seed")
+    sub_tune.add_argument(
+        "--force", action="store_true", help="retune even on a cache hit"
+    )
+    add_common(sub_tune)
+    sub_tune.set_defaults(func=_cmd_tune)
 
     return parser
 

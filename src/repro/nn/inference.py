@@ -42,7 +42,16 @@ from .compile import ExecutionPlan, _model_walk, build_plan, model_stamp
 from .module import Module
 from .tensor import Tensor, no_grad
 
-__all__ = ["TilingPlan", "Predictor", "CompiledPredictor", "plan_for_model"]
+__all__ = ["DEFAULT_TILE", "TilingPlan", "Predictor", "CompiledPredictor", "plan_for_model"]
+
+#: Default tile edge (input pixels) for derived tiling plans.  Shared by
+#: :func:`plan_for_model` and :class:`Predictor` so the two cannot
+#: drift; the autotuner treats it as the baseline geometry.
+DEFAULT_TILE = 48
+
+#: Sentinel distinguishing "tuned lookup not attempted yet" from "looked
+#: up and missed" in the per-shape runtime cache.
+_TUNED_UNRESOLVED = object()
 
 
 @dataclasses.dataclass(frozen=True)
@@ -81,7 +90,7 @@ def _round_up(value: int, multiple: int) -> int:
     return -(-value // multiple) * multiple
 
 
-def plan_for_model(model: Module, tile: int = 48) -> TilingPlan:
+def plan_for_model(model: Module, tile: int = DEFAULT_TILE) -> TilingPlan:
     """Derive a sound :class:`TilingPlan` for a model.
 
     ERNet models (recognized by their ``config.task``) get exact plans:
@@ -92,6 +101,8 @@ def plan_for_model(model: Module, tile: int = 48) -> TilingPlan:
     pixels for its global skip.  Other models fall back to a stride-1
     conv-stack estimate (sum of conv paddings).
     """
+    if tile < 1:
+        raise ValueError(f"tile must be a positive pixel count, got {tile}")
     paddings = sum(
         int(getattr(module, "padding", 0))
         for module in model.modules()
@@ -129,6 +140,13 @@ class Predictor:
             run on whatever backend is ambient at call time (the
             ``use_backend`` context / ``REPRO_BACKEND`` precedence of
             :mod:`repro.nn.backend`).
+        tuned: Consult the :mod:`repro.tune` cache per input shape and
+            serve through the cached winning schedule (backend spec,
+            tile, micro-batch) when an applicable entry exists; fall
+            back to this predictor's own configuration on a miss.  When
+            omitted, follows the ``REPRO_TUNED`` environment flag.
+            Tuned results are bit-identical to untuned — cached winners
+            pass a byte-equality parity guard before they are stored.
     """
 
     def __init__(
@@ -138,16 +156,31 @@ class Predictor:
         plan: TilingPlan | None = None,
         tile: int | None = None,
         backend: Backend | str | None = None,
+        tuned: bool | None = None,
     ) -> None:
         if batch_size <= 0:
             raise ValueError("batch_size must be positive")
         self.model = model
         self.batch_size = batch_size
-        self.plan = plan if plan is not None else plan_for_model(model, tile=tile or 48)
+        self.plan = plan if plan is not None else plan_for_model(
+            model, tile=tile if tile is not None else DEFAULT_TILE
+        )
         # get_backend: spec strings resolve to one shared instance, so
         # per-request Predictors reuse thread pools instead of spawning
         # new ones.
         self.backend = get_backend(backend) if backend is not None else None
+        if tuned is None:
+            from ..tune.cache import tuned_enabled  # circular at module scope
+
+            tuned = tuned_enabled()
+        self.tuned = tuned
+        # Per-shape resolved tuned delegates, shared across clones (like
+        # the compiled plan cache) so a worker fleet resolves and warms
+        # each shape once.  Values: a delegate Predictor, or None for a
+        # cache miss (serve self's own configuration).
+        self._tuned_runtimes: dict[tuple[int, ...], "Predictor | None"] = {}
+        self._tuned_lock = threading.Lock()
+        self._tuned_signature: dict | None = None
 
     @classmethod
     def from_checkpoint(
@@ -181,12 +214,15 @@ class Predictor:
         Sharing is safe because eval forwards only read the weights and
         the layers' weight-cache fills are lock-protected.
         """
-        return Predictor(
+        twin = Predictor(
             self.model,
             batch_size=batch_size if batch_size is not None else self.batch_size,
             plan=self.plan,
             backend=self.backend,
+            tuned=self.tuned,
         )
+        twin._adopt_tuned_state(self)
+        return twin
 
     def compile(self) -> "CompiledPredictor":
         """A predictor serving this model via trace-once plan replay.
@@ -199,7 +235,11 @@ class Predictor:
         rules.
         """
         return CompiledPredictor(
-            self.model, batch_size=self.batch_size, plan=self.plan, backend=self.backend
+            self.model,
+            batch_size=self.batch_size,
+            plan=self.plan,
+            backend=self.backend,
+            tuned=self.tuned,
         )
 
     # ------------------------------------------------------------------
@@ -219,6 +259,14 @@ class Predictor:
             # Switch once; eval() clears the layers' weight caches, so
             # calling it on every predict would defeat them.
             self.model.eval()
+        if self.tuned:
+            delegate = self._tuned_predictor(inputs.shape[1:])
+            if delegate is not None:
+                return (
+                    delegate._predict_batched(inputs)
+                    if h <= delegate.plan.tile and w <= delegate.plan.tile
+                    else delegate._predict_tiled(inputs)
+                )
         if h <= self.plan.tile and w <= self.plan.tile:
             return self._predict_batched(inputs)
         return self._predict_tiled(inputs)
@@ -226,6 +274,70 @@ class Predictor:
     def predict_image(self, image: np.ndarray) -> np.ndarray:
         """Convenience wrapper for a single (C, H, W) image."""
         return self.predict(np.asarray(image)[None])[0]
+
+    # ------------------------------------------------------------------
+    # autotuning
+    # ------------------------------------------------------------------
+    def tune(self, shape: tuple[int, ...], **options) -> "object":
+        """Search and cache the best schedule for one request shape.
+
+        Runs :func:`repro.tune.tune_model` for this predictor's model at
+        its configured batch ceiling, persists the winning entry, and
+        drops any already-resolved tuned delegates so the fresh entry
+        takes effect immediately.  ``options`` forward to ``tune_model``
+        (``seed``, ``trials``, ``warmup``, ``top_k``, ``cache``).
+        Returns the stored :class:`~repro.tune.cache.TuningEntry`.
+        """
+        from ..tune import tune_model
+
+        entry = tune_model(self.model, tuple(shape), self.batch_size, **options)
+        with self._tuned_lock:
+            self._tuned_runtimes.clear()
+        return entry
+
+    def _adopt_tuned_state(self, other: "Predictor") -> None:
+        """Share ``other``'s resolved-delegate cache (for clones)."""
+        self._tuned_lock = other._tuned_lock
+        with self._tuned_lock:
+            self._tuned_runtimes = other._tuned_runtimes
+            self._tuned_signature = other._tuned_signature
+
+    def _tuned_predictor(self, shape: tuple[int, ...]) -> "Predictor | None":
+        """The resolved tuned delegate for a (C, H, W) shape, or None.
+
+        None means "no applicable cache entry" (miss, host/backends
+        changed, or the winner *is* the default): serve this predictor's
+        own configuration.  Resolution happens once per shape; lookups
+        key on the batch *bucket* of this predictor's configured
+        ``batch_size`` — the same key the serving flush threshold uses —
+        never on the size of one particular input stack.
+        """
+        key = tuple(int(x) for x in shape)
+        delegate = self._tuned_runtimes.get(key, _TUNED_UNRESOLVED)
+        if delegate is not _TUNED_UNRESOLVED:
+            return delegate
+        with self._tuned_lock:
+            delegate = self._tuned_runtimes.get(key, _TUNED_UNRESOLVED)
+            if delegate is _TUNED_UNRESOLVED:
+                from ..tune import lookup, model_signature
+
+                if self._tuned_signature is None:
+                    self._tuned_signature = model_signature(self.model)
+                entry = lookup(
+                    self.model, key, self.batch_size, signature=self._tuned_signature
+                )
+                if entry is None or entry.winner == entry.default:
+                    delegate = None
+                else:
+                    delegate = type(self)(
+                        self.model,
+                        batch_size=entry.winner.batch_size,
+                        tile=entry.winner.tile,
+                        backend=entry.winner.backend,
+                        tuned=False,  # delegates never re-consult the cache
+                    )
+                self._tuned_runtimes[key] = delegate
+        return delegate
 
     # ------------------------------------------------------------------
     def _forward(self, arr: np.ndarray) -> np.ndarray:
@@ -308,8 +420,11 @@ class CompiledPredictor(Predictor):
         plan: TilingPlan | None = None,
         tile: int | None = None,
         backend: Backend | str | None = None,
+        tuned: bool | None = None,
     ) -> None:
-        super().__init__(model, batch_size=batch_size, plan=plan, tile=tile, backend=backend)
+        super().__init__(
+            model, batch_size=batch_size, plan=plan, tile=tile, backend=backend, tuned=tuned
+        )
         self._plans: dict[tuple[int, ...], tuple[tuple, ExecutionPlan]] = {}
         self._compile_lock = threading.Lock()
         self._walk: tuple[tuple, tuple] | None = None  # lazy _model_walk cache
@@ -326,9 +441,14 @@ class CompiledPredictor(Predictor):
             batch_size=batch_size if batch_size is not None else self.batch_size,
             plan=self.plan,
             backend=self.backend,
+            tuned=self.tuned,
         )
         twin._plans = self._plans
         twin._compile_lock = self._compile_lock
+        # Tuned delegates (each a CompiledPredictor with its own plan
+        # cache) are shared too, so a worker fleet traces each tuned
+        # shape once.
+        twin._adopt_tuned_state(self)
         return twin
 
     def _plan_for(self, arr: np.ndarray) -> ExecutionPlan:

@@ -55,6 +55,10 @@ class ServeBenchConfig:
     compiled path (:meth:`repro.nn.inference.Predictor.compile`); the
     serial reference stays eager, so the run doubles as a
     compiled-vs-eager bit-identity check under concurrency.
+
+    ``tuned`` makes the server modes consult the :mod:`repro.tune`
+    cache; the serial reference stays untuned, so the run's bit-identity
+    verdict then also certifies tuned == untuned on the served bytes.
     """
 
     clients: int = 8
@@ -67,6 +71,7 @@ class ServeBenchConfig:
     backends: Sequence[str] = ("numpy",)
     seed: int = 0
     compiled: bool = False
+    tuned: bool = False
 
 
 @dataclasses.dataclass(frozen=True)
@@ -91,7 +96,8 @@ class ServeBenchReport:
             f"serve-bench: {cfg.clients} clients x {cfg.requests_per_client} requests, "
             f"{cfg.image_size}x{cfg.image_size} images, {cfg.workers} workers, "
             f"max_batch={cfg.max_batch}, max_wait={cfg.max_wait_ms}ms"
-            + (", compiled" if cfg.compiled else ""),
+            + (", compiled" if cfg.compiled else "")
+            + (", tuned" if cfg.tuned else ""),
             f"  {'backend':<12} {'mode':<14} {'req/s':>8} {'lat ms':>8} "
             f"{'p95 ms':>8} {'mean batch':>10}",
         ]
@@ -162,6 +168,7 @@ class ShardedBenchConfig:
     backend: str | None = None
     seed: int = 0
     compiled: bool = False
+    tuned: bool = False
     overload_rate_rps: float = 40.0
     overload_requests: int = 48
     overload_policy: str = "degrade"
@@ -190,7 +197,8 @@ class ShardedBenchReport:
         lines = [
             f"sharded-bench: {cfg.clients} clients x {cfg.requests_per_client} requests, "
             f"{cfg.image_size}px mixed shapes, queue_depth={cfg.queue_depth}"
-            + (", compiled" if cfg.compiled else ""),
+            + (", compiled" if cfg.compiled else "")
+            + (", tuned" if cfg.tuned else ""),
             f"  {'procs':>5} {'req/s':>8} {'lat ms':>8} {'p50 ms':>8} "
             f"{'p95 ms':>8} {'p99 ms':>8} {'SLO att':>8}",
         ]
@@ -239,7 +247,11 @@ def run_sharded_bench(config: ShardedBenchConfig) -> ShardedBenchReport:
     factory = functools.partial(make_bench_model, config.seed)
     model = factory()
     serial = Predictor(
-        model, batch_size=config.max_batch, tile=max(48, size), backend=config.backend
+        model,
+        batch_size=config.max_batch,
+        tile=max(48, size),
+        backend=config.backend,
+        tuned=False,  # untuned reference: bit-identity covers tuned runs
     )
     reference = serial_reference(serial, workload)
     rows: list[dict] = []
@@ -253,6 +265,7 @@ def run_sharded_bench(config: ShardedBenchConfig) -> ShardedBenchReport:
             tile=max(48, size),
             backend=config.backend,
             compiled=config.compiled,
+            tuned=config.tuned,
             slo_ms=config.slo_ms,
         ) as server:
             result = run_closed_loop(server, workload)
@@ -287,6 +300,7 @@ def run_sharded_bench(config: ShardedBenchConfig) -> ShardedBenchReport:
         tile=max(48, size),
         backend=config.backend,
         compiled=config.compiled,
+        tuned=config.tuned,
         slo_ms=config.slo_ms,
     ) as server:
         open_result = run_open_loop(server, trace, slo_ms=config.slo_ms)
@@ -328,7 +342,11 @@ def run_serve_bench(config: ServeBenchConfig) -> ServeBenchReport:
     bit_identical = True
     for backend in config.backends:
         predictor = Predictor(
-            model, batch_size=config.max_batch, tile=max(48, size), backend=backend
+            model,
+            batch_size=config.max_batch,
+            tile=max(48, size),
+            backend=backend,
+            tuned=False,  # untuned reference: bit-identity covers tuned runs
         )
         predictor.predict(workload.images[0][0][None])  # warm weight caches
         reference = serial_reference(predictor, workload)
@@ -346,6 +364,7 @@ def run_serve_bench(config: ServeBenchConfig) -> ServeBenchReport:
                 backend=backend,
                 tile=max(48, size),
                 compiled=config.compiled,
+                tuned=config.tuned,
             ) as server:
                 result = run_closed_loop(server, workload)
                 stats = server.stats()

@@ -75,7 +75,7 @@ from typing import Any
 
 import numpy as np
 
-from ..nn.inference import Predictor
+from ..nn.inference import DEFAULT_TILE, Predictor
 from ..nn.module import Module
 from .server import ServerClosed, ServerOverloaded
 from .shm import RingClient, ShmRing
@@ -261,13 +261,17 @@ def _worker_main(
         batch_size=options["batch_size"],
         tile=options["tile"],
         backend=options["backend"],
+        tuned=options.get("tuned", False),
     )
     predictor = base.compile() if options["compiled"] else base
+    # The degraded fallback stays untuned by design: it exists to shed
+    # load cheaply and predictably, not to consult caches.
     degraded = Predictor(
         model,
         batch_size=options["batch_size"],
         tile=options["degraded_tile"],
         backend=options["backend"],
+        tuned=False,
     )
     while True:
         item = task_queue.get()
@@ -328,6 +332,12 @@ class ShardedInferenceServer:
             (default: twice the normal tile — coarser tiling, less halo
             recompute, and always eager).
         slo_ms: Latency objective used for the attainment statistic.
+        tuned: Worker Predictors consult the :mod:`repro.tune` cache per
+            request shape (spawned workers inherit ``REPRO_TUNING_DIR``
+            through the environment); the degraded fallback stays
+            untuned.  Cache misses serve the configured defaults; bytes
+            are identical either way.  When omitted, follows the
+            ``REPRO_TUNED`` environment flag in each worker process.
 
     The server starts serving on construction and is a context
     manager; leaving the ``with`` block drains in-flight requests,
@@ -352,6 +362,7 @@ class ShardedInferenceServer:
         compiled: bool = False,
         degraded_tile: int | None = None,
         slo_ms: float = 100.0,
+        tuned: bool | None = None,
     ) -> None:
         if procs <= 0:
             raise ValueError("procs must be positive")
@@ -378,12 +389,22 @@ class ShardedInferenceServer:
         self.overload = overload
         self.degrade_at = degrade_at if degrade_at is not None else max(1, queue_depth // 2)
         self.max_retries = max_retries
+        if tuned is None:
+            from ..tune.cache import tuned_enabled
+
+            tuned = tuned_enabled()
+        self.tuned = tuned
         self._worker_options = {
             "batch_size": batch_size,
             "tile": tile,
             "backend": backend,
             "compiled": compiled,
-            "degraded_tile": degraded_tile if degraded_tile is not None else 2 * (tile or 48),
+            "tuned": tuned,
+            "degraded_tile": (
+                degraded_tile
+                if degraded_tile is not None
+                else 2 * (tile if tile is not None else DEFAULT_TILE)
+            ),
         }
         self._factory = model_factory
         self._state = dict(state_dict) if state_dict is not None else None

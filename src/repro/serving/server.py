@@ -195,6 +195,14 @@ class InferenceServer:
             one execution-plan cache (plans build once per request shape
             under the compile lock, then replay lock-free).  Replay is
             bit-identical to eager, so this changes latency, never bytes.
+        tuned: Consult the :mod:`repro.tune` cache per shape bucket —
+            worker Predictors serve through the cached winning schedule,
+            and the micro-batch *flush threshold* follows the winner's
+            tuned batch size per shape (so batches flush exactly at the
+            size the tuned forward wants).  Cache misses fall back to
+            ``max_batch`` and the untuned configuration; served bytes
+            are identical either way.  When omitted, follows the
+            ``REPRO_TUNED`` environment flag.
 
     The server starts serving on construction and is a context manager;
     leaving the ``with`` block drains the queue and joins the workers.
@@ -214,6 +222,7 @@ class InferenceServer:
         tile: int | None = None,
         compiled: bool = False,
         slo_ms: float = 100.0,
+        tuned: bool | None = None,
     ) -> None:
         if workers <= 0:
             raise ValueError("workers must be positive")
@@ -224,14 +233,24 @@ class InferenceServer:
         if queue_depth <= 0:
             raise ValueError("queue_depth must be positive")
         model.eval()  # once, before any worker runs: no eval/forward race
+        if tuned is None:
+            from ..tune.cache import tuned_enabled
+
+            tuned = tuned_enabled()
         prototype = Predictor(
-            model, batch_size=max_batch, plan=plan, tile=tile, backend=backend
+            model, batch_size=max_batch, plan=plan, tile=tile, backend=backend, tuned=tuned
         )
         if compiled:
             # Clones of a CompiledPredictor share its plan cache, so the
             # trace cost is paid once per shape across all workers.
             prototype = prototype.compile()
         self.compiled = compiled
+        self.tuned = tuned
+        self._model = model
+        # Per-shape tuned flush thresholds (resolved lazily, under the
+        # server lock, once per shape).  Keyed like the Predictor's
+        # delegate cache: the shape bucket plus the configured max_batch.
+        self._flush_thresholds: dict[tuple[int, ...], int] = {}
         self.max_batch = max_batch
         self.max_wait_s = max_wait_ms / 1e3
         self.queue_depth = queue_depth
@@ -373,6 +392,30 @@ class InferenceServer:
     # ------------------------------------------------------------------
     # worker side
     # ------------------------------------------------------------------
+    def _flush_threshold(self, shape: tuple[int, ...]) -> int:
+        """The micro-batch flush size for one shape bucket.
+
+        ``max_batch`` untuned; with ``tuned=True`` the cached winner's
+        batch size for this shape (clamped to ``max_batch`` — the queue
+        contract is that no batch ever exceeds it).  Resolved once per
+        shape; called with the server lock held, so the one-time cache
+        read happens at most once per shape per server.
+        """
+        if not self.tuned:
+            return self.max_batch
+        threshold = self._flush_thresholds.get(shape)
+        if threshold is None:
+            from ..tune import lookup
+
+            entry = lookup(self._model, shape, self.max_batch)
+            threshold = (
+                min(entry.winner.batch_size, self.max_batch)
+                if entry is not None
+                else self.max_batch
+            )
+            self._flush_thresholds[shape] = threshold
+        return threshold
+
     def _take_batch(self) -> list[_Request] | None:
         """Claim the next shape-bucketed micro-batch (None: shut down).
 
@@ -395,17 +438,18 @@ class InferenceServer:
                     self._waiting_idle -= 1
             batch = [self._pending.popleft()]
             shape = batch[0].shape
+            flush_at = self._flush_threshold(shape)
             deadline = batch[0].enqueued_at + self.max_wait_s
             while True:
                 index = 0
-                while len(batch) < self.max_batch and index < len(self._pending):
+                while len(batch) < flush_at and index < len(self._pending):
                     if self._pending[index].shape == shape:
                         batch.append(self._pending[index])
                         del self._pending[index]
                     else:
                         index += 1
                 self._has_space.notify_all()
-                if len(batch) >= self.max_batch or self._closing:
+                if len(batch) >= flush_at or self._closing:
                     break
                 if self._pending and self._waiting_idle == 0:
                     # Whatever is still queued is another shape (all

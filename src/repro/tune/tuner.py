@@ -1,0 +1,226 @@
+"""Measured-trial autotuning: seed analytically, verify bits, time, cache.
+
+The search loop (:func:`tune_model`) is the repo's hardware<->software
+loop closed end to end:
+
+1. :func:`~repro.tune.space.candidate_space` enumerates the
+   deterministic backend x tile x micro-batch candidate list;
+2. :func:`~repro.tune.roofline.rank_candidates` orders it by analytic
+   cost so only the ``top_k`` promising points (plus, always, the
+   default configuration) pay for wall-clock trials;
+3. each measured candidate first runs a **parity guard**: its output on
+   the probe batch must equal the default configuration's output *byte
+   for byte* (``np.array_equal``), or it is disqualified — this is what
+   lets every cached winner claim tuned == untuned bitwise without
+   hedging (tile geometries that would reassociate a BLAS reduction
+   simply never win);
+4. surviving candidates get ``warmup`` discarded runs then a
+   median-of-``trials`` :func:`time.perf_counter` timing; the winner is
+   the fastest median, ties broken toward the default and then by
+   label, so the outcome is deterministic given the measurements.
+
+The probe inputs come from ``np.random.default_rng(seed)`` and every
+stage (candidate order, trial schedule, tie-breaks) is a pure function
+of (model, shape, batch, seed, registered backends), so two runs on the
+same host replay the same schedule — only the timings themselves vary,
+which is why they are medians of repeated short trials.
+
+:func:`lookup` is the consumer side: fingerprint the context, load the
+entry, and *refuse* it when the cached winner's backend spec is no
+longer constructible (graceful fallback — a stale cache must never turn
+into a crash or a silently different schedule source).
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+
+import numpy as np
+
+from ..nn.backend import available_backends
+from ..nn.module import Module
+from .cache import TuningCache, TuningEntry, model_signature, tuning_fingerprint
+from .roofline import rank_candidates
+from .space import TunedConfig, bucket_batch, candidate_space, default_config
+
+__all__ = ["lookup", "model_label", "tune_model"]
+
+
+def model_label(model: Module) -> str:
+    """Cosmetic cache-file label for a model (class name, plus task)."""
+    label = type(model).__name__.lower()
+    task = getattr(getattr(model, "config", None), "task", None)
+    return f"{label}-{task}" if task else label
+
+
+def _predictor_for(model: Module, config: TunedConfig):
+    # Deferred: repro.nn.inference imports this package lazily for its
+    # tuned path; importing it at module scope would be circular.
+    from ..nn.inference import Predictor
+
+    return Predictor(
+        model,
+        batch_size=config.batch_size,
+        tile=config.tile,
+        backend=config.backend,
+        tuned=False,  # the tuner must never consult the cache it fills
+    )
+
+
+def _time_config(
+    model: Module,
+    config: TunedConfig,
+    probe: np.ndarray,
+    reference: np.ndarray | None,
+    *,
+    warmup: int,
+    trials: int,
+) -> tuple[float, bool, np.ndarray]:
+    """Median trial seconds, parity verdict and output for one candidate."""
+    predictor = _predictor_for(model, config)
+    output = predictor.predict(probe)
+    parity = reference is None or (
+        output.shape == reference.shape and np.array_equal(output, reference)
+    )
+    if not parity:
+        return float("inf"), False, output
+    for _ in range(max(warmup - 1, 0)):  # first (parity) run was a warmup too
+        predictor.predict(probe)
+    samples = []
+    for _ in range(max(trials, 1)):
+        started = time.perf_counter()
+        predictor.predict(probe)
+        samples.append(time.perf_counter() - started)
+    return statistics.median(samples), True, output
+
+
+def tune_model(
+    model: Module,
+    shape: tuple[int, ...],
+    batch: int,
+    *,
+    seed: int = 0,
+    trials: int = 3,
+    warmup: int = 1,
+    top_k: int = 6,
+    cache: TuningCache | None = None,
+    store: bool = True,
+) -> TuningEntry:
+    """Search the configuration space for one (model, shape, batch) key.
+
+    Args:
+        model: The model to schedule (weights untouched; eval-mode runs).
+        shape: Request (C, H, W) shape the entry will serve.
+        batch: Offered batch ceiling; quantized via
+            :func:`~repro.tune.space.bucket_batch` into the tuning key.
+        seed: Pins the probe inputs (and therefore the whole schedule).
+        trials: Timed runs per candidate (the median is scored).
+        warmup: Discarded runs per candidate before timing.
+        top_k: Analytically best candidates measured (default included
+            regardless of its rank).
+        cache: Destination store; the default cache when omitted.
+        store: Persist the winning entry (disable for dry runs).
+
+    Returns:
+        The :class:`~repro.tune.cache.TuningEntry` (stored unless
+        ``store=False``).
+    """
+    if len(shape) != 3:
+        raise ValueError(f"expected a (C, H, W) request shape, got {shape}")
+    bucket = bucket_batch(batch)
+    candidates = candidate_space(model, shape, batch)
+    ranked = rank_candidates(model, shape, bucket, candidates)
+    base = default_config(model, batch)
+    measured = [config for config, _ in ranked[: max(top_k, 1)]]
+    if base not in measured:
+        measured.append(base)
+    # Measure the default first so every other candidate has the parity
+    # reference; remaining measured candidates keep their analytic order.
+    measured.sort(key=lambda config: (config != base,))
+    scores = {config: score for config, score in ranked}
+
+    rng = np.random.default_rng(seed)
+    probe = rng.standard_normal((bucket, *map(int, shape)))
+
+    records: list[dict] = []
+    reference: np.ndarray | None = None
+    timings: dict[TunedConfig, float] = {}
+    for config in measured:
+        median, parity, output = _time_config(
+            model, config, probe, reference, warmup=warmup, trials=trials
+        )
+        if config == base:
+            reference = output
+        timings[config] = median
+        records.append(
+            {
+                "config": config.to_jsonable(),
+                "label": config.label(),
+                "analytic": scores[config],
+                "median_s": median if parity else None,
+                "parity": parity,
+            }
+        )
+    # Unmeasured candidates stay in the audit trail with their scores.
+    records.extend(
+        {
+            "config": config.to_jsonable(),
+            "label": config.label(),
+            "analytic": score,
+            "median_s": None,
+            "parity": None,
+        }
+        for config, score in ranked
+        if config not in timings
+    )
+
+    survivors = [config for config in measured if timings[config] != float("inf")]
+    winner = min(
+        survivors, key=lambda config: (timings[config], config != base, config.label())
+    )
+    entry = TuningEntry(
+        fingerprint=tuning_fingerprint(model_signature(model), tuple(shape), bucket),
+        shape=tuple(int(x) for x in shape),
+        batch=bucket,
+        winner=winner,
+        default=base,
+        speedup=timings[base] / timings[winner] if timings[winner] > 0 else 1.0,
+        trials=records,
+    )
+    if store:
+        (cache if cache is not None else TuningCache()).store(model_label(model), entry)
+    return entry
+
+
+def lookup(
+    model: Module,
+    shape: tuple[int, ...],
+    batch: int,
+    *,
+    cache: TuningCache | None = None,
+    signature: dict | None = None,
+) -> TuningEntry | None:
+    """The applicable cache entry for a serving context, or None.
+
+    Misses (no entry, wrong schema, corrupt file) and **inapplicable
+    hits** both return None: an entry whose winner names a backend spec
+    that is not currently constructible — e.g. the cache was populated
+    with more backends registered than this process has — is refused
+    outright rather than partially applied, so consumers always fall
+    back to the untuned defaults as one coherent configuration.
+    """
+    if len(shape) != 3:
+        return None
+    cache = cache if cache is not None else TuningCache()
+    signature = signature if signature is not None else model_signature(model)
+    bucket = bucket_batch(batch)
+    digest = tuning_fingerprint(signature, tuple(shape), bucket)
+    entry = cache.load(model_label(model), digest)
+    if entry is None:
+        return None
+    if entry.winner.backend is not None:
+        name = entry.winner.backend.partition(":")[0].strip().lower()
+        if name not in available_backends():
+            return None
+    return entry

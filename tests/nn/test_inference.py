@@ -6,7 +6,7 @@ import pytest
 from repro.models.ernet import dn_ernet_pu, sr4_ernet
 from repro.models.factory import make_factory
 from repro.nn.backend import EinsumBackend
-from repro.nn.inference import Predictor, TilingPlan, plan_for_model
+from repro.nn.inference import DEFAULT_TILE, Predictor, TilingPlan, plan_for_model
 from repro.nn.layers import Conv2d, ReLU, Sequential
 
 
@@ -46,6 +46,20 @@ class TestTilingPlan:
         model = Sequential(Conv2d(1, 4, 3, seed=0), ReLU(), Conv2d(4, 1, 3, seed=1))
         plan = plan_for_model(model)
         assert plan.scale == 1 and plan.divisor == 1 and plan.halo == 2
+
+    def test_predictor_rejects_zero_tile(self):
+        # tile=0 must surface TilingPlan's ValueError, not be silently
+        # coerced to the default (the old `tile or 48` truthiness bug).
+        model = dn_ernet_pu(blocks=1, ratio=1)
+        from repro.nn.inference import CompiledPredictor
+
+        with pytest.raises(ValueError):
+            Predictor(model, tile=0)
+        with pytest.raises(ValueError):
+            CompiledPredictor(model, tile=0)
+        # None still means "the shared default".
+        assert Predictor(model, tile=None).plan == plan_for_model(model, tile=DEFAULT_TILE)
+        assert plan_for_model(model).tile == DEFAULT_TILE
 
 
 class TestBatching:

@@ -20,6 +20,7 @@ def test_package_imports_and_version():
         "imaging",
         "experiments",
         "serving",
+        "tune",
     ):
         assert hasattr(repro, sub)
 

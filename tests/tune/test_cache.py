@@ -1,0 +1,139 @@
+"""Tests for the fingerprinted tuning cache (repro.tune.cache)."""
+
+import json
+
+import pytest
+
+from repro.models.ernet import dn_ernet_pu
+from repro.tune import (
+    TunedConfig,
+    TuningCache,
+    TuningEntry,
+    host_metadata,
+    model_signature,
+    tuning_fingerprint,
+    tuning_root,
+)
+from repro.tune.cache import TUNING_DIR_ENV, TUNING_SCHEMA
+
+
+@pytest.fixture(scope="module")
+def model():
+    return dn_ernet_pu(blocks=1, ratio=1, seed=0)
+
+
+def _entry(digest: str) -> TuningEntry:
+    return TuningEntry(
+        fingerprint=digest,
+        shape=(1, 16, 16),
+        batch=8,
+        winner=TunedConfig(backend="threaded:2", tile=48, batch_size=4),
+        default=TunedConfig(backend=None, tile=48, batch_size=8),
+        speedup=1.25,
+        trials=[{"label": "ambient/tile48/mb8", "median_s": 0.01, "parity": True}],
+    )
+
+
+class TestFingerprint:
+    @pytest.mark.smoke
+    def test_stable_for_equal_context(self, model):
+        signature = model_signature(model)
+        host = host_metadata()
+        a = tuning_fingerprint(signature, (1, 16, 16), 8, backends=["numpy"], host=host)
+        b = tuning_fingerprint(signature, (1, 16, 16), 8, backends=["numpy"], host=host)
+        assert a == b and len(a) == 16
+
+    def test_invalidates_on_model_spec_change(self, model):
+        other = dn_ernet_pu(blocks=2, ratio=1, seed=0)
+        host = host_metadata()
+        assert tuning_fingerprint(
+            model_signature(model), (1, 16, 16), 8, backends=["numpy"], host=host
+        ) != tuning_fingerprint(
+            model_signature(other), (1, 16, 16), 8, backends=["numpy"], host=host
+        )
+
+    def test_weights_do_not_change_the_signature(self, model):
+        # Schedule cost depends on kernel geometry, not the numbers in
+        # the weights: a finetuned model reuses its architecture's entry.
+        before = model_signature(model)
+        twin = dn_ernet_pu(blocks=1, ratio=1, seed=99)  # same shape, new weights
+        assert model_signature(twin) == before
+
+    def test_invalidates_on_host_change(self, model):
+        signature = model_signature(model)
+        host = host_metadata()
+        moved = dict(host, machine="sparc64", usable_cpus=128)
+        assert tuning_fingerprint(
+            signature, (1, 16, 16), 8, backends=["numpy"], host=host
+        ) != tuning_fingerprint(signature, (1, 16, 16), 8, backends=["numpy"], host=moved)
+
+    def test_invalidates_on_backend_availability_change(self, model):
+        signature = model_signature(model)
+        host = host_metadata()
+        assert tuning_fingerprint(
+            signature, (1, 16, 16), 8, backends=["numpy"], host=host
+        ) != tuning_fingerprint(
+            signature, (1, 16, 16), 8, backends=["numpy", "threaded"], host=host
+        )
+
+    def test_invalidates_on_shape_and_batch(self, model):
+        signature = model_signature(model)
+        host = host_metadata()
+        base = tuning_fingerprint(signature, (1, 16, 16), 8, backends=["numpy"], host=host)
+        assert base != tuning_fingerprint(
+            signature, (1, 24, 24), 8, backends=["numpy"], host=host
+        )
+        assert base != tuning_fingerprint(
+            signature, (1, 16, 16), 4, backends=["numpy"], host=host
+        )
+
+
+class TestTuningCache:
+    def test_round_trip(self, tmp_path):
+        cache = TuningCache(tmp_path)
+        entry = _entry("a" * 16)
+        path = cache.store("ernet-denoise", entry)
+        assert path.exists()
+        loaded = cache.load("ernet-denoise", "a" * 16)
+        assert loaded == entry
+
+    def test_miss_returns_none(self, tmp_path):
+        assert TuningCache(tmp_path).load("ernet-denoise", "b" * 16) is None
+
+    def test_label_is_cosmetic(self, tmp_path):
+        cache = TuningCache(tmp_path)
+        cache.store("old-label", _entry("c" * 16))
+        assert cache.load("new-label", "c" * 16) is not None
+
+    def test_corrupt_file_degrades_to_miss(self, tmp_path):
+        cache = TuningCache(tmp_path)
+        path = cache.store("ernet", _entry("d" * 16))
+        path.write_text("{not json")
+        assert cache.load("ernet", "d" * 16) is None
+
+    def test_schema_mismatch_degrades_to_miss(self, tmp_path):
+        cache = TuningCache(tmp_path)
+        path = cache.store("ernet", _entry("e" * 16))
+        payload = json.loads(path.read_text())
+        payload["schema"] = TUNING_SCHEMA + 1
+        path.write_text(json.dumps(payload))
+        assert cache.load("ernet", "e" * 16) is None
+
+    def test_mismatched_fingerprint_inside_file_is_refused(self, tmp_path):
+        cache = TuningCache(tmp_path)
+        path = cache.path_for("ernet", "f" * 16)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(_entry("0" * 16).to_jsonable()))
+        assert cache.load("ernet", "f" * 16) is None
+
+    def test_env_var_overrides_root(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(TUNING_DIR_ENV, str(tmp_path / "elsewhere"))
+        assert tuning_root() == tmp_path / "elsewhere"
+        cache = TuningCache()
+        cache.store("ernet", _entry("9" * 16))
+        assert (tmp_path / "elsewhere").exists()
+        assert TuningCache().load("ernet", "9" * 16) is not None
+
+    def test_entry_round_trip_preserves_trials(self):
+        entry = _entry("1" * 16)
+        assert TuningEntry.from_dict(entry.to_jsonable()) == entry

@@ -1,0 +1,239 @@
+"""Tests for the measured-trial autotuner and its consumers.
+
+Covers the tentpole guarantees end to end: deterministic trial
+schedules under a pinned seed, winners that pass the byte-parity guard,
+cache population/lookup, graceful fallback when a cached backend spec
+is unavailable, and — the invariant everything else leans on —
+bit-identity of tuned vs untuned outputs across the whole registered
+backend matrix, for the eager Predictor, the compiled Predictor and the
+micro-batching server.
+"""
+
+import numpy as np
+import pytest
+
+from repro.models.ernet import dn_ernet_pu
+from repro.nn.backend import available_backends, get_backend, use_backend
+from repro.nn.inference import CompiledPredictor, Predictor
+from repro.serving import InferenceServer
+from repro.tune import (
+    TunedConfig,
+    TuningCache,
+    TuningEntry,
+    bucket_batch,
+    lookup,
+    model_label,
+    model_signature,
+    tune_model,
+    tuning_fingerprint,
+)
+from repro.tune.cache import TUNED_ENV, TUNING_DIR_ENV
+
+SHAPE = (1, 16, 16)
+BATCH = 4
+
+
+@pytest.fixture()
+def model():
+    model = dn_ernet_pu(blocks=1, ratio=1, seed=0)
+    rng = np.random.default_rng(7)
+    for param in model.parameters():
+        param.data[...] += 0.05 * rng.standard_normal(param.shape)
+    model.eval()
+    return model
+
+
+@pytest.fixture()
+def tuning_dir(tmp_path, monkeypatch):
+    monkeypatch.setenv(TUNING_DIR_ENV, str(tmp_path))
+    return tmp_path
+
+
+def _probe(seed=11, n=BATCH):
+    return np.random.default_rng(seed).standard_normal((n, *SHAPE))
+
+
+def _plant_entry(model, winner: TunedConfig, shape=SHAPE, batch=BATCH) -> TuningEntry:
+    """Store a hand-made cache entry under the live fingerprint."""
+    digest = tuning_fingerprint(model_signature(model), shape, bucket_batch(batch))
+    entry = TuningEntry(
+        fingerprint=digest,
+        shape=shape,
+        batch=bucket_batch(batch),
+        winner=winner,
+        default=TunedConfig(backend=None, tile=48, batch_size=bucket_batch(batch)),
+        speedup=1.5,
+        trials=[],
+    )
+    TuningCache().store(model_label(model), entry)
+    return entry
+
+
+class TestTuneModel:
+    @pytest.mark.smoke
+    def test_populates_cache_and_lookup_hits(self, model, tuning_dir):
+        entry = tune_model(model, SHAPE, BATCH, seed=0, trials=1, top_k=2)
+        assert list(tuning_dir.glob("*.json")), "no cache file written"
+        hit = lookup(model, SHAPE, BATCH)
+        assert hit is not None and hit.winner == entry.winner
+        assert hit.fingerprint == entry.fingerprint
+
+    def test_default_is_always_measured_and_winner_no_slower(self, model, tuning_dir):
+        entry = tune_model(model, SHAPE, BATCH, seed=0, trials=1, top_k=1)
+        measured = [t for t in entry.trials if t["median_s"] is not None]
+        assert entry.default.to_jsonable() in [t["config"] for t in measured]
+        # Winner is min-median over a set containing the default.
+        assert entry.speedup >= 1.0
+        winner_trials = [
+            t for t in measured if t["config"] == entry.winner.to_jsonable()
+        ]
+        assert winner_trials and winner_trials[0]["parity"] is True
+
+    def test_trial_schedule_is_deterministic_under_pinned_seed(self, model, tuning_dir):
+        a = tune_model(model, SHAPE, BATCH, seed=3, trials=1, top_k=3, store=False)
+        b = tune_model(model, SHAPE, BATCH, seed=3, trials=1, top_k=3, store=False)
+        # The candidate enumeration, analytic ranking, and therefore the
+        # measured-candidate schedule replay exactly; only wall-clock
+        # medians (and possibly the winner) may differ.
+        assert [t["label"] for t in a.trials] == [t["label"] for t in b.trials]
+        assert [t["analytic"] for t in a.trials] == [t["analytic"] for t in b.trials]
+        assert a.fingerprint == b.fingerprint
+
+    def test_batch_is_bucketed_into_the_key(self, model, tuning_dir):
+        tune_model(model, SHAPE, 3, seed=0, trials=1, top_k=1)
+        # 3 and 4 share the power-of-two bucket; 8 does not.
+        assert lookup(model, SHAPE, 4) is not None
+        assert lookup(model, SHAPE, 8) is None
+
+    def test_rejects_bad_shape(self, model, tuning_dir):
+        with pytest.raises(ValueError):
+            tune_model(model, (16, 16), BATCH, trials=1)
+
+
+class TestLookupFallback:
+    def test_miss_returns_none(self, model, tuning_dir):
+        assert lookup(model, SHAPE, BATCH) is None
+
+    def test_unavailable_backend_spec_is_refused(self, model, tuning_dir):
+        _plant_entry(model, TunedConfig(backend="tpu:9000", tile=48, batch_size=2))
+        assert lookup(model, SHAPE, BATCH) is None
+
+    def test_available_backend_spec_is_served(self, model, tuning_dir):
+        planted = _plant_entry(model, TunedConfig(backend="numpy", tile=48, batch_size=2))
+        hit = lookup(model, SHAPE, BATCH)
+        assert hit is not None and hit.winner == planted.winner
+
+    def test_tuned_predictor_falls_back_bit_identically(self, model, tuning_dir):
+        # A cached winner naming an unconstructible backend must leave
+        # the tuned path on the untuned configuration — same bytes, no
+        # crash.
+        _plant_entry(model, TunedConfig(backend="tpu:9000", tile=48, batch_size=2))
+        x = _probe()
+        untuned = Predictor(model, batch_size=BATCH, tuned=False)(x)
+        tuned = Predictor(model, batch_size=BATCH, tuned=True)
+        np.testing.assert_array_equal(tuned(x), untuned)
+        assert tuned._tuned_runtimes[SHAPE] is None  # resolved to fallback
+
+
+class TestBitIdentity:
+    def test_tuned_equals_untuned_across_backend_matrix(self, model, tuning_dir):
+        # Winner pinned to each registered backend in turn; the tuned
+        # Predictor must reproduce the untuned bytes under every ambient
+        # backend (the cross-product is the serving reality: cache
+        # written by one process, consumed under another's ambient).
+        x = _probe()
+        reference = Predictor(model, batch_size=BATCH, tuned=False)(x)
+        for winner_spec in sorted(available_backends()):
+            _plant_entry(
+                model, TunedConfig(backend=winner_spec, tile=48, batch_size=2)
+            )
+            for ambient in sorted(available_backends()):
+                with use_backend(get_backend(ambient)):
+                    tuned_out = Predictor(model, batch_size=BATCH, tuned=True)(x)
+                np.testing.assert_array_equal(
+                    tuned_out, reference,
+                    err_msg=f"winner={winner_spec} ambient={ambient}",
+                )
+
+    def test_tuned_micro_batch_changes_schedule_not_bytes(self, model, tuning_dir):
+        _plant_entry(model, TunedConfig(backend=None, tile=48, batch_size=1))
+        x = _probe()
+        tuned = Predictor(model, batch_size=BATCH, tuned=True)
+        delegate = tuned._tuned_predictor(SHAPE)
+        assert delegate is not None and delegate.batch_size == 1
+        np.testing.assert_array_equal(
+            tuned(x), Predictor(model, batch_size=BATCH, tuned=False)(x)
+        )
+
+    def test_compiled_tuned_equals_untuned(self, model, tuning_dir):
+        _plant_entry(model, TunedConfig(backend="numpy", tile=48, batch_size=2))
+        x = _probe()
+        untuned = Predictor(model, batch_size=BATCH, tuned=False)(x)
+        compiled = CompiledPredictor(model, batch_size=BATCH, tuned=True)
+        np.testing.assert_array_equal(compiled(x), untuned)
+        # The delegate is compiled too (plan-replay serving).
+        assert isinstance(compiled._tuned_predictor(SHAPE), CompiledPredictor)
+
+    def test_clone_shares_resolved_delegates(self, model, tuning_dir):
+        _plant_entry(model, TunedConfig(backend="numpy", tile=48, batch_size=2))
+        prototype = Predictor(model, batch_size=BATCH, tuned=True)
+        prototype(_probe())
+        clone = prototype.clone()
+        assert clone.tuned and clone._tuned_runtimes is prototype._tuned_runtimes
+
+    def test_real_tune_then_serve_is_bit_identical(self, model, tuning_dir):
+        # End to end with a *measured* winner, not a planted one.
+        tune_model(model, SHAPE, BATCH, seed=0, trials=1, top_k=4)
+        x = _probe()
+        np.testing.assert_array_equal(
+            Predictor(model, batch_size=BATCH, tuned=True)(x),
+            Predictor(model, batch_size=BATCH, tuned=False)(x),
+        )
+
+
+class TestServerIntegration:
+    def test_tuned_server_bit_identical_and_flush_follows_winner(
+        self, model, tuning_dir
+    ):
+        _plant_entry(model, TunedConfig(backend="numpy", tile=48, batch_size=2))
+        images = [np.asarray(img) for img in _probe(seed=13, n=10)]
+        with InferenceServer(model, workers=2, max_batch=BATCH, tuned=False) as server:
+            reference = [server.predict(img) for img in images]
+        with InferenceServer(model, workers=2, max_batch=BATCH, tuned=True) as server:
+            outputs = [server.predict(img) for img in images]
+            assert server._flush_threshold(SHAPE) == 2  # the winner's micro-batch
+        for out, ref in zip(outputs, reference, strict=True):
+            np.testing.assert_array_equal(out, ref)
+
+    def test_flush_threshold_clamped_to_max_batch(self, model, tuning_dir):
+        _plant_entry(model, TunedConfig(backend=None, tile=48, batch_size=64))
+        with InferenceServer(model, workers=1, max_batch=BATCH, tuned=True) as server:
+            assert server._flush_threshold(SHAPE) == BATCH
+
+    def test_untuned_server_ignores_cache(self, model, tuning_dir):
+        _plant_entry(model, TunedConfig(backend=None, tile=48, batch_size=1))
+        with InferenceServer(model, workers=1, max_batch=BATCH, tuned=False) as server:
+            assert server._flush_threshold(SHAPE) == BATCH
+
+
+class TestEnvFlag:
+    def test_repro_tuned_env_enables_by_default(self, model, tuning_dir, monkeypatch):
+        monkeypatch.setenv(TUNED_ENV, "1")
+        assert Predictor(model).tuned is True
+        monkeypatch.setenv(TUNED_ENV, "0")
+        assert Predictor(model).tuned is False
+        monkeypatch.delenv(TUNED_ENV)
+        assert Predictor(model).tuned is False
+        # Explicit argument always wins over the environment.
+        monkeypatch.setenv(TUNED_ENV, "1")
+        assert Predictor(model, tuned=False).tuned is False
+
+    def test_predictor_tune_entry_point(self, model, tuning_dir):
+        predictor = Predictor(model, batch_size=BATCH, tuned=True)
+        entry = predictor.tune(SHAPE, seed=0, trials=1, top_k=2)
+        assert lookup(model, SHAPE, BATCH) is not None
+        assert entry.batch == bucket_batch(BATCH)
+        x = _probe()
+        np.testing.assert_array_equal(
+            predictor(x), Predictor(model, batch_size=BATCH, tuned=False)(x)
+        )
